@@ -1,0 +1,45 @@
+//! Criterion benchmark: distance kernels used inside the routing hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wattroute_geo::{distance, hubs, state_to_hub_km, UsState};
+
+fn bench_geo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geo_kernels");
+    let market = hubs::market_hubs();
+    let states: Vec<UsState> = UsState::all().collect();
+
+    group.bench_function("all_state_hub_distances", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &s in &states {
+                for h in &market {
+                    acc += state_to_hub_km(s, h);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("hubs_within_1500km_all_states", |b| {
+        b.iter(|| {
+            states
+                .iter()
+                .map(|s| distance::hubs_within_threshold(*s, &market, 1500.0).len())
+                .sum::<usize>()
+        })
+    });
+
+    group.bench_function("all_hub_pair_distances", |b| {
+        b.iter(|| {
+            hubs::market_hub_pairs()
+                .iter()
+                .map(|(a, b)| wattroute_geo::hub_to_hub_km(a, b))
+                .sum::<f64>()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_geo);
+criterion_main!(benches);

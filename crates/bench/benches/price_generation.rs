@@ -1,0 +1,38 @@
+//! Criterion benchmark: throughput of the calibrated price generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wattroute_market::prelude::*;
+use wattroute_market::time::SimHour;
+
+fn bench_price_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("price_generation");
+    group.sample_size(10);
+
+    for &days in &[7u64, 30u64] {
+        group.bench_with_input(BenchmarkId::new("nine_hubs_rt_hourly_days", days), &days, |b, &days| {
+            let generator = PriceGenerator::nine_cluster_default(1);
+            let start = SimHour::from_date(2007, 1, 1);
+            let range = HourRange::new(start, start.plus_hours(days * 24));
+            b.iter(|| generator.realtime_hourly(range));
+        });
+    }
+
+    group.bench_function("thirty_hubs_rt_hourly_30_days", |b| {
+        let generator = PriceGenerator::new(MarketModel::calibrated(), 1);
+        let start = SimHour::from_date(2007, 1, 1);
+        let range = HourRange::new(start, start.plus_hours(30 * 24));
+        b.iter(|| generator.realtime_hourly(range));
+    });
+
+    group.bench_function("nyc_5min_7_days", |b| {
+        let generator = PriceGenerator::nine_cluster_default(1);
+        let start = SimHour::from_date(2009, 2, 1);
+        let range = HourRange::new(start, start.plus_hours(7 * 24));
+        b.iter(|| generator.realtime_5min(wattroute_geo::HubId::NewYorkNy, range));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_price_generation);
+criterion_main!(benches);

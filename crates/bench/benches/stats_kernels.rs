@@ -1,0 +1,40 @@
+//! Criterion benchmark: the statistics kernels on price-sized inputs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wattroute_stats::{correlation, descriptive, quantiles, Histogram};
+
+fn series(n: usize, phase: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let x = i as f64;
+            50.0 + 20.0 * ((x / 24.0 + phase) * std::f64::consts::TAU).sin()
+                + 10.0 * ((x * 2654435761.0).sin())
+        })
+        .collect()
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats_kernels");
+    // 39 months of hourly samples.
+    let xs = series(28_464, 0.0);
+    let ys = series(28_464, 0.3);
+
+    group.bench_function("trimmed_stats_39_months", |b| {
+        b.iter(|| descriptive::trimmed(&xs, 0.01))
+    });
+    group.bench_function("pearson_39_months", |b| b.iter(|| correlation::pearson(&xs, &ys)));
+    group.bench_function("mutual_information_39_months", |b| {
+        b.iter(|| correlation::mutual_information(&xs, &ys, 8))
+    });
+    group.bench_function("percentile_95_39_months", |b| {
+        b.iter(|| quantiles::percentile(&xs, 95.0))
+    });
+    group.bench_function("histogram_39_months", |b| {
+        b.iter(|| Histogram::from_samples(-50.0, 150.0, 80, &xs))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

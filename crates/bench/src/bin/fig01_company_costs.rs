@@ -1,0 +1,28 @@
+//! Figure 1: estimated annual electricity costs for large companies.
+
+use wattroute_bench::{banner, fmt, print_table};
+use wattroute_energy::fleet;
+
+fn main() {
+    banner("Figure 1", "Estimated annual electricity cost @ $60/MWh (servers + infrastructure)");
+    let rows: Vec<Vec<String>> = fleet::figure_1_rows()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.name,
+                format!("{}K", r.servers / 1000),
+                format!("{:.1}e5 MWh", r.annual_mwh / 1.0e5),
+                format!("${:.1}M", r.annual_cost_dollars / 1.0e6),
+            ]
+        })
+        .collect();
+    print_table(&["Company", "Servers", "Electricity", "Cost"], &rows);
+
+    println!();
+    println!(
+        "Google search cross-check (1.2B searches/day @ 1 kJ): {} MWh/yr",
+        fmt(fleet::google_search_energy_mwh_per_year(1.2e9, 1000.0), 0)
+    );
+    println!("Paper reference rows: eBay ~0.6e5 MWh/$3.7M, Akamai ~1.7e5/$10M, Rackspace ~2e5/$12M,");
+    println!("                      Microsoft >6e5/$36M, Google >6.3e5/$38M");
+}

@@ -1,0 +1,25 @@
+//! Figure 2: the RTO regions studied and representative hubs.
+
+use wattroute_bench::{banner, print_table};
+use wattroute_geo::{hubs, Rto};
+
+fn main() {
+    banner("Figure 2", "RTO regions and the hubs embedded in this reproduction");
+    let rows: Vec<Vec<String>> = Rto::ALL
+        .iter()
+        .map(|rto| {
+            let members: Vec<String> = hubs::hubs_in_rto(*rto)
+                .iter()
+                .map(|h| format!("{} ({})", h.city, h.code))
+                .collect();
+            vec![rto.abbreviation().to_string(), rto.region().to_string(), members.join(", ")]
+        })
+        .collect();
+    print_table(&["RTO", "Region", "Hubs"], &rows);
+    println!();
+    println!(
+        "{} market hubs ({} hub pairs for Figure 8); the Northwest (MID-C) lacks an hourly market.",
+        hubs::market_hubs().len(),
+        hubs::market_hub_pairs().len()
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 4: real-time 5-minute vs real-time hourly vs day-ahead prices, NYC.
+
+use wattroute_bench::{banner, fmt, print_table, HARNESS_SEED};
+use wattroute_geo::HubId;
+use wattroute_market::prelude::*;
+use wattroute_market::time::SimHour;
+use wattroute_stats as stats;
+
+fn main() {
+    banner("Figure 4", "Price variation across market products, NYC hub, Feb/Mar 2009");
+    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&[HubId::NewYorkNy]), HARNESS_SEED);
+
+    for (label, start, days) in [
+        ("2009-02-10 .. 2009-02-20", SimHour::from_date(2009, 2, 10), 10u64),
+        ("2009-03-03 .. 2009-03-13", SimHour::from_date(2009, 3, 3), 10u64),
+    ] {
+        let range = HourRange::new(start, start.plus_hours(days * 24));
+        let rt = generator.realtime_hourly(range);
+        let da = generator.day_ahead(range);
+        let five = generator.realtime_5min(HubId::NewYorkNy, range).unwrap();
+        let rt_prices = &rt.for_hub(HubId::NewYorkNy).unwrap().prices;
+        let da_prices = &da.for_hub(HubId::NewYorkNy).unwrap().prices;
+
+        println!("\nWindow {label}:");
+        let stats_row = |name: &str, xs: &[f64]| {
+            vec![
+                name.to_string(),
+                fmt(stats::mean(xs).unwrap(), 1),
+                fmt(stats::std_dev(xs).unwrap(), 1),
+                fmt(stats::descriptive::min(xs).unwrap(), 1),
+                fmt(stats::descriptive::max(xs).unwrap(), 1),
+            ]
+        };
+        print_table(
+            &["series", "mean", "stdev", "min", "max"],
+            &[
+                stats_row("real-time 5-min", &five.prices),
+                stats_row("real-time hourly", rt_prices),
+                stats_row("day-ahead hourly", da_prices),
+            ],
+        );
+
+        // Daily profile of the first three days, hourly resolution.
+        let rows: Vec<Vec<String>> = (0..24)
+            .map(|h| {
+                vec![
+                    format!("{h:02}:00"),
+                    fmt(rt_prices[h], 1),
+                    fmt(da_prices[h], 1),
+                    fmt(five.price_at(SimHour(range.start.0 + h as u64)).unwrap(), 1),
+                ]
+            })
+            .collect();
+        println!("First day, hour by hour:");
+        print_table(&["hour", "RT hourly", "DA hourly", "RT 5-min (hr avg)"], &rows);
+    }
+    println!("\nExpected shape: the RT series is more volatile than day-ahead; 5-minute prices");
+    println!("are noisier still and average to the hourly RT series.");
+}

@@ -1,0 +1,41 @@
+//! Figure 6: trimmed mean / std-dev / kurtosis of hourly RT prices for the
+//! six hubs named in the paper.
+
+use wattroute_bench::{banner, fmt, price_window, print_table, HARNESS_SEED};
+use wattroute_geo::HubId;
+use wattroute_market::analysis::hub_price_stats;
+use wattroute_market::prelude::*;
+
+fn main() {
+    banner("Figure 6", "Real-time market statistics (1% trimmed), Jan 2006 - Mar 2009");
+    let named = [
+        ("Chicago, IL", HubId::ChicagoIl, (40.6, 26.9, 4.6)),
+        ("Indianapolis, IN", HubId::IndianapolisIn, (44.0, 28.3, 5.8)),
+        ("Palo Alto, CA", HubId::PaloAltoCa, (54.0, 34.2, 11.9)),
+        ("Richmond, VA", HubId::RichmondVa, (57.8, 39.2, 6.6)),
+        ("Boston, MA", HubId::BostonMa, (66.5, 25.8, 5.7)),
+        ("New York, NY", HubId::NewYorkNy, (77.9, 40.26, 7.9)),
+    ];
+    let hubs: Vec<HubId> = named.iter().map(|(_, h, _)| *h).collect();
+    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let set = generator.realtime_hourly(price_window());
+
+    let rows: Vec<Vec<String>> = named
+        .iter()
+        .map(|(name, hub, (p_mean, p_sd, p_kurt))| {
+            let stats = hub_price_stats(set.for_hub(*hub).unwrap()).unwrap();
+            vec![
+                name.to_string(),
+                stats.rto.abbreviation().to_string(),
+                fmt(stats.trimmed_mean, 1),
+                fmt(stats.trimmed_std_dev, 1),
+                fmt(stats.trimmed_kurtosis, 1),
+                format!("({p_mean}, {p_sd}, {p_kurt})"),
+            ]
+        })
+        .collect();
+    print_table(&["Location", "RTO", "Mean*", "StDev*", "Kurt.*", "paper (mean, sd, kurt)"], &rows);
+    println!();
+    println!("Expected shape: the ordering Chicago < Indianapolis < PaloAlto < Richmond < Boston < NYC");
+    println!("holds for the mean; every distribution is heavy-tailed (kurtosis > 3).");
+}

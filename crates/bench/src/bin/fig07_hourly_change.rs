@@ -1,0 +1,41 @@
+//! Figure 7: histograms of hour-to-hour price changes, Palo Alto and Chicago.
+
+use wattroute_bench::{banner, fmt, price_window, print_table, HARNESS_SEED};
+use wattroute_geo::HubId;
+use wattroute_market::analysis::hourly_change_distribution;
+use wattroute_market::prelude::*;
+
+fn main() {
+    banner("Figure 7", "Hour-to-hour change in RT hourly prices (heavy-tailed, zero-mean)");
+    let hubs = [HubId::PaloAltoCa, HubId::ChicagoIl];
+    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let set = generator.realtime_hourly(price_window());
+
+    for (name, hub, paper) in [
+        ("Palo Alto (NP15)", HubId::PaloAltoCa, "paper: sigma=37.2 kurt=17.8, 78%/89% within +/-20/40"),
+        ("Chicago (PJM)", HubId::ChicagoIl, "paper: sigma=22.5 kurt=33.3, 82%/96% within +/-20/40"),
+    ] {
+        let dist = hourly_change_distribution(set.for_hub(hub).unwrap()).unwrap();
+        println!("\n{name}  ({paper})");
+        println!(
+            "  mean={} sigma={} kurtosis={}  |change|>=$20 for {}% of hours",
+            fmt(dist.mean, 2),
+            fmt(dist.std_dev, 1),
+            fmt(dist.kurtosis, 1),
+            fmt(dist.fraction_change_at_least_20 * 100.0, 1)
+        );
+        println!(
+            "  within +/-$20: {}%   within +/-$40: {}%",
+            fmt(dist.histogram.fraction_between(-20.0, 20.0) * 100.0, 1),
+            fmt(dist.histogram.fraction_between(-40.0, 40.0) * 100.0, 1)
+        );
+        let rows: Vec<Vec<String>> = dist
+            .histogram
+            .rows()
+            .iter()
+            .step_by(2)
+            .map(|(center, frac)| vec![fmt(*center, 1), fmt(*frac, 4)])
+            .collect();
+        print_table(&["$ change (bin center)", "fraction"], &rows);
+    }
+}

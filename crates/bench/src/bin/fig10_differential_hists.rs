@@ -1,0 +1,49 @@
+//! Figure 10: price differential histograms for five hub pairs.
+
+use wattroute_bench::{banner, fmt, price_window, print_table, HARNESS_SEED};
+use wattroute_geo::HubId;
+use wattroute_market::differential::Differential;
+use wattroute_market::prelude::*;
+use wattroute_stats::Histogram;
+
+fn main() {
+    banner("Figure 10", "Differential distributions for five hub pairs (39 months of hourly prices)");
+    let pairs = [
+        ("PaloAlto - Virginia", HubId::PaloAltoCa, HubId::RichmondVa, "paper: mu=0.0 sd=55.7"),
+        ("Austin - Virginia", HubId::AustinTx, HubId::RichmondVa, "paper: mu=0.9 sd=87.7"),
+        ("Boston - NYC", HubId::BostonMa, HubId::NewYorkNy, "paper: mu=-12.3 sd=52.5"),
+        ("Chicago - Virginia", HubId::ChicagoIl, HubId::RichmondVa, "paper: mu=-17.2 sd=31.3"),
+        ("Chicago - Peoria", HubId::ChicagoIl, HubId::PeoriaIl, "paper: mu=-4.2 sd=32.0"),
+    ];
+    let mut hubs: Vec<HubId> = pairs.iter().flat_map(|(_, a, b, _)| [*a, *b]).collect();
+    hubs.sort();
+    hubs.dedup();
+    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let set = generator.realtime_hourly(price_window());
+
+    for (name, a, b, paper) in pairs {
+        let d = Differential::between(set.for_hub(a).unwrap(), set.for_hub(b).unwrap()).unwrap();
+        let s = d.stats().unwrap();
+        println!("\n{name}   ({paper})");
+        println!(
+            "  mu={} sd={} kurt={}  A cheaper {}%   A cheaper by >$5 {}%   B cheaper by >$5 {}%   dynamic-exploitable: {}",
+            fmt(s.mean, 1),
+            fmt(s.std_dev, 1),
+            fmt(s.kurtosis, 0),
+            fmt(s.fraction_a_cheaper * 100.0, 0),
+            fmt(s.fraction_a_cheaper_by_threshold * 100.0, 0),
+            fmt(s.fraction_b_cheaper_by_threshold * 100.0, 0),
+            d.is_dynamically_exploitable(0.10)
+        );
+        let hist = Histogram::from_samples(-100.0, 100.0, 20, &d.values);
+        let rows: Vec<Vec<String>> = hist
+            .rows()
+            .iter()
+            .map(|(c, f)| vec![fmt(*c, 0), fmt(*f, 3)])
+            .collect();
+        print_table(&["$ diff (bin center)", "fraction"], &rows);
+    }
+    println!("\nExpected shape: cross-country pairs (a, b) are ~zero-mean with large spread;");
+    println!("Boston-NYC is skewed but still exploitable; Chicago-Virginia is one-sided;");
+    println!("Chicago-Peoria shows the dispersion introduced by a market boundary.");
+}

@@ -1,0 +1,37 @@
+//! Figure 12: price-differential distributions by hour of day for three pairs.
+
+use wattroute_bench::{banner, fmt, price_window, print_table, HARNESS_SEED};
+use wattroute_geo::HubId;
+use wattroute_market::differential::Differential;
+use wattroute_market::prelude::*;
+
+fn main() {
+    banner("Figure 12", "Differential (median, IQR) for each hour of day (EST/EDT)");
+    let pairs = [
+        ("PaloAlto - Richmond", HubId::PaloAltoCa, HubId::RichmondVa),
+        ("Boston - NYC", HubId::BostonMa, HubId::NewYorkNy),
+        ("Chicago - Peoria", HubId::ChicagoIl, HubId::PeoriaIl),
+    ];
+    let mut hubs: Vec<HubId> = pairs.iter().flat_map(|(_, a, b)| [*a, *b]).collect();
+    hubs.sort();
+    hubs.dedup();
+    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let set = generator.realtime_hourly(price_window());
+
+    for (name, a, b) in pairs {
+        let d = Differential::between(set.for_hub(a).unwrap(), set.for_hub(b).unwrap()).unwrap();
+        println!("\n{name}:");
+        let rows: Vec<Vec<String>> = d
+            .hour_of_day_distribution()
+            .iter()
+            .map(|(hour, s)| {
+                vec![format!("{hour:02}:00"), fmt(s.q1, 1), fmt(s.median, 1), fmt(s.q3, 1)]
+            })
+            .collect();
+        print_table(&["hour (EST)", "Q1", "median", "Q3"], &rows);
+    }
+    println!();
+    println!("Expected shape (PaloAlto-Richmond): Virginia has the edge before ~5am Eastern, the");
+    println!("situation reverses by mid-morning, and mid-afternoon is roughly neutral — driven by");
+    println!("the three-hour offset between the coasts' demand peaks.");
+}

@@ -1,0 +1,42 @@
+//! Figure 13: how much time is spent in sustained differentials of each
+//! duration (PaloAlto-Virginia, >$5/MWh).
+
+use wattroute_bench::{banner, fmt, price_window, print_table, HARNESS_SEED};
+use wattroute_geo::HubId;
+use wattroute_market::differential::{Differential, DEFAULT_PRICE_THRESHOLD};
+use wattroute_market::prelude::*;
+
+fn main() {
+    banner("Figure 13", "Fraction of total time in sustained PaloAlto-Virginia differentials, by duration");
+    let hubs = [HubId::PaloAltoCa, HubId::RichmondVa];
+    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let set = generator.realtime_hourly(price_window());
+    let d = Differential::between(
+        set.for_hub(HubId::PaloAltoCa).unwrap(),
+        set.for_hub(HubId::RichmondVa).unwrap(),
+    )
+    .unwrap();
+
+    let fractions = d.duration_time_fractions(DEFAULT_PRICE_THRESHOLD);
+    let rows: Vec<Vec<String>> = fractions
+        .iter()
+        .filter(|(dur, _)| *dur <= 36)
+        .map(|(dur, frac)| vec![dur.to_string(), fmt(*frac, 4)])
+        .collect();
+    print_table(&["duration (hours)", "fraction of total time"], &rows);
+
+    let durations = d.sustained_durations(DEFAULT_PRICE_THRESHOLD);
+    let short: f64 = fractions.iter().filter(|(d, _)| *d < 3).map(|(_, f)| f).sum();
+    let medium: f64 = fractions.iter().filter(|(d, _)| *d < 9).map(|(_, f)| f).sum();
+    let long: f64 = fractions.iter().filter(|(d, _)| *d > 24).map(|(_, f)| f).sum();
+    println!();
+    println!(
+        "{} sustained differentials; time share: <3h {}%, <9h {}%, >24h {}%",
+        durations.len(),
+        fmt(short * 100.0, 1),
+        fmt(medium * 100.0, 1),
+        fmt(long * 100.0, 1)
+    );
+    println!("Expected shape: short differentials (<3h) account for the most time, medium (<9h)");
+    println!("differentials are common, and day-long differentials are rare for this balanced pair.");
+}

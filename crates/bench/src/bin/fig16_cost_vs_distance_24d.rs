@@ -1,0 +1,35 @@
+//! Figure 16: normalized 24-day electricity cost vs distance threshold
+//! (fully elastic (0% idle, 1.1 PUE) energy model).
+
+use wattroute_bench::{
+    banner, distance_threshold_sweep, fmt, print_table, scenario_24_day, standard_thresholds,
+};
+use wattroute_energy::model::EnergyModelParams;
+
+fn main() {
+    banner("Figure 16", "24-day cost vs distance threshold, (0% idle, 1.1 PUE), normalized to the Akamai-like allocation");
+    let scenario = scenario_24_day().with_energy(EnergyModelParams::optimistic_future());
+    let baseline = scenario.baseline_report();
+    let caps: Vec<f64> = baseline.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
+    let rows = distance_threshold_sweep(&scenario, &baseline, &caps, &standard_thresholds());
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt(r.threshold_km, 0),
+                fmt(r.normalized_cost_constrained, 3),
+                fmt(r.normalized_cost_relaxed, 3),
+            ]
+        })
+        .collect();
+    print_table(
+        &["distance threshold (km)", "follow 95/5 (norm. cost)", "relax 95/5 (norm. cost)"],
+        &table,
+    );
+    println!();
+    println!("Baseline (Akamai-like) normalized cost = 1.000 by construction.");
+    println!("Paper shape: costs fall as the threshold grows, with a pronounced drop around");
+    println!("1500 km (Boston-Chicago distance) and diminishing returns beyond ~2000 km;");
+    println!("relaxed 95/5 saves roughly 2-3x more than following the original constraints.");
+}

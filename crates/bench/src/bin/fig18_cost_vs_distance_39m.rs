@@ -1,0 +1,53 @@
+//! Figure 18: normalized long-horizon (39-month) cost vs distance threshold,
+//! including the static cheapest-hub placement.
+
+use wattroute_bench::{
+    banner, distance_threshold_sweep, fmt, print_table, scenario_long, standard_thresholds,
+};
+use wattroute_energy::model::EnergyModelParams;
+
+fn main() {
+    banner(
+        "Figure 18",
+        "Long-horizon cost vs distance threshold, (0% idle, 1.1 PUE), normalized to the Akamai-like allocation",
+    );
+    let scenario = scenario_long().with_energy(EnergyModelParams::optimistic_future());
+    let baseline = scenario.baseline_report();
+    let caps: Vec<f64> = baseline.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
+
+    // The static comparison: move everything to the cheapest market.
+    let mut static_policy = scenario.static_cheapest_policy();
+    let static_report = scenario.run(&mut static_policy);
+    let static_norm = static_report.normalized_cost_vs(&baseline);
+
+    let rows = distance_threshold_sweep(&scenario, &baseline, &caps, &standard_thresholds());
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt(r.threshold_km, 0),
+                fmt(r.normalized_cost_constrained, 3),
+                fmt(r.normalized_cost_relaxed, 3),
+            ]
+        })
+        .collect();
+    print_table(
+        &["distance threshold (km)", "follow 95/5 (norm. cost)", "relax 95/5 (norm. cost)"],
+        &table,
+    );
+    println!();
+    println!(
+        "Static 'only use cheapest hub' allocation: normalized cost {} (savings {}%)",
+        fmt(static_norm, 3),
+        fmt((1.0 - static_norm) * 100.0, 1)
+    );
+    let best = rows.iter().map(|r| r.normalized_cost_relaxed).fold(f64::INFINITY, f64::min);
+    println!(
+        "Best dynamic (relaxed) normalized cost: {} (savings {}%)",
+        fmt(best, 3),
+        fmt((1.0 - best) * 100.0, 1)
+    );
+    println!("Paper shape: the dynamic solution reaches ~0.55 normalized cost (45% savings) while");
+    println!("the static cheapest-market placement only reaches ~0.65 (35% savings); no sharp");
+    println!("diminishing returns above 2000 km over the long horizon.");
+}

@@ -1,0 +1,22 @@
+//! Figure 20: cost increase vs the delay in reacting to prices
+//! ((65% idle, 1.3 PUE) model, 1500 km threshold).
+
+use wattroute_bench::{banner, fmt, print_table, reaction_delay_sweep, scenario_long};
+use wattroute_energy::model::EnergyModelParams;
+
+fn main() {
+    banner("Figure 20", "Cost increase vs price-reaction delay, (65% idle, 1.3 PUE), 1500 km threshold");
+    let scenario = scenario_long().with_energy(EnergyModelParams::google_2009());
+    let delays: Vec<u64> = vec![0, 1, 2, 3, 6, 9, 12, 15, 18, 21, 24, 27, 30];
+    let rows = reaction_delay_sweep(&scenario, 1500.0, &delays);
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(delay, increase)| vec![delay.to_string(), format!("{}%", fmt(*increase, 3))])
+        .collect();
+    print_table(&["delay (hours)", "cost increase vs immediate reaction"], &table);
+    println!();
+    println!("Paper shape: an initial jump between immediate and next-hour reaction, a rise toward");
+    println!("~1-1.5% at large delays, and a local dip near 24 hours (day-over-day price");
+    println!("correlation). With the (65%, 1.3) model a ~1% increase erases much of the ~5% savings.");
+}

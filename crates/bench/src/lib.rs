@@ -1,0 +1,248 @@
+//! Experiment harness shared by the per-figure binaries in `src/bin/`.
+//!
+//! Every table and figure in the paper's evaluation has a binary named
+//! `figNN_*` that regenerates its rows/series; this library holds the code
+//! those binaries share: the default data windows, the savings sweeps, and
+//! small table-printing helpers. `EXPERIMENTS.md` at the workspace root
+//! records paper-vs-measured values produced by these harnesses.
+//!
+//! # Fast vs full mode
+//!
+//! The paper's long experiments cover 39 months of hourly prices. By default
+//! the harness binaries run a shortened window (several months) so the whole
+//! suite completes quickly; pass `--full` to any binary to run the exact
+//! paper window. The *shape* of every result is unchanged; only statistical
+//! noise shrinks in full mode.
+
+#![forbid(unsafe_code)]
+
+use wattroute::prelude::*;
+use wattroute::report::SimulationReport;
+use wattroute_energy::model::EnergyModelParams;
+use wattroute_market::time::{HourRange, SimHour};
+
+/// Whether `--full` was passed on the command line.
+pub fn full_mode() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// The price-analysis window: the paper's full 39 months in `--full` mode,
+/// otherwise a representative 9-month slice (which still spans seasons and
+/// the 2008 fuel-price run-up start).
+pub fn price_window() -> HourRange {
+    if full_mode() {
+        HourRange::paper_39_months()
+    } else {
+        HourRange::new(SimHour::from_date(2008, 1, 1), SimHour::from_date(2008, 10, 1))
+    }
+}
+
+/// The long-simulation window (Figures 18-20): 39 months in `--full` mode,
+/// otherwise 4 months.
+pub fn long_simulation_window() -> HourRange {
+    if full_mode() {
+        HourRange::paper_39_months()
+    } else {
+        HourRange::new(SimHour::from_date(2008, 3, 1), SimHour::from_date(2008, 7, 1))
+    }
+}
+
+/// The seed shared by all harness binaries so figures are mutually
+/// consistent.
+pub const HARNESS_SEED: u64 = 2009;
+
+/// Print a header naming the experiment and the paper artifact it
+/// regenerates.
+pub fn banner(figure: &str, description: &str) {
+    println!("================================================================");
+    println!("{figure}: {description}");
+    println!("mode: {}", if full_mode() { "FULL (paper window)" } else { "fast (pass --full for the paper window)" });
+    println!("================================================================");
+}
+
+/// Print a simple aligned table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format a float with a fixed number of decimals.
+pub fn fmt(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+/// The 24-day scenario shared by the Figure 15-17 harnesses.
+pub fn scenario_24_day() -> Scenario {
+    Scenario::akamai_24_day(HARNESS_SEED)
+}
+
+/// The long synthetic scenario shared by the Figure 18-20 harnesses.
+pub fn scenario_long() -> Scenario {
+    Scenario::synthetic_over(HARNESS_SEED, long_simulation_window())
+}
+
+/// One row of a savings sweep: energy-model label, relaxed and constrained
+/// savings percentages.
+#[derive(Debug, Clone)]
+pub struct SavingsRow {
+    /// Energy model label, e.g. `(0%, 1.1)`.
+    pub label: String,
+    /// Savings (%) with 95/5 constraints relaxed.
+    pub relaxed_percent: f64,
+    /// Savings (%) obeying the baseline's 95/5 constraints.
+    pub constrained_percent: f64,
+}
+
+/// Figure 15: maximum savings vs energy-model parameters, with and without
+/// the 95/5 constraints, at a fixed distance threshold.
+pub fn elasticity_savings_sweep(
+    scenario: &Scenario,
+    distance_threshold_km: f64,
+    models: &[(String, EnergyModelParams)],
+) -> Vec<SavingsRow> {
+    models
+        .iter()
+        .map(|(label, params)| {
+            let s = scenario.clone().with_energy(*params);
+            let cmp = s.compare_price_conscious(distance_threshold_km);
+            SavingsRow {
+                label: label.clone(),
+                relaxed_percent: cmp.alternatives[0].savings_percent_vs(&cmp.baseline),
+                constrained_percent: cmp.alternatives[1].savings_percent_vs(&cmp.baseline),
+            }
+        })
+        .collect()
+}
+
+/// One row of a distance-threshold sweep (Figures 16-18).
+#[derive(Debug, Clone)]
+pub struct ThresholdRow {
+    /// Distance threshold in km.
+    pub threshold_km: f64,
+    /// Normalised cost (vs the baseline allocation) with 95/5 relaxed.
+    pub normalized_cost_relaxed: f64,
+    /// Normalised cost obeying the baseline 95/5 constraints.
+    pub normalized_cost_constrained: f64,
+    /// Demand-weighted mean client–server distance (relaxed run), km.
+    pub mean_distance_km: f64,
+    /// Demand-weighted 99th-percentile distance (relaxed run), km.
+    pub p99_distance_km: f64,
+    /// Mean distance for the constrained run, km.
+    pub mean_distance_constrained_km: f64,
+    /// 99th-percentile distance for the constrained run, km.
+    pub p99_distance_constrained_km: f64,
+}
+
+/// Sweep the price optimizer's distance threshold against a fixed baseline.
+pub fn distance_threshold_sweep(
+    scenario: &Scenario,
+    baseline: &SimulationReport,
+    caps: &[f64],
+    thresholds_km: &[f64],
+) -> Vec<ThresholdRow> {
+    thresholds_km
+        .iter()
+        .map(|&threshold_km| {
+            let mut policy = PriceConsciousPolicy::with_distance_threshold(threshold_km);
+            let relaxed = scenario.run(&mut policy);
+            let constrained = scenario.run_with_config(
+                &mut policy,
+                scenario.config.clone().with_bandwidth_caps(caps.to_vec()),
+            );
+            ThresholdRow {
+                threshold_km,
+                normalized_cost_relaxed: relaxed.normalized_cost_vs(baseline),
+                normalized_cost_constrained: constrained.normalized_cost_vs(baseline),
+                mean_distance_km: relaxed.mean_distance_km,
+                p99_distance_km: relaxed.p99_distance_km,
+                mean_distance_constrained_km: constrained.mean_distance_km,
+                p99_distance_constrained_km: constrained.p99_distance_km,
+            }
+        })
+        .collect()
+}
+
+/// The distance thresholds swept by Figures 16-18.
+pub fn standard_thresholds() -> Vec<f64> {
+    vec![0.0, 250.0, 500.0, 750.0, 1000.0, 1250.0, 1500.0, 1750.0, 2000.0, 2500.0]
+}
+
+/// Reaction-delay sweep (Figure 20): percentage cost increase relative to a
+/// one-hour delay, for a given energy model and distance threshold.
+pub fn reaction_delay_sweep(
+    scenario: &Scenario,
+    distance_threshold_km: f64,
+    delays_hours: &[u64],
+) -> Vec<(u64, f64)> {
+    let mut policy = PriceConsciousPolicy::with_distance_threshold(distance_threshold_km);
+    let reference = scenario
+        .run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(0));
+    delays_hours
+        .iter()
+        .map(|&delay| {
+            let report = scenario.run_with_config(
+                &mut policy,
+                scenario.config.clone().with_reaction_delay(delay),
+            );
+            let increase =
+                (report.total_cost_dollars / reference.total_cost_dollars - 1.0) * 100.0;
+            (delay, increase)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_ordered() {
+        assert!(price_window().len_hours() > 24 * 200);
+        assert!(long_simulation_window().len_hours() >= 24 * 100);
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        banner("FigX", "smoke test");
+        print_table(
+            &["a", "bbbb"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4444".into()]],
+        );
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn sweeps_produce_rows() {
+        // Tiny scenario to keep the unit test quick.
+        let start = SimHour::from_date(2008, 12, 19);
+        let scenario = Scenario::custom_window(3, HourRange::new(start, start.plus_hours(24)))
+            .with_energy(EnergyModelParams::optimistic_future());
+        let baseline = scenario.baseline_report();
+        let caps: Vec<f64> = baseline.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
+        let rows = distance_threshold_sweep(&scenario, &baseline, &caps, &[0.0, 1500.0]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].normalized_cost_relaxed <= rows[0].normalized_cost_relaxed + 1e-9);
+        let delays = reaction_delay_sweep(&scenario, 1500.0, &[0, 3]);
+        assert_eq!(delays.len(), 2);
+        assert!((delays[0].1).abs() < 1e-9);
+    }
+}

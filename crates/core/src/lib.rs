@@ -1,0 +1,73 @@
+//! # wattroute
+//!
+//! Electricity-price-aware request routing for Internet-scale systems — a
+//! Rust reproduction of *Cutting the Electric Bill for Internet-Scale
+//! Systems* (Qureshi, Weber, Balakrishnan, Guttag, Maggs — SIGCOMM 2009).
+//!
+//! The paper's thesis: wholesale electricity prices at different US
+//! locations are volatile and imperfectly correlated, and a geographically
+//! distributed system that already does dynamic request routing can shift
+//! load toward wherever energy is currently cheap, cutting its electricity
+//! *cost* (not its energy) by a few percent to tens of percent depending on
+//! how energy-proportional its clusters are.
+//!
+//! This crate is the user-facing facade. It provides the discrete-time cost
+//! [`simulation`] engine, pre-packaged [`scenario`]s matching the paper's
+//! §6.2 (24 days of traffic) and §6.3 (39 months of prices) setups, and the
+//! [`report`] types used to express savings. The substrates live in their
+//! own crates and are re-exported here:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`market`](wattroute_market) | calibrated wholesale price simulator, differentials, demand response |
+//! | [`workload`](wattroute_workload) | Akamai-like CDN traces, 95/5 percentiles, capacity |
+//! | [`energy`](wattroute_energy) | cluster power model, fleet cost estimates, router energy |
+//! | [`routing`](wattroute_routing) | price-conscious optimizer, baselines, carbon/joint extensions |
+//! | [`geo`](wattroute_geo) | hubs, RTOs, census populations, distances |
+//! | [`stats`](wattroute_stats) | statistics kernels |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use wattroute::prelude::*;
+//!
+//! // A small window keeps the doctest fast; examples/ and the bench harness
+//! // run the full 24-day and 39-month scenarios.
+//! let start = SimHour::from_date(2008, 12, 19);
+//! let scenario = Scenario::custom_window(42, HourRange::new(start, start.plus_hours(48)))
+//!     .with_energy(EnergyModelParams::optimistic_future());
+//!
+//! let baseline = scenario.baseline_report();
+//! let mut optimizer = PriceConsciousPolicy::with_distance_threshold(1500.0);
+//! let optimized = scenario.run(&mut optimizer);
+//!
+//! let savings = optimized.savings_percent_vs(&baseline);
+//! assert!(savings > 0.0, "price-conscious routing should save money, got {savings:.2}%");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod scenario;
+pub mod simulation;
+
+pub use wattroute_energy as energy;
+pub use wattroute_geo as geo;
+pub use wattroute_market as market;
+pub use wattroute_routing as routing;
+pub use wattroute_stats as stats;
+pub use wattroute_workload as workload;
+
+/// Convenient re-exports of the most commonly used items across the
+/// workspace.
+pub mod prelude {
+    pub use crate::report::{PolicyComparison, SimulationReport};
+    pub use crate::scenario::Scenario;
+    pub use crate::simulation::{Simulation, SimulationConfig};
+    pub use wattroute_energy::model::EnergyModelParams;
+    pub use wattroute_geo::{HubId, Rto, UsState};
+    pub use wattroute_market::prelude::*;
+    pub use wattroute_routing::prelude::*;
+    pub use wattroute_workload::prelude::*;
+}

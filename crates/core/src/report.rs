@@ -1,0 +1,320 @@
+//! Simulation results: costs, distances, per-cluster breakdowns.
+
+use serde::{Deserialize, Serialize};
+use wattroute_workload::ClusterSet;
+
+/// A demand-weighted histogram over client–server distances, used to report
+/// mean and tail (99th percentile) distances without storing every sample
+/// (Figure 17 plots both).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistanceHistogram {
+    bin_km: f64,
+    weights: Vec<f64>,
+    total_weight: f64,
+    weighted_sum: f64,
+}
+
+impl DistanceHistogram {
+    /// Create a histogram with `bins` bins of `bin_km` kilometres each.
+    pub fn new(bin_km: f64, bins: usize) -> Self {
+        assert!(bin_km > 0.0 && bins > 0);
+        Self { bin_km, weights: vec![0.0; bins], total_weight: 0.0, weighted_sum: 0.0 }
+    }
+
+    /// Default resolution: 25 km bins out to 6000 km.
+    pub fn default_resolution() -> Self {
+        Self::new(25.0, 240)
+    }
+
+    /// Record `weight` demand served at `distance_km`.
+    pub fn add(&mut self, distance_km: f64, weight: f64) {
+        if !(distance_km.is_finite() && weight.is_finite()) || weight <= 0.0 {
+            return;
+        }
+        let idx = ((distance_km / self.bin_km) as usize).min(self.weights.len() - 1);
+        self.weights[idx] += weight;
+        self.total_weight += weight;
+        self.weighted_sum += distance_km * weight;
+    }
+
+    /// Total demand-weight recorded.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Demand-weighted mean distance, or `None` if nothing was recorded.
+    pub fn mean_km(&self) -> Option<f64> {
+        (self.total_weight > 0.0).then(|| self.weighted_sum / self.total_weight)
+    }
+
+    /// Demand-weighted percentile (0-100) of the distance distribution,
+    /// resolved to bin granularity.
+    pub fn percentile_km(&self, p: f64) -> Option<f64> {
+        if self.total_weight <= 0.0 {
+            return None;
+        }
+        let target = self.total_weight * (p / 100.0).clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for (i, w) in self.weights.iter().enumerate() {
+            acc += w;
+            if acc >= target {
+                return Some((i as f64 + 1.0) * self.bin_km);
+            }
+        }
+        Some(self.weights.len() as f64 * self.bin_km)
+    }
+
+    /// Merge another histogram with the same geometry.
+    pub fn merge(&mut self, other: &DistanceHistogram) {
+        assert_eq!(self.bin_km, other.bin_km);
+        assert_eq!(self.weights.len(), other.weights.len());
+        for (a, b) in self.weights.iter_mut().zip(&other.weights) {
+            *a += b;
+        }
+        self.total_weight += other.total_weight;
+        self.weighted_sum += other.weighted_sum;
+    }
+}
+
+/// Cost and load accounting for one cluster over a whole simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Cluster label (e.g. `NY`).
+    pub label: String,
+    /// Total electricity cost in dollars.
+    pub cost_dollars: f64,
+    /// Total energy in MWh.
+    pub energy_mwh: f64,
+    /// Mean utilization over the run (0..1).
+    pub mean_utilization: f64,
+    /// 95th percentile of the cluster's five-minute hit rate (hits/second).
+    pub p95_hits_per_sec: f64,
+    /// Peak five-minute hit rate (hits/second).
+    pub peak_hits_per_sec: f64,
+    /// Total hits served over the run.
+    pub total_hits: f64,
+}
+
+/// The result of simulating one routing policy over one scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Name of the routing policy simulated.
+    pub policy: String,
+    /// Number of five-minute steps simulated.
+    pub steps: usize,
+    /// Reaction delay (hours) between market prices and routing decisions.
+    pub reaction_delay_hours: u64,
+    /// Whether 95/5 bandwidth caps were enforced.
+    pub bandwidth_constrained: bool,
+    /// Total electricity cost in dollars.
+    pub total_cost_dollars: f64,
+    /// Total energy in MWh.
+    pub total_energy_mwh: f64,
+    /// Per-cluster breakdown, in cluster order.
+    pub clusters: Vec<ClusterReport>,
+    /// Demand-weighted mean client–server distance in km.
+    pub mean_distance_km: f64,
+    /// Demand-weighted 99th-percentile client–server distance in km.
+    pub p99_distance_km: f64,
+    /// The distance histogram itself (for further analysis).
+    pub distances: DistanceHistogram,
+}
+
+impl SimulationReport {
+    /// This report's cost normalised to a baseline report's cost
+    /// (Figures 16 and 18 plot exactly this quantity).
+    pub fn normalized_cost_vs(&self, baseline: &SimulationReport) -> f64 {
+        assert!(baseline.total_cost_dollars > 0.0, "baseline cost must be positive");
+        self.total_cost_dollars / baseline.total_cost_dollars
+    }
+
+    /// Percentage savings relative to a baseline (positive = cheaper than
+    /// the baseline).
+    pub fn savings_percent_vs(&self, baseline: &SimulationReport) -> f64 {
+        (1.0 - self.normalized_cost_vs(baseline)) * 100.0
+    }
+
+    /// Per-cluster percentage change in cost relative to the same cluster in
+    /// a baseline report (Figure 19). Positive = this policy spends more at
+    /// that cluster.
+    pub fn per_cluster_cost_change_vs(&self, baseline: &SimulationReport) -> Vec<(String, f64)> {
+        self.clusters
+            .iter()
+            .zip(&baseline.clusters)
+            .map(|(mine, base)| {
+                assert_eq!(mine.label, base.label, "cluster order mismatch");
+                let change = if base.cost_dollars > 0.0 {
+                    (mine.cost_dollars - base.cost_dollars) / base.cost_dollars * 100.0
+                } else {
+                    0.0
+                };
+                (mine.label.clone(), change)
+            })
+            .collect()
+    }
+
+    /// Whether every cluster's 95th percentile stayed at or below the given
+    /// per-cluster ceilings (with a relative tolerance).
+    pub fn respects_p95_caps(&self, caps: &[f64], tolerance: f64) -> bool {
+        self.clusters.len() == caps.len()
+            && self
+                .clusters
+                .iter()
+                .zip(caps)
+                .all(|(c, cap)| c.p95_hits_per_sec <= cap * (1.0 + tolerance))
+    }
+
+    /// Labels of the clusters, for convenience when printing tables.
+    pub fn cluster_labels(&self) -> Vec<&str> {
+        self.clusters.iter().map(|c| c.label.as_str()).collect()
+    }
+}
+
+/// Side-by-side comparison of several policies on the same scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyComparison {
+    /// The baseline every other report is normalised against.
+    pub baseline: SimulationReport,
+    /// The alternative policies.
+    pub alternatives: Vec<SimulationReport>,
+}
+
+impl PolicyComparison {
+    /// `(policy name, normalised cost, savings %)` rows, baseline first.
+    pub fn summary_rows(&self) -> Vec<(String, f64, f64)> {
+        let mut rows = vec![(self.baseline.policy.clone(), 1.0, 0.0)];
+        for alt in &self.alternatives {
+            rows.push((
+                alt.policy.clone(),
+                alt.normalized_cost_vs(&self.baseline),
+                alt.savings_percent_vs(&self.baseline),
+            ));
+        }
+        rows
+    }
+
+    /// The best (largest) savings among the alternatives, if any.
+    pub fn best_savings_percent(&self) -> Option<f64> {
+        self.alternatives
+            .iter()
+            .map(|a| a.savings_percent_vs(&self.baseline))
+            .max_by(|a, b| a.partial_cmp(b).expect("finite savings"))
+    }
+}
+
+/// Build the per-cluster labels for a deployment (kept here so reports and
+/// engine agree on ordering).
+pub fn cluster_labels(clusters: &ClusterSet) -> Vec<String> {
+    clusters.labels().into_iter().map(|s| s.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report(policy: &str, costs: &[f64]) -> SimulationReport {
+        let clusters = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ClusterReport {
+                label: format!("C{i}"),
+                cost_dollars: c,
+                energy_mwh: c / 60.0,
+                mean_utilization: 0.3,
+                p95_hits_per_sec: 1000.0,
+                peak_hits_per_sec: 1200.0,
+                total_hits: 1.0e9,
+            })
+            .collect::<Vec<_>>();
+        SimulationReport {
+            policy: policy.to_string(),
+            steps: 100,
+            reaction_delay_hours: 1,
+            bandwidth_constrained: false,
+            total_cost_dollars: costs.iter().sum(),
+            total_energy_mwh: costs.iter().sum::<f64>() / 60.0,
+            clusters,
+            mean_distance_km: 500.0,
+            p99_distance_km: 900.0,
+            distances: DistanceHistogram::default_resolution(),
+        }
+    }
+
+    #[test]
+    fn normalisation_and_savings() {
+        let baseline = dummy_report("base", &[100.0, 100.0]);
+        let cheaper = dummy_report("opt", &[90.0, 70.0]);
+        assert!((cheaper.normalized_cost_vs(&baseline) - 0.8).abs() < 1e-12);
+        assert!((cheaper.savings_percent_vs(&baseline) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_cluster_changes() {
+        let baseline = dummy_report("base", &[100.0, 100.0]);
+        let alt = dummy_report("opt", &[50.0, 120.0]);
+        let changes = alt.per_cluster_cost_change_vs(&baseline);
+        assert_eq!(changes.len(), 2);
+        assert!((changes[0].1 + 50.0).abs() < 1e-9);
+        assert!((changes[1].1 - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p95_cap_check() {
+        let report = dummy_report("x", &[10.0]);
+        assert!(report.respects_p95_caps(&[1000.0], 0.0));
+        assert!(report.respects_p95_caps(&[990.0], 0.02));
+        assert!(!report.respects_p95_caps(&[900.0], 0.01));
+        assert!(!report.respects_p95_caps(&[1000.0, 1000.0], 0.0));
+    }
+
+    #[test]
+    fn comparison_rows() {
+        let cmp = PolicyComparison {
+            baseline: dummy_report("base", &[100.0]),
+            alternatives: vec![dummy_report("a", &[80.0]), dummy_report("b", &[95.0])],
+        };
+        let rows = cmp.summary_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, "base");
+        assert!((rows[1].2 - 20.0).abs() < 1e-9);
+        assert!((cmp.best_savings_percent().unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_histogram_mean_and_percentile() {
+        let mut h = DistanceHistogram::new(10.0, 100);
+        h.add(100.0, 1.0);
+        h.add(200.0, 1.0);
+        h.add(900.0, 2.0);
+        let mean = h.mean_km().unwrap();
+        assert!((mean - (100.0 + 200.0 + 1800.0) / 4.0).abs() < 1e-9);
+        let p99 = h.percentile_km(99.0).unwrap();
+        assert!(p99 >= 900.0 && p99 <= 920.0);
+        let p25 = h.percentile_km(25.0).unwrap();
+        assert!(p25 <= 110.0);
+        assert_eq!(h.total_weight(), 4.0);
+    }
+
+    #[test]
+    fn distance_histogram_ignores_bad_samples() {
+        let mut h = DistanceHistogram::default_resolution();
+        h.add(f64::NAN, 1.0);
+        h.add(100.0, -1.0);
+        h.add(100.0, 0.0);
+        assert_eq!(h.total_weight(), 0.0);
+        assert!(h.mean_km().is_none());
+        assert!(h.percentile_km(50.0).is_none());
+    }
+
+    #[test]
+    fn distance_histogram_clamps_overflow_and_merges() {
+        let mut a = DistanceHistogram::new(10.0, 10);
+        a.add(5000.0, 1.0); // beyond the last bin -> clamped into it
+        assert_eq!(a.percentile_km(100.0).unwrap(), 100.0);
+        let mut b = DistanceHistogram::new(10.0, 10);
+        b.add(15.0, 3.0);
+        a.merge(&b);
+        assert_eq!(a.total_weight(), 4.0);
+        assert!(a.mean_km().unwrap() > 15.0);
+    }
+}

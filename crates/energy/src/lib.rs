@@ -1,0 +1,36 @@
+//! Energy models from *Cutting the Electric Bill for Internet-Scale Systems*
+//! (Qureshi et al., SIGCOMM 2009).
+//!
+//! * [`model`] — the cluster power model of §5.1 (adapted from Google's
+//!   empirical study): fixed power, utilization-dependent variable power
+//!   with the `2u − u^1.4` curve, PUE overhead, and the named parameter
+//!   presets the paper sweeps in Figure 15;
+//! * [`fleet`] — the back-of-the-envelope company-wide consumption and cost
+//!   estimates of Figure 1;
+//! * [`network`] — the per-packet router energy argument of §5.2 (why longer
+//!   routes do not meaningfully increase energy);
+//! * [`cost`] — turning power (W) and prices ($/MWh) into dollars.
+//!
+//! ```
+//! use wattroute_energy::model::{ClusterPowerModel, EnergyModelParams};
+//!
+//! // A 2000-server cluster with Google-like elasticity at 30% utilization.
+//! let model = ClusterPowerModel::new(EnergyModelParams::google_2009(), 2000);
+//! let watts = model.power_watts(0.3);
+//! assert!(watts > 0.0);
+//! // An idle cluster still draws most of its peak power at this elasticity.
+//! assert!(model.power_watts(0.0) > 0.5 * model.power_watts(1.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod fleet;
+pub mod model;
+pub mod network;
+
+pub use cost::{energy_cost_dollars, mwh_from_watt_hours};
+pub use fleet::{CompanyEstimate, FleetAssumptions};
+pub use model::{ClusterPowerModel, EnergyModelParams};
+pub use network::RouterEnergyModel;

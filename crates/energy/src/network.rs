@@ -1,0 +1,121 @@
+//! Network (router) energy model — §5.2 "Increase in Routing Energy".
+//!
+//! Price-conscious routing sends some requests on longer network paths. The
+//! paper argues the extra energy is negligible because the energy a packet
+//! dissipates in a core router (~2 mJ total, ~50 µJ incremental) is many
+//! orders of magnitude below the server-side energy per request (Google's
+//! ~1 kJ per search). This module makes that argument computable so the
+//! claim can be checked quantitatively and reported next to the savings.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-router, per-packet energy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterEnergyModel {
+    /// Average (amortised) energy per packet through a core router, in
+    /// joules. The paper derives ~2 mJ from a Cisco GSR 12008 drawing 770 W
+    /// at 540k packets/s.
+    pub average_joules_per_packet: f64,
+    /// Incremental (marginal) energy per additional packet, in joules
+    /// (~50 µJ, because an idle router already draws ~97 % of peak).
+    pub incremental_joules_per_packet: f64,
+    /// Average packets per request (request + response packets for a typical
+    /// CDN hit).
+    pub packets_per_request: f64,
+}
+
+impl Default for RouterEnergyModel {
+    fn default() -> Self {
+        Self {
+            average_joules_per_packet: 2.0e-3,
+            incremental_joules_per_packet: 50.0e-6,
+            packets_per_request: 20.0,
+        }
+    }
+}
+
+impl RouterEnergyModel {
+    /// The paper's reference numbers for the Cisco GSR 12008: 770 W at
+    /// 540 000 mid-sized packets per second.
+    pub fn from_router_measurements(watts: f64, packets_per_second: f64) -> Self {
+        assert!(watts > 0.0 && packets_per_second > 0.0);
+        Self {
+            average_joules_per_packet: watts / packets_per_second,
+            ..Self::default()
+        }
+    }
+
+    /// Marginal energy (J) added by pushing one request through `extra_hops`
+    /// additional core routers.
+    pub fn incremental_energy_per_request(&self, extra_hops: f64) -> f64 {
+        self.incremental_joules_per_packet * self.packets_per_request * extra_hops.max(0.0)
+    }
+
+    /// Amortised (worst-case accounting) energy per request through
+    /// `extra_hops` additional routers.
+    pub fn amortised_energy_per_request(&self, extra_hops: f64) -> f64 {
+        self.average_joules_per_packet * self.packets_per_request * extra_hops.max(0.0)
+    }
+
+    /// Ratio of the *amortised* extra routing energy to the server-side
+    /// energy per request. The paper's argument is that this ratio is tiny
+    /// even with generous assumptions.
+    pub fn overhead_ratio(&self, extra_hops: f64, server_joules_per_request: f64) -> f64 {
+        assert!(server_joules_per_request > 0.0);
+        self.amortised_energy_per_request(extra_hops) / server_joules_per_request
+    }
+
+    /// Extra routing energy in MWh for a given number of rerouted requests.
+    pub fn rerouting_energy_mwh(&self, requests: f64, extra_hops: f64) -> f64 {
+        self.amortised_energy_per_request(extra_hops) * requests.max(0.0) / 3.6e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cisco_gsr_numbers_reproduce_two_millijoules() {
+        let m = RouterEnergyModel::from_router_measurements(770.0, 540_000.0);
+        assert!((m.average_joules_per_packet - 1.43e-3).abs() < 0.3e-3);
+    }
+
+    #[test]
+    fn routing_overhead_is_negligible_vs_search_energy() {
+        // Even 10 extra core-router hops of *amortised* energy are below 5%
+        // of a 1 kJ search; the incremental energy is far smaller still.
+        let m = RouterEnergyModel::default();
+        let ratio = m.overhead_ratio(10.0, 1000.0);
+        assert!(ratio < 0.05, "amortised overhead ratio {ratio}");
+        let incremental = m.incremental_energy_per_request(10.0);
+        assert!(incremental < 0.05, "incremental J per request {incremental}");
+        assert!(incremental / 1000.0 < 1e-4);
+    }
+
+    #[test]
+    fn energy_scales_with_hops_and_requests() {
+        let m = RouterEnergyModel::default();
+        assert_eq!(m.incremental_energy_per_request(0.0), 0.0);
+        assert_eq!(m.incremental_energy_per_request(-3.0), 0.0);
+        let one = m.rerouting_energy_mwh(1.0e9, 1.0);
+        let four = m.rerouting_energy_mwh(1.0e9, 4.0);
+        assert!((four - 4.0 * one).abs() < 1e-9);
+        assert!(one > 0.0);
+    }
+
+    #[test]
+    fn a_billion_rerouted_hits_is_small_in_mwh() {
+        // A billion rerouted requests through 3 extra routers is well under
+        // 100 MWh — compare Figure 1's company totals of 1e5..6e5 MWh.
+        let m = RouterEnergyModel::default();
+        let mwh = m.rerouting_energy_mwh(1.0e9, 3.0);
+        assert!(mwh < 100.0, "got {mwh} MWh");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_server_energy_rejected() {
+        let _ = RouterEnergyModel::default().overhead_ratio(1.0, 0.0);
+    }
+}

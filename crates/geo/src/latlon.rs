@@ -1,0 +1,119 @@
+//! Latitude/longitude coordinates and great-circle distances.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres (IUGG value).
+pub const EARTH_RADIUS_KM: f64 = 6371.0088;
+
+/// A geographic coordinate in decimal degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east (US longitudes are negative).
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Construct a coordinate. Latitude is clamped to `[-90, 90]` and
+    /// longitude normalised to `[-180, 180)`.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        let lat = lat.clamp(-90.0, 90.0);
+        let mut lon = lon % 360.0;
+        if lon >= 180.0 {
+            lon -= 360.0;
+        } else if lon < -180.0 {
+            lon += 360.0;
+        }
+        Self { lat, lon }
+    }
+
+    /// Great-circle (haversine) distance to another coordinate, in km.
+    pub fn distance_km(&self, other: &LatLon) -> f64 {
+        haversine_km(*self, *other)
+    }
+}
+
+/// Great-circle distance between two coordinates using the haversine formula.
+///
+/// Accurate to well under 0.5 % for the continental-US distances this
+/// workspace cares about, which is far more precise than the "coarse proxy
+/// for network distance" role the metric plays in the paper.
+pub fn haversine_km(a: LatLon, b: LatLon) -> f64 {
+    let lat1 = a.lat.to_radians();
+    let lat2 = b.lat.to_radians();
+    let dlat = (b.lat - a.lat).to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = LatLon::new(42.36, -71.06);
+        assert!(haversine_km(p, p) < 1e-9);
+    }
+
+    #[test]
+    fn boston_to_nyc_about_300km() {
+        let boston = LatLon::new(42.36, -71.06);
+        let nyc = LatLon::new(40.71, -74.01);
+        let d = haversine_km(boston, nyc);
+        assert!((d - 306.0).abs() < 15.0, "got {d}");
+    }
+
+    #[test]
+    fn boston_to_chicago_about_1400km() {
+        // The paper quotes ~1400 km for Boston-Chicago (§6.2).
+        let boston = LatLon::new(42.36, -71.06);
+        let chicago = LatLon::new(41.88, -87.63);
+        let d = haversine_km(boston, chicago);
+        assert!((d - 1390.0).abs() < 60.0, "got {d}");
+    }
+
+    #[test]
+    fn boston_to_dc_about_650km() {
+        // The paper quotes ~650 km for Boston-Alexandria VA (§6.2).
+        let boston = LatLon::new(42.36, -71.06);
+        let alexandria = LatLon::new(38.80, -77.05);
+        let d = haversine_km(boston, alexandria);
+        assert!((d - 640.0).abs() < 50.0, "got {d}");
+    }
+
+    #[test]
+    fn coast_to_coast_about_4100km() {
+        let palo_alto = LatLon::new(37.44, -122.14);
+        let nyc = LatLon::new(40.71, -74.01);
+        let d = haversine_km(palo_alto, nyc);
+        assert!(d > 3900.0 && d < 4300.0, "got {d}");
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = LatLon::new(30.0, -97.0);
+        let b = LatLon::new(47.6, -122.3);
+        assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latitude_clamped_and_longitude_normalised() {
+        let p = LatLon::new(95.0, 190.0);
+        assert_eq!(p.lat, 90.0);
+        assert_eq!(p.lon, -170.0);
+        let q = LatLon::new(-95.0, -190.0);
+        assert_eq!(q.lat, -90.0);
+        assert_eq!(q.lon, 170.0);
+    }
+
+    #[test]
+    fn method_matches_function() {
+        let a = LatLon::new(30.0, -97.0);
+        let b = LatLon::new(47.6, -122.3);
+        assert_eq!(a.distance_km(&b), haversine_km(a, b));
+    }
+}

@@ -1,0 +1,50 @@
+//! Geography substrate for the `wattroute` workspace.
+//!
+//! The paper's simulation needs three geographic ingredients:
+//!
+//! 1. **Electricity market hubs** — the 29 wholesale-market locations (plus
+//!    the non-market Pacific Northwest hub) whose prices drive routing
+//!    decisions, each attached to its Regional Transmission Organization
+//!    (Figure 2 of the paper).
+//! 2. **US states as client populations** — the Akamai trace localises
+//!    clients to US states; request volume is proportional to population and
+//!    follows each state's local time of day.
+//! 3. **Distances** — a population-density-weighted geographic distance from
+//!    a client state to a server hub is used as a coarse proxy for network
+//!    performance (§6.1 of the paper), and hub-to-hub distances are needed
+//!    for the correlation-vs-distance analysis (Figure 8).
+//!
+//! All data are embedded constants (US Census population estimates and
+//! public hub coordinates); no external data files are required.
+//!
+//! # Example
+//!
+//! ```
+//! use wattroute_geo::{hubs, state::UsState, distance};
+//!
+//! let boston = hubs::hub(hubs::HubId::BostonMa);
+//! let chicago = hubs::hub(hubs::HubId::ChicagoIl);
+//! let d = distance::hub_to_hub_km(boston, chicago);
+//! assert!((d - 1400.0).abs() < 150.0, "Boston-Chicago is about 1400 km, got {d}");
+//!
+//! // Population-weighted distance from Massachusetts clients to the NYC hub.
+//! let ma = UsState::MA;
+//! let nyc = hubs::hub(hubs::HubId::NewYorkNy);
+//! let dma = distance::state_to_hub_km(ma, nyc);
+//! assert!(dma > 100.0 && dma < 500.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod hubs;
+pub mod latlon;
+pub mod rto;
+pub mod state;
+
+pub use distance::{hub_to_hub_km, state_to_hub_km};
+pub use hubs::{Hub, HubId};
+pub use latlon::LatLon;
+pub use rto::Rto;
+pub use state::UsState;

@@ -1,0 +1,133 @@
+//! Regional Transmission Organizations (RTOs).
+//!
+//! Each RTO administers a wholesale electricity market and sets hourly
+//! locational prices for the hubs within its footprint (Figure 2 of the
+//! paper). Market boundaries matter: the paper finds that hub pairs in the
+//! *same* RTO are usually well correlated (> 0.6) while pairs straddling a
+//! boundary never are.
+
+use serde::{Deserialize, Serialize};
+
+/// The six organized wholesale markets studied in the paper, plus the
+/// non-market Pacific Northwest (which lacks an hourly wholesale market and
+/// is therefore excluded from the routing analysis, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Rto {
+    /// ISO New England (Boston, Maine, Connecticut, ...).
+    IsoNe,
+    /// New York ISO (NYC, Albany, Buffalo, ...).
+    Nyiso,
+    /// PJM Interconnection (Chicago, Virginia, New Jersey, ...).
+    Pjm,
+    /// Midwest ISO (Peoria, Minnesota, Indiana, ...).
+    Miso,
+    /// California ISO (Palo Alto / NP15, Los Angeles / SP15).
+    Caiso,
+    /// Electric Reliability Council of Texas (Dallas, Austin, Houston).
+    Ercot,
+    /// Pacific Northwest (Mid-Columbia); hydro-dominated, no hourly
+    /// wholesale market, excluded from the routing simulations.
+    NonMarketNorthwest,
+}
+
+impl Rto {
+    /// All RTOs with an hourly wholesale market (i.e. excluding the
+    /// Northwest), in a stable order.
+    pub const MARKETS: [Rto; 6] = [
+        Rto::IsoNe,
+        Rto::Nyiso,
+        Rto::Pjm,
+        Rto::Miso,
+        Rto::Caiso,
+        Rto::Ercot,
+    ];
+
+    /// Every region including the non-market Northwest.
+    pub const ALL: [Rto; 7] = [
+        Rto::IsoNe,
+        Rto::Nyiso,
+        Rto::Pjm,
+        Rto::Miso,
+        Rto::Caiso,
+        Rto::Ercot,
+        Rto::NonMarketNorthwest,
+    ];
+
+    /// Abbreviated name as used in the paper ("ISONE", "NYISO", ...).
+    pub fn abbreviation(&self) -> &'static str {
+        match self {
+            Rto::IsoNe => "ISONE",
+            Rto::Nyiso => "NYISO",
+            Rto::Pjm => "PJM",
+            Rto::Miso => "MISO",
+            Rto::Caiso => "CAISO",
+            Rto::Ercot => "ERCOT",
+            Rto::NonMarketNorthwest => "NW (no RTO)",
+        }
+    }
+
+    /// Human-readable region description (the "Region" column of Figure 2).
+    pub fn region(&self) -> &'static str {
+        match self {
+            Rto::IsoNe => "New England",
+            Rto::Nyiso => "New York",
+            Rto::Pjm => "Eastern",
+            Rto::Miso => "Midwest",
+            Rto::Caiso => "California",
+            Rto::Ercot => "Texas",
+            Rto::NonMarketNorthwest => "Pacific Northwest",
+        }
+    }
+
+    /// Whether this region runs hourly wholesale markets usable by the
+    /// price-conscious router.
+    pub fn has_hourly_market(&self) -> bool {
+        !matches!(self, Rto::NonMarketNorthwest)
+    }
+}
+
+impl std::fmt::Display for Rto {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.abbreviation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_market_regions() {
+        assert_eq!(Rto::MARKETS.len(), 6);
+        assert!(Rto::MARKETS.iter().all(|r| r.has_hourly_market()));
+    }
+
+    #[test]
+    fn northwest_has_no_market() {
+        assert!(!Rto::NonMarketNorthwest.has_hourly_market());
+        assert_eq!(Rto::ALL.len(), 7);
+    }
+
+    #[test]
+    fn abbreviations_are_unique() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = Rto::ALL.iter().map(|r| r.abbreviation()).collect();
+        assert_eq!(set.len(), Rto::ALL.len());
+    }
+
+    #[test]
+    fn display_matches_abbreviation() {
+        assert_eq!(Rto::Caiso.to_string(), "CAISO");
+        assert_eq!(format!("{}", Rto::IsoNe), "ISONE");
+    }
+
+    #[test]
+    fn regions_match_paper_figure_2() {
+        assert_eq!(Rto::IsoNe.region(), "New England");
+        assert_eq!(Rto::Nyiso.region(), "New York");
+        assert_eq!(Rto::Pjm.region(), "Eastern");
+        assert_eq!(Rto::Miso.region(), "Midwest");
+        assert_eq!(Rto::Caiso.region(), "California");
+        assert_eq!(Rto::Ercot.region(), "Texas");
+    }
+}

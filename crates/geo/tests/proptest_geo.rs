@@ -1,0 +1,98 @@
+//! Property-based tests for the geography substrate.
+
+use proptest::prelude::*;
+use wattroute_geo::hubs::{all_hubs, market_hubs, Hub};
+use wattroute_geo::latlon::{haversine_km, LatLon, EARTH_RADIUS_KM};
+use wattroute_geo::state::UsState;
+use wattroute_geo::{distance, hub_to_hub_km, state_to_hub_km};
+
+fn arbitrary_latlon() -> impl Strategy<Value = LatLon> {
+    (-90.0f64..90.0, -180.0f64..180.0).prop_map(|(lat, lon)| LatLon::new(lat, lon))
+}
+
+fn arbitrary_state() -> impl Strategy<Value = UsState> {
+    let states: Vec<UsState> = UsState::all().collect();
+    prop::sample::select(states)
+}
+
+fn arbitrary_hub() -> impl Strategy<Value = &'static Hub> {
+    prop::sample::select(all_hubs().iter().collect::<Vec<_>>())
+}
+
+proptest! {
+    #[test]
+    fn haversine_is_symmetric_and_nonnegative(a in arbitrary_latlon(), b in arbitrary_latlon()) {
+        let d1 = haversine_km(a, b);
+        let d2 = haversine_km(b, a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn haversine_bounded_by_half_circumference(a in arbitrary_latlon(), b in arbitrary_latlon()) {
+        let d = haversine_km(a, b);
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_KM + 1e-6);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(a in arbitrary_latlon(), b in arbitrary_latlon(), c in arbitrary_latlon()) {
+        let ab = haversine_km(a, b);
+        let bc = haversine_km(b, c);
+        let ac = haversine_km(a, c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles(a in arbitrary_latlon()) {
+        prop_assert!(haversine_km(a, a) < 1e-9);
+    }
+
+    #[test]
+    fn state_to_hub_at_least_centroid_distance(state in arbitrary_state(), hub in arbitrary_hub()) {
+        let centroid_d = haversine_km(state.centroid(), hub.location);
+        let weighted = state_to_hub_km(state, hub);
+        prop_assert!(weighted >= centroid_d - 1e-9);
+        prop_assert!(weighted <= centroid_d + state.dispersion_km() + 1e-9);
+    }
+
+    #[test]
+    fn hub_pair_distances_consistent(hub_a in arbitrary_hub(), hub_b in arbitrary_hub()) {
+        let d = hub_to_hub_km(hub_a, hub_b);
+        prop_assert!((d - hub_to_hub_km(hub_b, hub_a)).abs() < 1e-9);
+        if hub_a.id == hub_b.id {
+            prop_assert!(d < 1e-9);
+        }
+    }
+
+    #[test]
+    fn threshold_filtering_is_sound(state in arbitrary_state(), threshold in 0.0f64..4000.0) {
+        let hubs = market_hubs();
+        let within = distance::hubs_within_threshold(state, &hubs, threshold);
+        prop_assert!(!within.is_empty(), "fallback must always return at least one hub");
+        // Sorted ascending and distances consistent with the metric.
+        for w in within.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-9);
+        }
+        for (i, d) in &within {
+            prop_assert!((state_to_hub_km(state, hubs[*i]) - d).abs() < 1e-9);
+        }
+        // Either all results are within the threshold, or the fallback rule
+        // applied (nearest + 50 km neighbourhood).
+        let all_within = within.iter().all(|(_, d)| *d <= threshold);
+        if !all_within {
+            let nearest = within[0].1;
+            prop_assert!(nearest > threshold);
+            prop_assert!(within.iter().all(|(_, d)| *d <= nearest + 50.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn nearest_hub_is_argmin(state in arbitrary_state()) {
+        let hubs = market_hubs();
+        let (idx, d) = distance::nearest_hub_index(state, &hubs).unwrap();
+        for (i, h) in hubs.iter().enumerate() {
+            let di = state_to_hub_km(state, h);
+            prop_assert!(d <= di + 1e-9, "hub {i} closer than chosen {idx}");
+        }
+    }
+}

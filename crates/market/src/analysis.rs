@@ -1,0 +1,304 @@
+//! Cross-hub market analysis: correlation structure, volatility windows and
+//! hour-to-hour change distributions (§3.1–3.2, Figures 5–8).
+
+use crate::types::{PriceSeries, PriceSet};
+use serde::{Deserialize, Serialize};
+use wattroute_geo::{hubs, hub_to_hub_km, HubId, Rto};
+use wattroute_stats::{correlation, descriptive, timeseries, Histogram};
+
+/// One point of the correlation-vs-distance scatter plot (Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairCorrelation {
+    /// First hub of the pair.
+    pub hub_a: HubId,
+    /// Second hub of the pair.
+    pub hub_b: HubId,
+    /// Great-circle distance between the hubs in km.
+    pub distance_km: f64,
+    /// Pearson correlation coefficient of the hourly prices.
+    pub correlation: f64,
+    /// Mutual information of the hourly prices in bits (footnote 8).
+    pub mutual_information: f64,
+    /// Whether both hubs belong to the same RTO.
+    pub same_rto: bool,
+    /// RTO of hub A.
+    pub rto_a: Rto,
+    /// RTO of hub B.
+    pub rto_b: Rto,
+}
+
+/// Compute the pairwise correlation structure of a price set: one entry per
+/// unordered pair of hubs present in the set.
+pub fn pairwise_correlations(set: &PriceSet) -> Vec<PairCorrelation> {
+    let mut out = Vec::new();
+    let series = &set.series;
+    for i in 0..series.len() {
+        for j in i + 1..series.len() {
+            let a = &series[i];
+            let b = &series[j];
+            let (Some(corr), Some(mi)) = (
+                correlation::pearson(&a.prices, &b.prices),
+                correlation::mutual_information(&a.prices, &b.prices, 8),
+            ) else {
+                continue;
+            };
+            let hub_a = hubs::hub(a.hub);
+            let hub_b = hubs::hub(b.hub);
+            out.push(PairCorrelation {
+                hub_a: a.hub,
+                hub_b: b.hub,
+                distance_km: hub_to_hub_km(hub_a, hub_b),
+                correlation: corr,
+                mutual_information: mi,
+                same_rto: hub_a.rto == hub_b.rto,
+                rto_a: hub_a.rto,
+                rto_b: hub_b.rto,
+            });
+        }
+    }
+    out
+}
+
+/// Summary of the Figure 8 scatter: average correlation of same-RTO pairs,
+/// average correlation of different-RTO pairs, and the fraction of same-RTO
+/// pairs above a correlation threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationSummary {
+    /// Mean correlation over pairs within the same RTO.
+    pub mean_same_rto: f64,
+    /// Mean correlation over pairs straddling RTO boundaries.
+    pub mean_cross_rto: f64,
+    /// Fraction of same-RTO pairs whose correlation exceeds 0.6 (the paper's
+    /// visual dividing line in Figure 8).
+    pub same_rto_above_06: f64,
+    /// Fraction of cross-RTO pairs whose correlation exceeds 0.6.
+    pub cross_rto_above_06: f64,
+    /// Number of same-RTO pairs.
+    pub n_same: usize,
+    /// Number of cross-RTO pairs.
+    pub n_cross: usize,
+}
+
+/// Summarise a set of pairwise correlations.
+pub fn correlation_summary(pairs: &[PairCorrelation]) -> Option<CorrelationSummary> {
+    let same: Vec<f64> = pairs.iter().filter(|p| p.same_rto).map(|p| p.correlation).collect();
+    let cross: Vec<f64> = pairs.iter().filter(|p| !p.same_rto).map(|p| p.correlation).collect();
+    if same.is_empty() || cross.is_empty() {
+        return None;
+    }
+    Some(CorrelationSummary {
+        mean_same_rto: descriptive::mean(&same)?,
+        mean_cross_rto: descriptive::mean(&cross)?,
+        same_rto_above_06: same.iter().filter(|&&c| c > 0.6).count() as f64 / same.len() as f64,
+        cross_rto_above_06: cross.iter().filter(|&&c| c > 0.6).count() as f64 / cross.len() as f64,
+        n_same: same.len(),
+        n_cross: cross.len(),
+    })
+}
+
+/// Standard deviation of a price series after averaging over windows of
+/// different lengths — the quantity tabulated in Figure 5. Window lengths
+/// are given in *samples* of the series (so 12 means one hour for a
+/// five-minute series and 12 hours for an hourly series).
+pub fn windowed_std_devs(series: &PriceSeries, windows_samples: &[usize]) -> Vec<(usize, f64)> {
+    windows_samples
+        .iter()
+        .filter_map(|&w| {
+            let averaged = timeseries::window_average(&series.prices, w.max(1));
+            descriptive::std_dev(&averaged).map(|sd| (w, sd))
+        })
+        .collect()
+}
+
+/// Distribution of hour-to-hour price changes for one hub (Figure 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HourlyChangeDistribution {
+    /// Hub analysed.
+    pub hub: HubId,
+    /// Mean of the change distribution ($/MWh).
+    pub mean: f64,
+    /// Standard deviation ($/MWh).
+    pub std_dev: f64,
+    /// Kurtosis (non-excess).
+    pub kurtosis: f64,
+    /// Fraction of hours with |change| ≥ $20/MWh (the paper reports ~20 %).
+    pub fraction_change_at_least_20: f64,
+    /// Histogram of changes over `[-50, 50)` $/MWh in $2.5 bins.
+    pub histogram: Histogram,
+}
+
+/// Compute the hour-to-hour change distribution for a series.
+pub fn hourly_change_distribution(series: &PriceSeries) -> Option<HourlyChangeDistribution> {
+    let diffs = timeseries::diff_series(&series.hourly_prices());
+    if diffs.is_empty() {
+        return None;
+    }
+    let histogram = Histogram::from_samples(-50.0, 50.0, 40, &diffs);
+    Some(HourlyChangeDistribution {
+        hub: series.hub,
+        mean: descriptive::mean(&diffs)?,
+        std_dev: descriptive::std_dev(&diffs)?,
+        kurtosis: descriptive::kurtosis(&diffs).unwrap_or(f64::NAN),
+        fraction_change_at_least_20: wattroute_stats::quantiles::fraction_abs_at_least(&diffs, 20.0)?,
+        histogram,
+    })
+}
+
+/// Per-hub summary row of Figure 6: 1 %-trimmed mean, standard deviation
+/// and kurtosis of hourly real-time prices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HubPriceStats {
+    /// Hub analysed.
+    pub hub: HubId,
+    /// RTO of the hub.
+    pub rto: Rto,
+    /// 1 %-trimmed mean ($/MWh).
+    pub trimmed_mean: f64,
+    /// 1 %-trimmed standard deviation ($/MWh).
+    pub trimmed_std_dev: f64,
+    /// 1 %-trimmed kurtosis.
+    pub trimmed_kurtosis: f64,
+    /// Ratio of the maximum to minimum daily price, averaged across days —
+    /// §3.1 notes intra-day max/min ratios of 2 or more are easy to find.
+    pub mean_daily_max_min_ratio: f64,
+}
+
+/// Compute Figure 6 style statistics for a price series.
+pub fn hub_price_stats(series: &PriceSeries) -> Option<HubPriceStats> {
+    let hourly = series.hourly_prices();
+    let trimmed = descriptive::trimmed(&hourly, 0.01)?;
+    // Average intra-day max/min ratio over whole days with positive minima.
+    let mut ratios = Vec::new();
+    for day in hourly.chunks(24) {
+        if day.len() == 24 {
+            let lo = descriptive::min(day)?;
+            let hi = descriptive::max(day)?;
+            if lo > 1.0 {
+                ratios.push(hi / lo);
+            }
+        }
+    }
+    Some(HubPriceStats {
+        hub: series.hub,
+        rto: hubs::hub(series.hub).rto,
+        trimmed_mean: trimmed.mean,
+        trimmed_std_dev: trimmed.std_dev,
+        trimmed_kurtosis: trimmed.kurtosis,
+        mean_daily_max_min_ratio: descriptive::mean(&ratios).unwrap_or(f64::NAN),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::PriceGenerator;
+    use crate::model::MarketModel;
+    use crate::time::{HourRange, SimHour};
+
+    fn generated_set(seed: u64, days: u64) -> PriceSet {
+        let g = PriceGenerator::new(MarketModel::calibrated(), seed);
+        let start = SimHour::from_date(2006, 2, 1);
+        g.realtime_hourly(HourRange::new(start, start.plus_hours(days * 24)))
+    }
+
+    #[test]
+    fn pairwise_correlations_cover_all_pairs() {
+        let set = generated_set(101, 60);
+        let pairs = pairwise_correlations(&set);
+        // 30 hubs -> 435 unordered pairs.
+        assert_eq!(pairs.len(), 30 * 29 / 2);
+        for p in &pairs {
+            assert!(p.correlation >= -1.0 && p.correlation <= 1.0);
+            assert!(p.mutual_information >= 0.0);
+            assert!(p.distance_km >= 0.0);
+        }
+    }
+
+    #[test]
+    fn same_rto_pairs_are_better_correlated() {
+        // The qualitative claim of Figure 8.
+        let set = generated_set(103, 90);
+        let pairs = pairwise_correlations(&set);
+        let summary = correlation_summary(&pairs).unwrap();
+        assert!(
+            summary.mean_same_rto > summary.mean_cross_rto + 0.1,
+            "same-RTO {} should exceed cross-RTO {}",
+            summary.mean_same_rto,
+            summary.mean_cross_rto
+        );
+        assert!(summary.same_rto_above_06 > 0.5);
+        assert!(summary.cross_rto_above_06 < 0.5);
+        assert_eq!(summary.n_same + summary.n_cross, pairs.len());
+    }
+
+    #[test]
+    fn california_hubs_are_tightly_coupled() {
+        // §3.2: "LA and Palo Alto have a coefficient of 0.94".
+        let set = generated_set(105, 90);
+        let pairs = pairwise_correlations(&set);
+        let ca = pairs
+            .iter()
+            .find(|p| {
+                (p.hub_a == HubId::PaloAltoCa && p.hub_b == HubId::LosAngelesCa)
+                    || (p.hub_a == HubId::LosAngelesCa && p.hub_b == HubId::PaloAltoCa)
+            })
+            .unwrap();
+        assert!(ca.correlation > 0.85, "CAISO internal correlation = {}", ca.correlation);
+    }
+
+    #[test]
+    fn correlation_decreases_with_distance_on_average() {
+        let set = generated_set(107, 60);
+        let pairs = pairwise_correlations(&set);
+        let near: Vec<f64> = pairs.iter().filter(|p| p.distance_km < 500.0).map(|p| p.correlation).collect();
+        let far: Vec<f64> = pairs.iter().filter(|p| p.distance_km > 2500.0).map(|p| p.correlation).collect();
+        let near_mean = descriptive::mean(&near).unwrap();
+        let far_mean = descriptive::mean(&far).unwrap();
+        assert!(near_mean > far_mean, "near {near_mean} vs far {far_mean}");
+    }
+
+    #[test]
+    fn windowed_std_dev_decreases_with_window() {
+        let set = generated_set(109, 90);
+        let nyc = set.for_hub(HubId::NewYorkNy).unwrap();
+        let rows = windowed_std_devs(nyc, &[1, 3, 12, 24]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].1 > rows[3].1, "σ should fall with averaging window: {rows:?}");
+    }
+
+    #[test]
+    fn hourly_change_distribution_matches_figure_7_shape() {
+        let set = generated_set(111, 90);
+        let palo = set.for_hub(HubId::PaloAltoCa).unwrap();
+        let dist = hourly_change_distribution(palo).unwrap();
+        assert!(dist.mean.abs() < 2.0, "mean change should be ~0, got {}", dist.mean);
+        assert!(dist.kurtosis > 3.5, "changes should be heavy-tailed, got {}", dist.kurtosis);
+        assert!(dist.fraction_change_at_least_20 > 0.02);
+        assert!(dist.fraction_change_at_least_20 < 0.6);
+        assert_eq!(dist.histogram.bins(), 40);
+    }
+
+    #[test]
+    fn hub_price_stats_row() {
+        let set = generated_set(113, 90);
+        let boston = set.for_hub(HubId::BostonMa).unwrap();
+        let row = hub_price_stats(boston).unwrap();
+        assert_eq!(row.rto, Rto::IsoNe);
+        assert!(row.trimmed_mean > 40.0 && row.trimmed_mean < 100.0);
+        assert!(row.trimmed_std_dev > 5.0);
+        assert!(row.mean_daily_max_min_ratio > 1.2, "intra-day swing too small: {}", row.mean_daily_max_min_ratio);
+    }
+
+    #[test]
+    fn degenerate_series_are_rejected() {
+        let flat = PriceSeries::new(
+            HubId::BostonMa,
+            crate::types::MarketKind::RealTimeHourly,
+            SimHour(0),
+            vec![50.0],
+        );
+        assert!(hourly_change_distribution(&flat).is_none());
+        let empty_pairs: Vec<PairCorrelation> = Vec::new();
+        assert!(correlation_summary(&empty_pairs).is_none());
+    }
+}

@@ -1,0 +1,362 @@
+//! A simplified wholesale market clearing model (§2.2 of the paper).
+//!
+//! "Generally speaking, the most expensive active generation resource
+//! determines the market clearing price for each hour. The RTO attempts to
+//! meet expected demand by activating the set of resources with the lowest
+//! operating costs."
+//!
+//! This module implements that mechanism directly: a *supply stack* of
+//! generation resources ordered by marginal cost, a demand level, and a
+//! uniform-price clearing rule. It grounds the statistical price generator
+//! (the diurnal/seasonal shape of prices is exactly what a supply stack
+//! produces as demand moves up and down it) and provides the machinery the
+//! demand-response analysis (§7) needs: *negawatt* bids enter the auction as
+//! demand reductions and lower the clearing price.
+
+use serde::{Deserialize, Serialize};
+
+/// A generation fuel class, ordered roughly by typical marginal cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuelType {
+    /// Run-of-river / reservoir hydro (near-zero marginal cost).
+    Hydro,
+    /// Wind (zero marginal cost, non-dispatchable).
+    Wind,
+    /// Nuclear base load.
+    Nuclear,
+    /// Coal base load.
+    Coal,
+    /// Combined-cycle natural gas.
+    NaturalGasCombinedCycle,
+    /// Natural gas peaker turbines.
+    NaturalGasPeaker,
+    /// Oil-fired peakers (rarely run, very expensive).
+    Oil,
+}
+
+impl FuelType {
+    /// Typical marginal cost in $/MWh (2006-2009 era, order-of-magnitude).
+    pub fn typical_marginal_cost(&self) -> f64 {
+        match self {
+            FuelType::Hydro => 5.0,
+            FuelType::Wind => 0.0,
+            FuelType::Nuclear => 10.0,
+            FuelType::Coal => 25.0,
+            FuelType::NaturalGasCombinedCycle => 55.0,
+            FuelType::NaturalGasPeaker => 110.0,
+            FuelType::Oil => 180.0,
+        }
+    }
+
+    /// Approximate carbon intensity in metric tons of CO₂ per MWh, used by
+    /// the carbon-aware routing extension (§8 "Environmental Cost").
+    pub fn carbon_intensity_tons_per_mwh(&self) -> f64 {
+        match self {
+            FuelType::Hydro | FuelType::Wind | FuelType::Nuclear => 0.0,
+            FuelType::Coal => 0.95,
+            FuelType::NaturalGasCombinedCycle => 0.40,
+            FuelType::NaturalGasPeaker => 0.55,
+            FuelType::Oil => 0.80,
+        }
+    }
+}
+
+/// A supply offer: a block of capacity offered at a marginal price.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupplyOffer {
+    /// Fuel class of the offering resource.
+    pub fuel: FuelType,
+    /// Offered capacity in MW.
+    pub capacity_mw: f64,
+    /// Offer price in $/MWh.
+    pub price: f64,
+}
+
+/// A demand bid: a quantity of load, optionally price-sensitive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandBid {
+    /// Demanded quantity in MW.
+    pub quantity_mw: f64,
+    /// Maximum price the consumer will pay; `None` means price-insensitive
+    /// (must-serve load).
+    pub max_price: Option<f64>,
+}
+
+/// Result of clearing one hour of the market.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClearingResult {
+    /// Uniform clearing price in $/MWh.
+    pub clearing_price: f64,
+    /// Total cleared demand in MW.
+    pub cleared_demand_mw: f64,
+    /// Total dispatched supply in MW (equals cleared demand when feasible).
+    pub dispatched_supply_mw: f64,
+    /// Weighted-average carbon intensity of the dispatched mix (tCO₂/MWh).
+    pub carbon_intensity: f64,
+    /// Whether demand exceeded total offered supply (scarcity).
+    pub scarcity: bool,
+}
+
+/// A single-hour uniform-price auction.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Auction {
+    offers: Vec<SupplyOffer>,
+    bids: Vec<DemandBid>,
+}
+
+impl Auction {
+    /// Create an empty auction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a supply offer.
+    pub fn offer(&mut self, offer: SupplyOffer) -> &mut Self {
+        assert!(offer.capacity_mw >= 0.0 && offer.price.is_finite());
+        self.offers.push(offer);
+        self
+    }
+
+    /// Add a demand bid.
+    pub fn bid(&mut self, bid: DemandBid) -> &mut Self {
+        assert!(bid.quantity_mw >= 0.0);
+        self.bids.push(bid);
+        self
+    }
+
+    /// A representative regional supply stack, scaled to a peak capacity in
+    /// MW. The mix loosely follows the national generation shares quoted in
+    /// §2.2 (coal ~50 %, gas ~20 %, nuclear ~20 %, hydro ~6 %).
+    pub fn with_typical_stack(peak_capacity_mw: f64) -> Self {
+        let mut auction = Self::new();
+        let shares = [
+            (FuelType::Wind, 0.02),
+            (FuelType::Hydro, 0.06),
+            (FuelType::Nuclear, 0.20),
+            (FuelType::Coal, 0.42),
+            (FuelType::NaturalGasCombinedCycle, 0.18),
+            (FuelType::NaturalGasPeaker, 0.09),
+            (FuelType::Oil, 0.03),
+        ];
+        for (fuel, share) in shares {
+            auction.offer(SupplyOffer {
+                fuel,
+                capacity_mw: peak_capacity_mw * share,
+                price: fuel.typical_marginal_cost(),
+            });
+        }
+        auction
+    }
+
+    /// Clear the market: serve bids in descending willingness-to-pay using
+    /// offers in ascending price; the price of the marginal dispatched offer
+    /// sets the uniform clearing price.
+    pub fn clear(&self) -> ClearingResult {
+        let mut offers = self.offers.clone();
+        offers.sort_by(|a, b| a.price.partial_cmp(&b.price).expect("finite offer prices"));
+        let mut bids = self.bids.clone();
+        bids.sort_by(|a, b| {
+            let pa = a.max_price.unwrap_or(f64::INFINITY);
+            let pb = b.max_price.unwrap_or(f64::INFINITY);
+            pb.partial_cmp(&pa).expect("finite bid prices")
+        });
+
+        let total_supply: f64 = offers.iter().map(|o| o.capacity_mw).sum();
+
+        let mut cleared = 0.0f64;
+        let mut dispatched = 0.0f64;
+        let mut clearing_price = offers.first().map(|o| o.price).unwrap_or(0.0);
+        let mut carbon_weighted = 0.0f64;
+
+        let mut offer_idx = 0usize;
+        let mut remaining_in_offer = offers.first().map(|o| o.capacity_mw).unwrap_or(0.0);
+
+        'bids: for bid in &bids {
+            let mut to_serve = bid.quantity_mw;
+            while to_serve > 1e-9 {
+                if offer_idx >= offers.len() {
+                    // Out of supply: scarcity. Unserved demand is dropped.
+                    break 'bids;
+                }
+                let offer = &offers[offer_idx];
+                // A price-sensitive bid stops being served once the marginal
+                // offer exceeds its willingness to pay.
+                if let Some(max_price) = bid.max_price {
+                    if offer.price > max_price {
+                        break;
+                    }
+                }
+                let take = to_serve.min(remaining_in_offer);
+                if take > 0.0 {
+                    to_serve -= take;
+                    cleared += take;
+                    dispatched += take;
+                    clearing_price = clearing_price.max(offer.price);
+                    carbon_weighted += take * offer.fuel.carbon_intensity_tons_per_mwh();
+                    remaining_in_offer -= take;
+                }
+                if remaining_in_offer <= 1e-9 {
+                    offer_idx += 1;
+                    remaining_in_offer = offers.get(offer_idx).map(|o| o.capacity_mw).unwrap_or(0.0);
+                }
+            }
+        }
+
+        let total_demand: f64 = bids
+            .iter()
+            .filter(|b| b.max_price.is_none())
+            .map(|b| b.quantity_mw)
+            .sum();
+        ClearingResult {
+            clearing_price,
+            cleared_demand_mw: cleared,
+            dispatched_supply_mw: dispatched,
+            carbon_intensity: if dispatched > 0.0 { carbon_weighted / dispatched } else { 0.0 },
+            scarcity: total_demand > total_supply + 1e-9,
+        }
+    }
+
+    /// Clear the market with an additional *negawatt* (demand-reduction) bid
+    /// of the given size: the reduction is modelled by subtracting the
+    /// negawatts from the largest price-insensitive bid before clearing.
+    /// Returns the new clearing result. This is the §7 "Selling Flexibility"
+    /// mechanism: bidding load reductions into the day-ahead auction
+    /// moderates prices.
+    pub fn clear_with_negawatts(&self, negawatts_mw: f64) -> ClearingResult {
+        let mut reduced = self.clone();
+        let mut remaining = negawatts_mw.max(0.0);
+        // Reduce price-insensitive bids first (they are the load the data
+        // center actually controls).
+        reduced
+            .bids
+            .sort_by(|a, b| b.quantity_mw.partial_cmp(&a.quantity_mw).expect("finite"));
+        for bid in &mut reduced.bids {
+            if bid.max_price.is_none() && remaining > 0.0 {
+                let cut = bid.quantity_mw.min(remaining);
+                bid.quantity_mw -= cut;
+                remaining -= cut;
+            }
+        }
+        reduced.clear()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn must_serve(mw: f64) -> DemandBid {
+        DemandBid { quantity_mw: mw, max_price: None }
+    }
+
+    #[test]
+    fn clearing_price_is_marginal_offer() {
+        let mut a = Auction::new();
+        a.offer(SupplyOffer { fuel: FuelType::Nuclear, capacity_mw: 100.0, price: 10.0 });
+        a.offer(SupplyOffer { fuel: FuelType::Coal, capacity_mw: 100.0, price: 25.0 });
+        a.offer(SupplyOffer { fuel: FuelType::NaturalGasPeaker, capacity_mw: 100.0, price: 110.0 });
+        a.bid(must_serve(150.0));
+        let r = a.clear();
+        assert_eq!(r.clearing_price, 25.0);
+        assert!((r.cleared_demand_mw - 150.0).abs() < 1e-9);
+        assert!(!r.scarcity);
+    }
+
+    #[test]
+    fn rising_demand_activates_expensive_units() {
+        // "When demand rises, additional resources, such as natural gas
+        // turbines, need to be activated" — price jumps when peakers run.
+        let stack = Auction::with_typical_stack(1000.0);
+        let low = {
+            let mut a = stack.clone();
+            a.bid(must_serve(400.0));
+            a.clear()
+        };
+        let high = {
+            let mut a = stack.clone();
+            a.bid(must_serve(950.0));
+            a.clear()
+        };
+        assert!(low.clearing_price < high.clearing_price);
+        assert!(high.clearing_price >= FuelType::NaturalGasPeaker.typical_marginal_cost());
+    }
+
+    #[test]
+    fn scarcity_detected_when_demand_exceeds_supply() {
+        let mut a = Auction::with_typical_stack(500.0);
+        a.bid(must_serve(600.0));
+        let r = a.clear();
+        assert!(r.scarcity);
+        assert!(r.dispatched_supply_mw <= 500.0 + 1e-6);
+    }
+
+    #[test]
+    fn price_sensitive_bid_declines_expensive_power() {
+        let mut a = Auction::new();
+        a.offer(SupplyOffer { fuel: FuelType::Coal, capacity_mw: 50.0, price: 25.0 });
+        a.offer(SupplyOffer { fuel: FuelType::Oil, capacity_mw: 50.0, price: 180.0 });
+        a.bid(DemandBid { quantity_mw: 80.0, max_price: Some(100.0) });
+        let r = a.clear();
+        // Only the coal block clears; the bid refuses oil at $180.
+        assert!((r.cleared_demand_mw - 50.0).abs() < 1e-9);
+        assert_eq!(r.clearing_price, 25.0);
+    }
+
+    #[test]
+    fn negawatts_lower_the_clearing_price() {
+        let mut a = Auction::with_typical_stack(1000.0);
+        a.bid(must_serve(950.0));
+        let before = a.clear();
+        let after = a.clear_with_negawatts(120.0);
+        assert!(
+            after.clearing_price < before.clearing_price,
+            "negawatts should moderate prices: {} -> {}",
+            before.clearing_price,
+            after.clearing_price
+        );
+    }
+
+    #[test]
+    fn negawatts_beyond_load_are_harmless() {
+        let mut a = Auction::with_typical_stack(1000.0);
+        a.bid(must_serve(300.0));
+        let r = a.clear_with_negawatts(1_000.0);
+        assert_eq!(r.cleared_demand_mw, 0.0);
+        assert!(!r.scarcity);
+    }
+
+    #[test]
+    fn carbon_intensity_tracks_dispatched_mix() {
+        // Low demand is served by clean base load; high demand brings coal
+        // and gas online and raises the average carbon intensity.
+        let stack = Auction::with_typical_stack(1000.0);
+        let low = {
+            let mut a = stack.clone();
+            a.bid(must_serve(250.0));
+            a.clear()
+        };
+        let high = {
+            let mut a = stack.clone();
+            a.bid(must_serve(900.0));
+            a.clear()
+        };
+        assert!(low.carbon_intensity < high.carbon_intensity);
+        assert!(high.carbon_intensity > 0.3 && high.carbon_intensity < 1.0);
+    }
+
+    #[test]
+    fn empty_auction_clears_to_zero() {
+        let r = Auction::new().clear();
+        assert_eq!(r.cleared_demand_mw, 0.0);
+        assert_eq!(r.clearing_price, 0.0);
+        assert!(!r.scarcity);
+    }
+
+    #[test]
+    fn fuel_metadata_is_ordered_sensibly() {
+        assert!(FuelType::Nuclear.typical_marginal_cost() < FuelType::Coal.typical_marginal_cost());
+        assert!(FuelType::Coal.typical_marginal_cost() < FuelType::NaturalGasPeaker.typical_marginal_cost());
+        assert_eq!(FuelType::Wind.carbon_intensity_tons_per_mwh(), 0.0);
+        assert!(FuelType::Coal.carbon_intensity_tons_per_mwh() > FuelType::NaturalGasCombinedCycle.carbon_intensity_tons_per_mwh());
+    }
+}

@@ -1,0 +1,254 @@
+//! Demand-response participation models (§7 of the paper, "Selling
+//! Flexibility").
+//!
+//! Beyond passively reacting to spot prices, a distributed system with
+//! energy-elastic clusters can *sell* its flexibility:
+//!
+//! * **Negawatt bids** — offering load reductions into the day-ahead
+//!   auction ([`crate::auction::Auction::clear_with_negawatts`]).
+//! * **Triggered demand-response programs** — agreeing to shed load when the
+//!   grid operator calls an event, in exchange for capacity payments plus
+//!   per-event energy payments. The paper notes that even consumers using as
+//!   little as 10 kW (a few racks) can participate, and that aggregators
+//!   such as EnerNOC package many small consumers into one bloc.
+//!
+//! This module models a triggered program: enrollment terms, event
+//! generation correlated with price spikes, and the revenue a participating
+//! cluster earns.
+
+use crate::time::HourRange;
+use crate::types::PriceSeries;
+use serde::{Deserialize, Serialize};
+
+/// Terms of a triggered demand-response program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandResponseProgram {
+    /// Capacity payment in $/kW-month for enrolled, verified-reducible load.
+    pub capacity_payment_per_kw_month: f64,
+    /// Energy payment in $/MWh actually curtailed during events.
+    pub event_energy_payment_per_mwh: f64,
+    /// Price above which the grid operator calls an event ($/MWh).
+    pub event_trigger_price: f64,
+    /// Maximum number of event hours per calendar month the participant can
+    /// be called for.
+    pub max_event_hours_per_month: u32,
+    /// Advance notice in hours (from days to minutes in real programs; we
+    /// record it for reporting but the simulation treats response as
+    /// immediate at hourly resolution).
+    pub notice_hours: f64,
+}
+
+impl Default for DemandResponseProgram {
+    /// Terms loosely modelled on 2008-era commercial DR programs.
+    fn default() -> Self {
+        Self {
+            capacity_payment_per_kw_month: 3.5,
+            event_energy_payment_per_mwh: 500.0,
+            event_trigger_price: 200.0,
+            max_event_hours_per_month: 40,
+            notice_hours: 2.0,
+        }
+    }
+}
+
+/// The outcome of enrolling a curtailable load in a program over a period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandResponseOutcome {
+    /// Number of event hours called.
+    pub event_hours: u32,
+    /// Energy curtailed over all events, in MWh.
+    pub curtailed_mwh: f64,
+    /// Capacity revenue over the period, in dollars.
+    pub capacity_revenue: f64,
+    /// Event energy revenue over the period, in dollars.
+    pub event_revenue: f64,
+    /// Number of hours in which an event was called but the monthly cap had
+    /// been reached (missed opportunities).
+    pub capped_hours: u32,
+}
+
+impl DemandResponseOutcome {
+    /// Total revenue.
+    pub fn total_revenue(&self) -> f64 {
+        self.capacity_revenue + self.event_revenue
+    }
+}
+
+/// Simulate enrolling `curtailable_mw` of load at one hub in a triggered
+/// program over the range covered by `prices`.
+///
+/// Events are called whenever the hub's real-time price exceeds the
+/// program's trigger price, up to the monthly cap. The participant curtails
+/// its full enrolled capacity for each event hour.
+pub fn simulate_program(
+    program: &DemandResponseProgram,
+    prices: &PriceSeries,
+    curtailable_mw: f64,
+) -> DemandResponseOutcome {
+    assert!(curtailable_mw >= 0.0, "curtailable load must be non-negative");
+    let hourly = prices.hourly_prices();
+    let range = prices.range();
+    let months = months_in_range(&range);
+
+    let mut event_hours = 0u32;
+    let mut capped_hours = 0u32;
+    let mut curtailed_mwh = 0.0;
+    let mut event_revenue = 0.0;
+    let mut events_this_month = 0u32;
+    let mut current_month = range.start.month_index();
+
+    for (i, &price) in hourly.iter().enumerate() {
+        let hour = range.start.plus_hours(i as u64);
+        if hour.month_index() != current_month {
+            current_month = hour.month_index();
+            events_this_month = 0;
+        }
+        if price >= program.event_trigger_price {
+            if events_this_month < program.max_event_hours_per_month {
+                events_this_month += 1;
+                event_hours += 1;
+                curtailed_mwh += curtailable_mw;
+                event_revenue += curtailable_mw * program.event_energy_payment_per_mwh;
+            } else {
+                capped_hours += 1;
+            }
+        }
+    }
+
+    let capacity_revenue =
+        curtailable_mw * 1000.0 * program.capacity_payment_per_kw_month * months as f64;
+
+    DemandResponseOutcome {
+        event_hours,
+        curtailed_mwh,
+        capacity_revenue,
+        event_revenue,
+        capped_hours,
+    }
+}
+
+/// Number of (whole or partial) calendar months touched by a range.
+fn months_in_range(range: &HourRange) -> u64 {
+    if range.is_empty() {
+        return 0;
+    }
+    let last = crate::time::SimHour(range.end.0 - 1);
+    last.month_index() - range.start.month_index() + 1
+}
+
+/// An aggregator that packages many small curtailable loads into one bloc
+/// (the EnerNOC model described in §7). The aggregator takes a revenue share
+/// and presents the combined capacity to the program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aggregator {
+    /// Fraction of gross revenue retained by the aggregator.
+    pub revenue_share: f64,
+}
+
+impl Aggregator {
+    /// Create an aggregator taking the given revenue share (clamped to
+    /// `[0, 1]`).
+    pub fn new(revenue_share: f64) -> Self {
+        Self { revenue_share: revenue_share.clamp(0.0, 1.0) }
+    }
+
+    /// Net revenue passed through to participants after aggregation of the
+    /// given per-site outcomes.
+    pub fn participant_revenue(&self, outcomes: &[DemandResponseOutcome]) -> f64 {
+        let gross: f64 = outcomes.iter().map(|o| o.total_revenue()).sum();
+        gross * (1.0 - self.revenue_share)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimHour;
+    use crate::types::MarketKind;
+    use wattroute_geo::HubId;
+
+    fn series_with_spikes(spike_hours: &[usize], len: usize) -> PriceSeries {
+        let mut prices = vec![60.0; len];
+        for &h in spike_hours {
+            prices[h] = 400.0;
+        }
+        PriceSeries::new(HubId::NewYorkNy, MarketKind::RealTimeHourly, SimHour(0), prices)
+    }
+
+    #[test]
+    fn events_fire_on_price_spikes() {
+        let prices = series_with_spikes(&[10, 20, 30], 100);
+        let outcome = simulate_program(&DemandResponseProgram::default(), &prices, 2.0);
+        assert_eq!(outcome.event_hours, 3);
+        assert!((outcome.curtailed_mwh - 6.0).abs() < 1e-9);
+        assert!((outcome.event_revenue - 6.0 * 500.0).abs() < 1e-9);
+        assert_eq!(outcome.capped_hours, 0);
+    }
+
+    #[test]
+    fn monthly_cap_limits_events() {
+        let spike_hours: Vec<usize> = (0..60).collect();
+        let prices = series_with_spikes(&spike_hours, 100);
+        let program = DemandResponseProgram { max_event_hours_per_month: 10, ..Default::default() };
+        let outcome = simulate_program(&program, &prices, 1.0);
+        assert_eq!(outcome.event_hours, 10);
+        assert_eq!(outcome.capped_hours, 50);
+    }
+
+    #[test]
+    fn capacity_revenue_scales_with_months_and_load() {
+        let quiet = PriceSeries::new(
+            HubId::NewYorkNy,
+            MarketKind::RealTimeHourly,
+            SimHour::from_date(2006, 1, 1),
+            vec![50.0; (31 + 28 + 31) * 24], // Jan-Mar 2006
+        );
+        let program = DemandResponseProgram::default();
+        let outcome = simulate_program(&program, &quiet, 0.5);
+        assert_eq!(outcome.event_hours, 0);
+        // 0.5 MW = 500 kW, 3 months.
+        let expected = 500.0 * program.capacity_payment_per_kw_month * 3.0;
+        assert!((outcome.capacity_revenue - expected).abs() < 1e-6);
+        assert_eq!(outcome.total_revenue(), outcome.capacity_revenue);
+    }
+
+    #[test]
+    fn small_participants_can_take_part() {
+        // "Even consumers using as little as 10 kW (a few racks) can
+        // participate" — the model accepts arbitrarily small loads.
+        let prices = series_with_spikes(&[5], 48);
+        let outcome = simulate_program(&DemandResponseProgram::default(), &prices, 0.01);
+        assert_eq!(outcome.event_hours, 1);
+        assert!(outcome.total_revenue() > 0.0);
+    }
+
+    #[test]
+    fn aggregator_takes_its_share() {
+        let prices = series_with_spikes(&[5, 6], 48);
+        let o1 = simulate_program(&DemandResponseProgram::default(), &prices, 1.0);
+        let o2 = simulate_program(&DemandResponseProgram::default(), &prices, 2.0);
+        let agg = Aggregator::new(0.3);
+        let net = agg.participant_revenue(&[o1, o2]);
+        let gross = o1.total_revenue() + o2.total_revenue();
+        assert!((net - gross * 0.7).abs() < 1e-9);
+        // Share is clamped.
+        assert_eq!(Aggregator::new(2.0).revenue_share, 1.0);
+    }
+
+    #[test]
+    fn month_counting() {
+        let r = HourRange::new(SimHour::from_date(2006, 1, 15), SimHour::from_date(2006, 3, 2));
+        assert_eq!(months_in_range(&r), 3);
+        let single = HourRange::new(SimHour::from_date(2006, 5, 1), SimHour::from_date(2006, 5, 20));
+        assert_eq!(months_in_range(&single), 1);
+        let empty = HourRange::new(SimHour(10), SimHour(10));
+        assert_eq!(months_in_range(&empty), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_load_rejected() {
+        let prices = series_with_spikes(&[], 24);
+        let _ = simulate_program(&DemandResponseProgram::default(), &prices, -1.0);
+    }
+}

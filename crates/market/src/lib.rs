@@ -1,0 +1,70 @@
+//! Wholesale electricity market substrate for the `wattroute` workspace.
+//!
+//! Reproduces the market-data side of *Cutting the Electric Bill for
+//! Internet-Scale Systems* (Qureshi et al., SIGCOMM 2009): the paper drives
+//! its routing simulations with 39 months of hourly real-time prices for 29
+//! US hubs plus day-ahead and five-minute series for selected locations.
+//! Those archives are proprietary, so this crate provides:
+//!
+//! * a **calibrated stochastic price model** ([`model::MarketModel`])
+//!   whose marginal statistics, diurnal/seasonal shapes, tail behaviour and
+//!   cross-hub correlation structure match the summary numbers published in
+//!   the paper (Figures 3–10);
+//! * a **deterministic seeded generator** ([`generator::PriceGenerator`])
+//!   producing hourly real-time, day-ahead and five-minute series over any
+//!   calendar range between 2006 and 2009 (and beyond);
+//! * **analysis tooling** for differentials, correlations, volatility
+//!   windows and hour-to-hour changes ([`differential`], [`analysis`]);
+//! * a simplified **uniform-price auction** and **demand-response** model
+//!   (§2.2 and §7 of the paper) in [`auction`] and [`demand_response`];
+//! * a CSV interchange format ([`csv`]) so real RTO archives can be
+//!   substituted for the synthetic data.
+//!
+//! # Quick example
+//!
+//! ```
+//! use wattroute_market::prelude::*;
+//! use wattroute_geo::HubId;
+//!
+//! // Generate six weeks of hourly real-time prices for the nine cluster hubs.
+//! let generator = PriceGenerator::nine_cluster_default(42);
+//! let start = SimHour::from_date(2008, 6, 1);
+//! let range = HourRange::new(start, start.plus_hours(6 * 7 * 24));
+//! let prices = generator.realtime_hourly(range);
+//!
+//! // Ask which hub was cheapest on average, and how exploitable the
+//! // California-Virginia differential is.
+//! let cheapest = prices.cheapest_hub_on_average().unwrap();
+//! let diff = Differential::between(
+//!     prices.for_hub(HubId::PaloAltoCa).unwrap(),
+//!     prices.for_hub(HubId::RichmondVa).unwrap(),
+//! ).unwrap();
+//! let stats = diff.stats().unwrap();
+//! assert!(stats.std_dev > 5.0);
+//! assert!(prices.hubs().contains(&cheapest));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod auction;
+pub mod csv;
+pub mod demand_response;
+pub mod differential;
+pub mod generator;
+pub mod model;
+pub mod rng;
+pub mod time;
+pub mod types;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::differential::{Differential, DifferentialStats};
+    pub use crate::generator::PriceGenerator;
+    pub use crate::model::MarketModel;
+    pub use crate::time::{HourRange, SimHour};
+    pub use crate::types::{DollarsPerMwh, MarketKind, PriceSeries, PriceSet};
+}
+
+pub use prelude::*;

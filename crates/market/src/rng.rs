@@ -1,0 +1,148 @@
+//! Small random-variate helpers on top of `rand`.
+//!
+//! The price process needs Gaussian innovations and exponentially
+//! distributed spike magnitudes. To keep the dependency set small we
+//! implement the two transforms directly instead of pulling in
+//! `rand_distr`.
+
+use rand::Rng;
+
+/// Draw a standard normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draw a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draw an exponential variate with the given mean (scale).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// A first-order autoregressive process `x' = rho * x + sigma * N(0,1)`,
+/// used for the national, RTO-level and hub-level price factors.
+#[derive(Debug, Clone)]
+pub struct Ar1 {
+    /// Autocorrelation coefficient in `[0, 1)`.
+    pub rho: f64,
+    /// Innovation standard deviation.
+    pub sigma: f64,
+    state: f64,
+}
+
+impl Ar1 {
+    /// Create a process starting at zero.
+    pub fn new(rho: f64, sigma: f64) -> Self {
+        assert!((0.0..1.0).contains(&rho), "AR(1) rho must be in [0,1)");
+        assert!(sigma >= 0.0, "AR(1) sigma must be non-negative");
+        Self { rho, sigma, state: 0.0 }
+    }
+
+    /// Stationary standard deviation of the process.
+    pub fn stationary_std(&self) -> f64 {
+        if self.sigma == 0.0 {
+            0.0
+        } else {
+            self.sigma / (1.0 - self.rho * self.rho).sqrt()
+        }
+    }
+
+    /// Advance one step and return the new state.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.state = self.rho * self.state + standard_normal(rng) * self.sigma;
+        self.state
+    }
+
+    /// Current state without advancing.
+    pub fn state(&self) -> f64 {
+        self.state
+    }
+
+    /// Warm the process up so it starts from (approximately) its stationary
+    /// distribution rather than from zero.
+    pub fn warm_up<R: Rng + ?Sized>(&mut self, rng: &mut R, steps: usize) {
+        for _ in 0..steps {
+            self.step(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = wattroute_stats::mean(&samples).unwrap();
+        let sd = wattroute_stats::std_dev(&samples).unwrap();
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((sd - 1.0).abs() < 0.02, "sd = {sd}");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let samples: Vec<f64> = (0..100_000).map(|_| normal(&mut rng, 50.0, 10.0)).collect();
+        let mean = wattroute_stats::mean(&samples).unwrap();
+        let sd = wattroute_stats::std_dev(&samples).unwrap();
+        assert!((mean - 50.0).abs() < 0.3);
+        assert!((sd - 10.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let samples: Vec<f64> = (0..100_000).map(|_| exponential(&mut rng, 60.0)).collect();
+        assert!(samples.iter().all(|&x| x >= 0.0));
+        let mean = wattroute_stats::mean(&samples).unwrap();
+        assert!((mean - 60.0).abs() < 2.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn ar1_stationary_std() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut proc = Ar1::new(0.7, 10.0);
+        proc.warm_up(&mut rng, 1000);
+        let samples: Vec<f64> = (0..100_000).map(|_| proc.step(&mut rng)).collect();
+        let sd = wattroute_stats::std_dev(&samples).unwrap();
+        assert!((sd - proc.stationary_std()).abs() < 0.5, "sd = {sd}");
+        let ac = wattroute_stats::timeseries::autocorrelation(&samples, 1).unwrap();
+        assert!((ac - 0.7).abs() < 0.05, "autocorrelation = {ac}");
+    }
+
+    #[test]
+    fn ar1_zero_sigma_is_constant() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut proc = Ar1::new(0.5, 0.0);
+        assert_eq!(proc.stationary_std(), 0.0);
+        for _ in 0..10 {
+            assert_eq!(proc.step(&mut rng), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho must be in")]
+    fn ar1_rejects_unit_root() {
+        let _ = Ar1::new(1.0, 1.0);
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Allocations: how much of each client state's demand each cluster serves
+//! during one 5-minute step.
+
+use serde::{Deserialize, Serialize};
+use wattroute_geo::{hubs, state_to_hub_km, UsState};
+use wattroute_workload::ClusterSet;
+
+/// A per-step assignment of demand to clusters.
+///
+/// `loads[cluster][state]` is the demand (hits/second) from `states[state]`
+/// served by `clusters[cluster]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    loads: Vec<Vec<f64>>,
+}
+
+impl Allocation {
+    /// An empty allocation for a given number of clusters and states.
+    pub fn zeros(num_clusters: usize, num_states: usize) -> Self {
+        Self { loads: vec![vec![0.0; num_states]; num_clusters] }
+    }
+
+    /// Build from an explicit matrix (`loads[cluster][state]`).
+    ///
+    /// # Panics
+    /// Panics if rows are ragged or any entry is negative / non-finite.
+    pub fn from_matrix(loads: Vec<Vec<f64>>) -> Self {
+        if let Some(first) = loads.first() {
+            let width = first.len();
+            for (c, row) in loads.iter().enumerate() {
+                assert_eq!(row.len(), width, "ragged allocation row for cluster {c}");
+                assert!(
+                    row.iter().all(|x| x.is_finite() && *x >= 0.0),
+                    "allocation for cluster {c} contains negative or non-finite demand"
+                );
+            }
+        }
+        Self { loads }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Number of client states.
+    pub fn num_states(&self) -> usize {
+        self.loads.first().map(|r| r.len()).unwrap_or(0)
+    }
+
+    /// Add demand from a state to a cluster.
+    pub fn add(&mut self, cluster: usize, state: usize, hits_per_sec: f64) {
+        assert!(hits_per_sec >= 0.0 && hits_per_sec.is_finite());
+        self.loads[cluster][state] += hits_per_sec;
+    }
+
+    /// The raw matrix.
+    pub fn matrix(&self) -> &[Vec<f64>] {
+        &self.loads
+    }
+
+    /// Total load per cluster in hits/second.
+    pub fn cluster_loads(&self) -> Vec<f64> {
+        self.loads.iter().map(|row| row.iter().sum()).collect()
+    }
+
+    /// Total load per state in hits/second (how much of each state's demand
+    /// was served).
+    pub fn state_loads(&self) -> Vec<f64> {
+        let n_states = self.num_states();
+        let mut out = vec![0.0; n_states];
+        for row in &self.loads {
+            for (s, v) in row.iter().enumerate() {
+                out[s] += v;
+            }
+        }
+        out
+    }
+
+    /// Total demand served, hits/second.
+    pub fn total_load(&self) -> f64 {
+        self.loads.iter().flatten().sum()
+    }
+
+    /// Demand-weighted client–server distance statistics for this
+    /// allocation: `(mean_km, weighted samples)` where each sample is the
+    /// population-weighted distance from a client state to the hub of the
+    /// cluster serving it, weighted by the assigned demand. The samples are
+    /// returned so callers can accumulate 99th percentiles across steps
+    /// (Figure 17).
+    pub fn distance_samples(
+        &self,
+        clusters: &ClusterSet,
+        states: &[UsState],
+    ) -> Vec<(f64, f64)> {
+        assert_eq!(self.num_clusters(), clusters.len(), "cluster count mismatch");
+        assert_eq!(self.num_states(), states.len(), "state count mismatch");
+        let mut samples = Vec::new();
+        for (c, row) in self.loads.iter().enumerate() {
+            let hub = hubs::hub(clusters.get(c).expect("validated").hub);
+            for (s, &load) in row.iter().enumerate() {
+                if load > 0.0 {
+                    samples.push((state_to_hub_km(states[s], hub), load));
+                }
+            }
+        }
+        samples
+    }
+
+    /// Demand-weighted mean client–server distance in km, or `None` if the
+    /// allocation is empty.
+    pub fn mean_distance_km(&self, clusters: &ClusterSet, states: &[UsState]) -> Option<f64> {
+        let samples = self.distance_samples(clusters, states);
+        let total: f64 = samples.iter().map(|(_, w)| w).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        Some(samples.iter().map(|(d, w)| d * w).sum::<f64>() / total)
+    }
+
+    /// Check that the allocation serves exactly the given per-state demand
+    /// (within a tolerance). Used by tests and debug assertions.
+    pub fn serves_demand(&self, demand: &[f64], tolerance: f64) -> bool {
+        if demand.len() != self.num_states() {
+            return false;
+        }
+        self.state_loads()
+            .iter()
+            .zip(demand)
+            .all(|(served, want)| (served - want).abs() <= tolerance * want.max(1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_totals() {
+        let mut a = Allocation::zeros(2, 3);
+        a.add(0, 0, 100.0);
+        a.add(0, 2, 50.0);
+        a.add(1, 1, 200.0);
+        assert_eq!(a.num_clusters(), 2);
+        assert_eq!(a.num_states(), 3);
+        assert_eq!(a.cluster_loads(), vec![150.0, 200.0]);
+        assert_eq!(a.state_loads(), vec![100.0, 200.0, 50.0]);
+        assert_eq!(a.total_load(), 350.0);
+    }
+
+    #[test]
+    fn serves_demand_check() {
+        let mut a = Allocation::zeros(2, 2);
+        a.add(0, 0, 100.0);
+        a.add(1, 1, 200.0);
+        assert!(a.serves_demand(&[100.0, 200.0], 1e-9));
+        assert!(!a.serves_demand(&[100.0, 150.0], 1e-9));
+        assert!(!a.serves_demand(&[100.0], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_rejected() {
+        let _ = Allocation::from_matrix(vec![vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative or non-finite")]
+    fn negative_entry_rejected() {
+        let _ = Allocation::from_matrix(vec![vec![1.0, -2.0]]);
+    }
+
+    #[test]
+    fn distance_accounting() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = vec![UsState::MA, UsState::CA];
+        // Serve MA from Boston (index 2) and CA from Palo Alto (index 0).
+        let mut local = Allocation::zeros(clusters.len(), states.len());
+        local.add(2, 0, 1000.0);
+        local.add(0, 1, 1000.0);
+        let mean_local = local.mean_distance_km(&clusters, &states).unwrap();
+
+        // Serve both from New York (index 3): much longer average distance.
+        let mut remote = Allocation::zeros(clusters.len(), states.len());
+        remote.add(3, 0, 1000.0);
+        remote.add(3, 1, 1000.0);
+        let mean_remote = remote.mean_distance_km(&clusters, &states).unwrap();
+
+        assert!(mean_local < 300.0, "local mean {mean_local}");
+        assert!(mean_remote > 1500.0, "remote mean {mean_remote}");
+        assert!(local.distance_samples(&clusters, &states).len() == 2);
+    }
+
+    #[test]
+    fn empty_allocation_has_no_mean_distance() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = vec![UsState::MA];
+        let a = Allocation::zeros(clusters.len(), 1);
+        assert!(a.mean_distance_km(&clusters, &states).is_none());
+    }
+}

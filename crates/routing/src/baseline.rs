@@ -1,0 +1,285 @@
+//! Baseline routing policies the paper compares against.
+//!
+//! * [`NearestClusterPolicy`] — the "optimal distance" scheme obtained by
+//!   setting the price optimizer's distance threshold to zero (§6.1): every
+//!   client goes to the geographically closest cluster.
+//! * [`AkamaiLikePolicy`] — a stand-in for "Akamai's original allocation".
+//!   The real mapping balances performance, partially replicated objects and
+//!   bandwidth contracts; we model it as mostly-nearest routing with a
+//!   deterministic fraction of each state's traffic sent to the
+//!   second-nearest cluster (clients kept on-net even when that network's
+//!   servers are farther away, §4). This is the normalisation baseline for
+//!   Figures 15-19.
+//! * [`StaticCheapestPolicy`] — "place all servers in the cheapest market"
+//!   (§6.3, Figure 18): every request is served from the hub with the lowest
+//!   long-run average price, subject to capacity.
+
+use crate::allocation::Allocation;
+use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
+use wattroute_geo::{hubs, state_to_hub_km, UsState};
+
+/// Route every client state to its nearest cluster (ties broken by cluster
+/// order), overflowing to the next nearest when capacity or bandwidth caps
+/// bind.
+#[derive(Debug, Clone, Default)]
+pub struct NearestClusterPolicy;
+
+impl NearestClusterPolicy {
+    /// Create the policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Distance-sorted cluster indices for a state.
+fn clusters_by_distance(ctx: &RoutingContext<'_>, state: UsState) -> Vec<usize> {
+    let mut order: Vec<(usize, f64)> = ctx
+        .clusters
+        .hub_ids()
+        .iter()
+        .enumerate()
+        .map(|(i, hub)| (i, state_to_hub_km(state, hubs::hub(*hub))))
+        .collect();
+    order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    order.into_iter().map(|(i, _)| i).collect()
+}
+
+impl RoutingPolicy for NearestClusterPolicy {
+    fn name(&self) -> &str {
+        "nearest-cluster"
+    }
+
+    fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
+        assign_by_preference(ctx, |_, state| clusters_by_distance(ctx, state))
+    }
+}
+
+/// An Akamai-like baseline: most of a state's demand goes to the nearest
+/// cluster, a fixed fraction goes to the second nearest (standing in for
+/// network-topology and contractual effects that keep some clients on
+/// farther servers).
+#[derive(Debug, Clone)]
+pub struct AkamaiLikePolicy {
+    /// Fraction of each state's demand sent to the second-nearest cluster.
+    pub secondary_fraction: f64,
+}
+
+impl Default for AkamaiLikePolicy {
+    fn default() -> Self {
+        Self { secondary_fraction: 0.2 }
+    }
+}
+
+impl AkamaiLikePolicy {
+    /// Create the baseline with a given secondary fraction (clamped to
+    /// `[0, 0.5]`).
+    pub fn new(secondary_fraction: f64) -> Self {
+        Self { secondary_fraction: secondary_fraction.clamp(0.0, 0.5) }
+    }
+}
+
+impl RoutingPolicy for AkamaiLikePolicy {
+    fn name(&self) -> &str {
+        "akamai-like"
+    }
+
+    fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
+        // Split each state's demand into a primary share (nearest) and a
+        // secondary share (second nearest) and run the capacity-aware engine
+        // on each share separately, then merge.
+        let n_clusters = ctx.clusters.len();
+        let n_states = ctx.states.len();
+        let mut merged = Allocation::zeros(n_clusters, n_states);
+
+        let primary_demand: Vec<f64> =
+            ctx.demand.iter().map(|d| d * (1.0 - self.secondary_fraction)).collect();
+        let secondary_demand: Vec<f64> =
+            ctx.demand.iter().map(|d| d * self.secondary_fraction).collect();
+
+        let primary_ctx = RoutingContext { demand: &primary_demand, ..ctx.clone() };
+        let primary =
+            assign_by_preference(&primary_ctx, |_, state| clusters_by_distance(ctx, state));
+
+        let secondary_ctx = RoutingContext { demand: &secondary_demand, ..ctx.clone() };
+        let secondary = assign_by_preference(&secondary_ctx, |_, state| {
+            let mut order = clusters_by_distance(ctx, state);
+            if order.len() > 1 {
+                order.rotate_left(1); // prefer the second nearest first
+            }
+            order
+        });
+
+        for c in 0..n_clusters {
+            for s in 0..n_states {
+                let total = primary.matrix()[c][s] + secondary.matrix()[c][s];
+                if total > 0.0 {
+                    merged.add(c, s, total);
+                }
+            }
+        }
+        merged
+    }
+}
+
+/// Send everything to the cheapest market on average — the static placement
+/// of §6.3 — overflowing to the next cheapest when caps bind.
+#[derive(Debug, Clone)]
+pub struct StaticCheapestPolicy {
+    /// Long-run mean price per cluster (aligned with cluster order), used to
+    /// fix the preference order once.
+    mean_prices: Vec<f64>,
+}
+
+impl StaticCheapestPolicy {
+    /// Create the policy from long-run mean prices per cluster.
+    pub fn new(mean_prices: Vec<f64>) -> Self {
+        assert!(!mean_prices.is_empty(), "need at least one cluster");
+        Self { mean_prices }
+    }
+
+    /// Preference order: ascending mean price.
+    fn order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.mean_prices.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.mean_prices[a].partial_cmp(&self.mean_prices[b]).expect("finite prices")
+        });
+        idx
+    }
+}
+
+impl RoutingPolicy for StaticCheapestPolicy {
+    fn name(&self) -> &str {
+        "static-cheapest-hub"
+    }
+
+    fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
+        assert_eq!(
+            self.mean_prices.len(),
+            ctx.clusters.len(),
+            "mean prices must align with the deployment"
+        );
+        let order = self.order();
+        assign_by_preference(ctx, |_, _| order.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattroute_geo::{HubId, UsState};
+    use wattroute_market::time::SimHour;
+    use wattroute_workload::ClusterSet;
+
+    fn ctx<'a>(
+        clusters: &'a ClusterSet,
+        states: &'a [UsState],
+        demand: &'a [f64],
+        prices: &'a [f64],
+    ) -> RoutingContext<'a> {
+        RoutingContext::new(clusters, states, demand, prices, SimHour(0))
+    }
+
+    #[test]
+    fn nearest_sends_massachusetts_to_boston() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA, UsState::CA];
+        let demand = [1000.0, 2000.0];
+        let prices = vec![50.0; 9];
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = NearestClusterPolicy::new();
+        let a = policy.allocate(&c);
+        let boston = clusters.index_of_hub(HubId::BostonMa).unwrap();
+        assert_eq!(a.matrix()[boston][0], 1000.0);
+        // California goes to one of the two California clusters.
+        let ca1 = clusters.index_of_hub(HubId::PaloAltoCa).unwrap();
+        let ca2 = clusters.index_of_hub(HubId::LosAngelesCa).unwrap();
+        assert_eq!(a.matrix()[ca1][1] + a.matrix()[ca2][1], 2000.0);
+        assert!(a.serves_demand(&demand, 1e-9));
+        assert_eq!(policy.name(), "nearest-cluster");
+    }
+
+    #[test]
+    fn akamai_like_splits_between_two_nearest() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let prices = vec![50.0; 9];
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = AkamaiLikePolicy::default();
+        let a = policy.allocate(&c);
+        let boston = clusters.index_of_hub(HubId::BostonMa).unwrap();
+        assert!((a.matrix()[boston][0] - 800.0).abs() < 1e-6);
+        // The remaining 20% went somewhere else, and everything is served.
+        assert!(a.serves_demand(&demand, 1e-9));
+        let non_boston: f64 = a.cluster_loads().iter().enumerate()
+            .filter(|(i, _)| *i != boston)
+            .map(|(_, l)| l)
+            .sum();
+        assert!((non_boston - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn akamai_like_has_longer_distances_than_nearest() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states: Vec<UsState> = UsState::all().collect();
+        let demand: Vec<f64> = states.iter().map(|s| s.population() as f64 / 1000.0).collect();
+        let prices = vec![50.0; 9];
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let near = NearestClusterPolicy::new().allocate(&c);
+        let akamai = AkamaiLikePolicy::default().allocate(&c);
+        let d_near = near.mean_distance_km(&clusters, &states).unwrap();
+        let d_akamai = akamai.mean_distance_km(&clusters, &states).unwrap();
+        assert!(d_akamai > d_near, "{d_akamai} vs {d_near}");
+    }
+
+    #[test]
+    fn static_cheapest_prefers_lowest_mean_price() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::NY, UsState::CA];
+        let demand = [1000.0, 1000.0];
+        let prices = vec![50.0; 9]; // current prices are irrelevant to the static policy
+        let c = ctx(&clusters, &states, &demand, &prices);
+        // Chicago (index 4) has the lowest long-run mean.
+        let mut means = vec![60.0; 9];
+        means[4] = 38.0;
+        let mut policy = StaticCheapestPolicy::new(means);
+        let a = policy.allocate(&c);
+        assert!((a.cluster_loads()[4] - 2000.0).abs() < 1e-6);
+        assert_eq!(policy.name(), "static-cheapest-hub");
+    }
+
+    #[test]
+    fn static_cheapest_overflows_in_price_order() {
+        let clusters = ClusterSet::akamai_like_nine().scaled(0.01);
+        let states = [UsState::CA];
+        let cap = clusters.get(4).unwrap().capacity_hits_per_sec();
+        let demand = [cap * 3.0];
+        let prices = vec![50.0; 9];
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut means = vec![60.0; 9];
+        means[4] = 30.0;
+        means[5] = 35.0;
+        let a = StaticCheapestPolicy::new(means).allocate(&c);
+        let loads = a.cluster_loads();
+        assert!((loads[4] - cap).abs() < 1e-6);
+        assert!(loads[5] > 0.0);
+        assert!(a.serves_demand(&demand, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "align with the deployment")]
+    fn static_cheapest_length_mismatch_panics() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::NY];
+        let demand = [1.0];
+        let prices = vec![50.0; 9];
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let _ = StaticCheapestPolicy::new(vec![1.0, 2.0]).allocate(&c);
+    }
+
+    #[test]
+    fn secondary_fraction_is_clamped() {
+        assert_eq!(AkamaiLikePolicy::new(0.9).secondary_fraction, 0.5);
+        assert_eq!(AkamaiLikePolicy::new(-0.1).secondary_fraction, 0.0);
+    }
+}

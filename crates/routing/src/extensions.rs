@@ -1,0 +1,263 @@
+//! Future-work policies sketched in §8 of the paper.
+//!
+//! * [`CarbonAwarePolicy`] — "a socially responsible service operator may
+//!   instead choose to use an environmental impact cost function": identical
+//!   machinery to the price optimizer, but the per-cluster cost vector is a
+//!   time-varying carbon intensity (tCO₂/MWh) instead of a dollar price.
+//! * [`JointCostPolicy`] — "existing systems already have frameworks in
+//!   place that engineer traffic to optimize for bandwidth costs,
+//!   performance and reliability. Dynamic energy costs represent another
+//!   input that should be integrated into such frameworks": a weighted
+//!   scalarisation of electricity price and client-server distance, the
+//!   simplest form of that joint optimisation.
+
+use crate::allocation::Allocation;
+use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
+use serde::{Deserialize, Serialize};
+use wattroute_geo::{distance, hubs, UsState};
+
+/// Route to the cluster whose grid currently has the lowest carbon
+/// intensity, subject to a distance threshold — the §8 "Environmental Cost"
+/// idea with the same structure as the price optimizer.
+#[derive(Debug, Clone)]
+pub struct CarbonAwarePolicy {
+    /// Maximum client-to-cluster distance in km.
+    pub distance_threshold_km: f64,
+    /// Carbon intensity per cluster in tCO₂/MWh for the current hour,
+    /// aligned with cluster order. Updated by the caller each step.
+    pub carbon_intensity: Vec<f64>,
+    /// Intensity differences below this threshold (tCO₂/MWh) are ignored and
+    /// the nearer cluster wins.
+    pub intensity_threshold: f64,
+}
+
+impl CarbonAwarePolicy {
+    /// Create a carbon-aware policy.
+    pub fn new(distance_threshold_km: f64, carbon_intensity: Vec<f64>) -> Self {
+        Self { distance_threshold_km, carbon_intensity, intensity_threshold: 0.02 }
+    }
+
+    /// Update the per-cluster carbon intensities for the current hour.
+    pub fn set_intensities(&mut self, carbon_intensity: Vec<f64>) {
+        self.carbon_intensity = carbon_intensity;
+    }
+}
+
+impl RoutingPolicy for CarbonAwarePolicy {
+    fn name(&self) -> &str {
+        "carbon-aware"
+    }
+
+    fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
+        assert_eq!(
+            self.carbon_intensity.len(),
+            ctx.clusters.len(),
+            "carbon intensities must align with the deployment"
+        );
+        let intensities = self.carbon_intensity.clone();
+        let threshold_km = self.distance_threshold_km;
+        let intensity_threshold = self.intensity_threshold;
+        assign_by_preference(ctx, |_, state| {
+            preference_by_cost(ctx, state, &intensities, threshold_km, intensity_threshold)
+        })
+    }
+}
+
+/// Minimise `price + distance_weight · distance_km`, i.e. fold the network
+/// proximity objective and the electricity price into one scalar cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointCostPolicy {
+    /// Dollars-per-MWh-equivalent penalty applied per km of client-server
+    /// distance. `0.0` reduces to pure price optimisation; large values
+    /// reduce to nearest-cluster routing.
+    pub distance_weight: f64,
+}
+
+impl JointCostPolicy {
+    /// Create a joint policy with the given distance weight.
+    pub fn new(distance_weight: f64) -> Self {
+        assert!(distance_weight >= 0.0, "distance weight must be non-negative");
+        Self { distance_weight }
+    }
+}
+
+impl RoutingPolicy for JointCostPolicy {
+    fn name(&self) -> &str {
+        "joint-price-distance"
+    }
+
+    fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
+        let w = self.distance_weight;
+        assign_by_preference(ctx, |_, state| {
+            let hub_refs: Vec<&wattroute_geo::Hub> =
+                ctx.clusters.hub_ids().iter().map(|id| hubs::hub(*id)).collect();
+            let mut scored: Vec<(usize, f64)> = hub_refs
+                .iter()
+                .enumerate()
+                .map(|(i, hub)| (i, ctx.prices[i] + w * distance::state_to_hub_km(state, hub)))
+                .collect();
+            scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+            scored.into_iter().map(|(i, _)| i).collect()
+        })
+    }
+}
+
+/// Shared preference builder: candidates within the distance threshold
+/// (nearest + 50 km fallback), ordered by an arbitrary per-cluster cost with
+/// near-ties broken by distance, followed by the remaining clusters by
+/// distance for overflow.
+fn preference_by_cost(
+    ctx: &RoutingContext<'_>,
+    state: UsState,
+    costs: &[f64],
+    distance_threshold_km: f64,
+    cost_threshold: f64,
+) -> Vec<usize> {
+    let hub_refs: Vec<&wattroute_geo::Hub> =
+        ctx.clusters.hub_ids().iter().map(|id| hubs::hub(*id)).collect();
+    let candidates = distance::hubs_within_threshold(state, &hub_refs, distance_threshold_km);
+    // Same two-stage ordering as the price-conscious policy: candidates
+    // whose cost is within `cost_threshold` of the best candidate are ranked
+    // by distance, the remainder by cost then distance. This keeps the
+    // ordering a genuine total order.
+    let best = candidates.iter().map(|(i, _)| costs[*i]).fold(f64::INFINITY, f64::min);
+    let (mut cheap_set, mut rest): (Vec<(usize, f64)>, Vec<(usize, f64)>) = candidates
+        .iter()
+        .copied()
+        .partition(|(i, _)| costs[*i] <= best + cost_threshold);
+    cheap_set.sort_by(|(_, da), (_, db)| da.partial_cmp(db).expect("finite distances"));
+    rest.sort_by(|(ia, da), (ib, db)| {
+        costs[*ia]
+            .partial_cmp(&costs[*ib])
+            .expect("finite costs")
+            .then(da.partial_cmp(db).expect("finite distances"))
+    });
+    let mut order: Vec<usize> = cheap_set.iter().chain(rest.iter()).map(|(i, _)| *i).collect();
+    let mut rest: Vec<(usize, f64)> = (0..ctx.clusters.len())
+        .filter(|i| !order.contains(i))
+        .map(|i| (i, distance::state_to_hub_km(state, hub_refs[i])))
+        .collect();
+    rest.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+    order.extend(rest.into_iter().map(|(i, _)| i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattroute_geo::{HubId, UsState};
+    use wattroute_market::time::SimHour;
+    use wattroute_workload::ClusterSet;
+
+    fn ctx<'a>(
+        clusters: &'a ClusterSet,
+        states: &'a [UsState],
+        demand: &'a [f64],
+        prices: &'a [f64],
+    ) -> RoutingContext<'a> {
+        RoutingContext::new(clusters, states, demand, prices, SimHour(0))
+    }
+
+    #[test]
+    fn carbon_aware_prefers_clean_grid_within_threshold() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let prices = vec![50.0; 9];
+        let boston = clusters.index_of_hub(HubId::BostonMa).unwrap();
+        let nyc = clusters.index_of_hub(HubId::NewYorkNy).unwrap();
+        let mut intensity = vec![0.6; 9];
+        intensity[boston] = 0.55;
+        intensity[nyc] = 0.20; // NYC grid is much cleaner this hour
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = CarbonAwarePolicy::new(1500.0, intensity);
+        let a = policy.allocate(&c);
+        assert_eq!(a.matrix()[nyc][0], 1000.0);
+        assert_eq!(policy.name(), "carbon-aware");
+    }
+
+    #[test]
+    fn carbon_ties_go_to_nearer_cluster() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let prices = vec![50.0; 9];
+        let boston = clusters.index_of_hub(HubId::BostonMa).unwrap();
+        // All intensities within the 0.02 threshold of each other.
+        let intensity = vec![0.50; 9];
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = CarbonAwarePolicy::new(1500.0, intensity);
+        let a = policy.allocate(&c);
+        assert_eq!(a.matrix()[boston][0], 1000.0);
+    }
+
+    #[test]
+    fn carbon_distance_threshold_is_enforced() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let prices = vec![50.0; 9];
+        let pa = clusters.index_of_hub(HubId::PaloAltoCa).unwrap();
+        let mut intensity = vec![0.6; 9];
+        intensity[pa] = 0.0; // hydro-clean but across the country
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = CarbonAwarePolicy::new(1500.0, intensity);
+        let a = policy.allocate(&c);
+        assert_eq!(a.matrix()[pa][0], 0.0);
+        assert!(a.serves_demand(&demand, 1e-9));
+    }
+
+    #[test]
+    fn set_intensities_replaces_vector() {
+        let mut policy = CarbonAwarePolicy::new(1000.0, vec![0.5; 9]);
+        policy.set_intensities(vec![0.1; 9]);
+        assert_eq!(policy.carbon_intensity, vec![0.1; 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "align with the deployment")]
+    fn carbon_length_mismatch_panics() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1.0];
+        let prices = vec![50.0; 9];
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = CarbonAwarePolicy::new(1000.0, vec![0.5; 3]);
+        let _ = policy.allocate(&c);
+    }
+
+    #[test]
+    fn joint_policy_interpolates_between_price_and_distance() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let boston = clusters.index_of_hub(HubId::BostonMa).unwrap();
+        let austin = clusters.index_of_hub(HubId::AustinTx).unwrap();
+        let mut prices = vec![80.0; 9];
+        prices[austin] = 20.0;
+        prices[boston] = 75.0;
+        let c = ctx(&clusters, &states, &demand, &prices);
+
+        // Pure price: Austin wins despite the distance.
+        let a_price = JointCostPolicy::new(0.0).allocate(&c);
+        assert_eq!(a_price.matrix()[austin][0], 1000.0);
+
+        // Heavy distance weight: Boston wins.
+        let a_dist = JointCostPolicy::new(10.0).allocate(&c);
+        assert_eq!(a_dist.matrix()[boston][0], 1000.0);
+
+        // Intermediate weight: $60 price advantage vs ~2700 km extra
+        // distance. At $0.01/km the distance penalty (~$27) is smaller than
+        // the price advantage, so Austin still wins; at $0.05/km it is not.
+        let a_mid_low = JointCostPolicy::new(0.01).allocate(&c);
+        assert_eq!(a_mid_low.matrix()[austin][0], 1000.0);
+        let a_mid_high = JointCostPolicy::new(0.05).allocate(&c);
+        assert_eq!(a_mid_high.matrix()[boston][0], 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_distance_weight_rejected() {
+        let _ = JointCostPolicy::new(-1.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The routing-policy interface and the shared assignment engine.
+//!
+//! Every policy sees the same per-step picture (the [`RoutingContext`]):
+//! which clusters exist, how much demand each client state is offering,
+//! what each cluster's (possibly delayed) electricity price is, and what
+//! capacity / 95-5 bandwidth ceilings apply. A policy produces an
+//! [`Allocation`]. The heavy lifting — filling clusters in a preference
+//! order while respecting ceilings — is shared by all policies through
+//! [`assign_by_preference`].
+
+use crate::allocation::Allocation;
+use wattroute_geo::UsState;
+use wattroute_market::time::SimHour;
+use wattroute_workload::ClusterSet;
+
+/// Everything a policy may consult when allocating one 5-minute step.
+#[derive(Debug, Clone)]
+pub struct RoutingContext<'a> {
+    /// The deployment being routed over.
+    pub clusters: &'a ClusterSet,
+    /// Client states, aligned with `demand`.
+    pub states: &'a [UsState],
+    /// Demand per state in hits/second.
+    pub demand: &'a [f64],
+    /// Electricity price per cluster in $/MWh (already delayed by the
+    /// simulator's reaction delay).
+    pub prices: &'a [f64],
+    /// The hour this step belongs to.
+    pub hour: SimHour,
+    /// Hard per-cluster request-capacity ceilings in hits/second. Defaults
+    /// to each cluster's nominal capacity.
+    pub capacity_caps: Vec<f64>,
+    /// Optional per-cluster 95/5 bandwidth ceilings in hits/second
+    /// (`None` = bandwidth unconstrained). The paper derives these from the
+    /// baseline allocation's observed 95th percentiles (§6.1).
+    pub bandwidth_caps: Option<Vec<f64>>,
+}
+
+impl<'a> RoutingContext<'a> {
+    /// Build a context with default capacity ceilings and no bandwidth caps.
+    pub fn new(
+        clusters: &'a ClusterSet,
+        states: &'a [UsState],
+        demand: &'a [f64],
+        prices: &'a [f64],
+        hour: SimHour,
+    ) -> Self {
+        assert_eq!(states.len(), demand.len(), "state/demand length mismatch");
+        assert_eq!(clusters.len(), prices.len(), "cluster/price length mismatch");
+        let capacity_caps = clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).collect();
+        Self { clusters, states, demand, prices, hour, capacity_caps, bandwidth_caps: None }
+    }
+
+    /// Attach 95/5 bandwidth ceilings (hits/second per cluster).
+    pub fn with_bandwidth_caps(mut self, caps: Vec<f64>) -> Self {
+        assert_eq!(caps.len(), self.clusters.len(), "bandwidth cap length mismatch");
+        self.bandwidth_caps = Some(caps);
+        self
+    }
+
+    /// The effective ceiling for a cluster: the minimum of its capacity cap
+    /// and (if present) its bandwidth cap.
+    pub fn effective_cap(&self, cluster: usize) -> f64 {
+        let cap = self.capacity_caps[cluster];
+        match &self.bandwidth_caps {
+            Some(bw) => cap.min(bw[cluster]),
+            None => cap,
+        }
+    }
+
+    /// Total demand offered this step.
+    pub fn total_demand(&self) -> f64 {
+        self.demand.iter().sum()
+    }
+}
+
+/// A request-routing policy.
+pub trait RoutingPolicy {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Allocate one step's demand to clusters.
+    fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation;
+}
+
+/// Assign demand to clusters by per-state preference lists.
+///
+/// For each state (processed in descending demand, so large states get
+/// first pick of scarce capacity), the `preferences` callback supplies an
+/// ordered list of candidate cluster indices. Demand is poured into the
+/// candidates in order, up to each cluster's effective ceiling. Demand that
+/// no candidate can absorb spills, in a final pass, onto the cluster with
+/// the most remaining ceiling (and, if every ceiling is exhausted, onto the
+/// first candidate regardless — requests must be served somewhere, which
+/// mirrors the paper's treatment of capacity as a soft planning constraint).
+pub fn assign_by_preference<F>(ctx: &RoutingContext<'_>, mut preferences: F) -> Allocation
+where
+    F: FnMut(usize, UsState) -> Vec<usize>,
+{
+    let n_clusters = ctx.clusters.len();
+    let n_states = ctx.states.len();
+    let mut allocation = Allocation::zeros(n_clusters, n_states);
+    let mut remaining_cap: Vec<f64> = (0..n_clusters).map(|c| ctx.effective_cap(c)).collect();
+
+    // Process states in descending demand.
+    let mut order: Vec<usize> = (0..n_states).collect();
+    order.sort_by(|&a, &b| {
+        ctx.demand[b].partial_cmp(&ctx.demand[a]).expect("finite demand")
+    });
+
+    for state_idx in order {
+        let mut unserved = ctx.demand[state_idx];
+        if unserved <= 0.0 {
+            continue;
+        }
+        let candidates = preferences(state_idx, ctx.states[state_idx]);
+        debug_assert!(
+            candidates.iter().all(|&c| c < n_clusters),
+            "preference list contains an out-of-range cluster index"
+        );
+
+        for &cluster in &candidates {
+            if unserved <= 0.0 {
+                break;
+            }
+            let take = unserved.min(remaining_cap[cluster].max(0.0));
+            if take > 0.0 {
+                allocation.add(cluster, state_idx, take);
+                remaining_cap[cluster] -= take;
+                unserved -= take;
+            }
+        }
+
+        if unserved > 0.0 {
+            // Spill to the cluster with the most remaining headroom, or the
+            // first candidate if everything is saturated.
+            let spill_target = (0..n_clusters)
+                .max_by(|&a, &b| {
+                    remaining_cap[a].partial_cmp(&remaining_cap[b]).expect("finite caps")
+                })
+                .filter(|&c| remaining_cap[c] > 0.0)
+                .or_else(|| candidates.first().copied())
+                .unwrap_or(0);
+            allocation.add(spill_target, state_idx, unserved);
+            remaining_cap[spill_target] -= unserved;
+        }
+    }
+
+    debug_assert!(allocation.serves_demand(ctx.demand, 1e-6));
+    allocation
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattroute_workload::ClusterSet;
+
+    fn two_state_ctx<'a>(
+        clusters: &'a ClusterSet,
+        states: &'a [UsState],
+        demand: &'a [f64],
+        prices: &'a [f64],
+    ) -> RoutingContext<'a> {
+        RoutingContext::new(clusters, states, demand, prices, SimHour(0))
+    }
+
+    #[test]
+    fn preference_order_is_respected() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA, UsState::CA];
+        let demand = [1000.0, 2000.0];
+        let prices = vec![50.0; 9];
+        let ctx = two_state_ctx(&clusters, &states, &demand, &prices);
+        // Everyone prefers cluster 4 (Chicago).
+        let allocation = assign_by_preference(&ctx, |_, _| vec![4]);
+        assert_eq!(allocation.cluster_loads()[4], 3000.0);
+        assert!(allocation.serves_demand(&demand, 1e-9));
+    }
+
+    #[test]
+    fn capacity_overflow_goes_to_next_preference() {
+        let clusters = ClusterSet::akamai_like_nine().scaled(0.001); // tiny clusters
+        let states = [UsState::NY];
+        let cap0 = clusters.get(0).unwrap().capacity_hits_per_sec();
+        let demand = [cap0 * 2.5];
+        let prices = vec![50.0; 9];
+        let ctx = two_state_ctx(&clusters, &states, &demand, &prices);
+        let allocation = assign_by_preference(&ctx, |_, _| vec![0, 1, 2]);
+        let loads = allocation.cluster_loads();
+        assert!((loads[0] - cap0).abs() < 1e-6, "first choice filled to capacity");
+        assert!(loads[1] > 0.0, "overflow to second choice");
+        assert!(allocation.serves_demand(&demand, 1e-6));
+    }
+
+    #[test]
+    fn demand_is_always_served_even_when_all_caps_exhausted() {
+        let clusters = ClusterSet::akamai_like_nine().scaled(1e-6);
+        let states = [UsState::CA, UsState::TX];
+        let demand = [1.0e6, 0.5e6];
+        let prices = vec![50.0; 9];
+        let ctx = two_state_ctx(&clusters, &states, &demand, &prices);
+        let allocation = assign_by_preference(&ctx, |_, _| vec![0]);
+        assert!(allocation.serves_demand(&demand, 1e-6));
+    }
+
+    #[test]
+    fn bandwidth_caps_tighten_effective_ceiling() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [10_000.0];
+        let prices = vec![50.0; 9];
+        let bw: Vec<f64> = (0..9).map(|i| if i == 2 { 4_000.0 } else { 1.0e9 }).collect();
+        let ctx = two_state_ctx(&clusters, &states, &demand, &prices).with_bandwidth_caps(bw);
+        assert_eq!(ctx.effective_cap(2), 4_000.0);
+        let allocation = assign_by_preference(&ctx, |_, _| vec![2, 3]);
+        let loads = allocation.cluster_loads();
+        assert!((loads[2] - 4_000.0).abs() < 1e-6);
+        assert!((loads[3] - 6_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_demand_states_are_skipped() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA, UsState::CA];
+        let demand = [0.0, 100.0];
+        let prices = vec![50.0; 9];
+        let ctx = two_state_ctx(&clusters, &states, &demand, &prices);
+        let allocation = assign_by_preference(&ctx, |_, _| vec![0]);
+        assert_eq!(allocation.total_load(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1.0, 2.0];
+        let prices = vec![50.0; 9];
+        let _ = RoutingContext::new(&clusters, &states, &demand, &prices, SimHour(0));
+    }
+}

@@ -1,0 +1,274 @@
+//! The paper's price-conscious request router (§6.1).
+//!
+//! > "Given a client, the price-conscious optimizer maps it to a cluster
+//! > with the lowest price, only considering clusters within some maximum
+//! > radial geographic distance. For clients that do not have any clusters
+//! > within that maximum distance, the routing scheme finds the closest
+//! > cluster and considers any other nearby clusters (< 50 km). If the
+//! > selected cluster is nearing its capacity (or the 95/5 boundary), the
+//! > optimizer iteratively finds another good cluster."
+//!
+//! Two parameters modulate its behaviour: a **distance threshold** (0 ⇒
+//! optimal-distance routing, larger than the coast-to-coast distance ⇒
+//! optimal-price routing) and a **price threshold** (differentials smaller
+//! than $5/MWh are ignored, so ties go to the nearer cluster).
+
+use crate::allocation::Allocation;
+use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
+use serde::{Deserialize, Serialize};
+use wattroute_geo::{distance, hubs, UsState};
+use wattroute_market::differential::DEFAULT_PRICE_THRESHOLD;
+
+/// Configuration of the price-conscious optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PriceConsciousConfig {
+    /// Maximum radial client-to-cluster distance considered, in km.
+    /// `0.0` degenerates to nearest-cluster routing; anything larger than
+    /// the East-West coast distance (~4100 km) gives pure price routing.
+    pub distance_threshold_km: f64,
+    /// Price differentials smaller than this ($/MWh) are ignored; the
+    /// nearer cluster wins such ties. The paper uses $5/MWh.
+    pub price_threshold: f64,
+}
+
+impl Default for PriceConsciousConfig {
+    fn default() -> Self {
+        Self { distance_threshold_km: 1500.0, price_threshold: DEFAULT_PRICE_THRESHOLD }
+    }
+}
+
+/// The distance-constrained electricity price optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct PriceConsciousPolicy {
+    /// Tunable parameters.
+    pub config: PriceConsciousConfig,
+}
+
+impl PriceConsciousPolicy {
+    /// Create a policy with an explicit configuration.
+    pub fn new(config: PriceConsciousConfig) -> Self {
+        Self { config }
+    }
+
+    /// Create a policy with the given distance threshold and the default
+    /// $5/MWh price threshold.
+    pub fn with_distance_threshold(distance_threshold_km: f64) -> Self {
+        Self::new(PriceConsciousConfig { distance_threshold_km, ..Default::default() })
+    }
+
+    /// "Optimal price" variant: no effective distance constraint.
+    pub fn unconstrained_distance() -> Self {
+        Self::with_distance_threshold(50_000.0)
+    }
+
+    /// Preference order for one client state: candidate clusters within the
+    /// distance threshold (with the paper's nearest + 50 km fallback),
+    /// sorted by price with sub-threshold differences broken by distance,
+    /// followed by the remaining clusters by distance (so capacity overflow
+    /// degrades gracefully rather than arbitrarily).
+    fn preference_order(&self, ctx: &RoutingContext<'_>, state: UsState) -> Vec<usize> {
+        let hub_refs: Vec<&wattroute_geo::Hub> =
+            ctx.clusters.hub_ids().iter().map(|id| hubs::hub(*id)).collect();
+
+        // Candidates within the threshold (or the fallback set).
+        let candidates =
+            distance::hubs_within_threshold(state, &hub_refs, self.config.distance_threshold_km);
+
+        // Split candidates into those whose price is within the price
+        // threshold of the cheapest candidate ("as good as the cheapest";
+        // among these the nearest wins, because sub-threshold differentials
+        // are ignored) and the remainder, ordered by price then distance.
+        // Doing it in two stages, rather than with a price-or-distance
+        // comparator, keeps the ordering a total order.
+        let cheapest = candidates
+            .iter()
+            .map(|(i, _)| ctx.prices[*i])
+            .fold(f64::INFINITY, f64::min);
+        let (mut cheap_set, mut rest): (Vec<(usize, f64)>, Vec<(usize, f64)>) = candidates
+            .iter()
+            .copied()
+            .partition(|(i, _)| ctx.prices[*i] <= cheapest + self.config.price_threshold);
+        cheap_set.sort_by(|(_, da), (_, db)| da.partial_cmp(db).expect("finite distances"));
+        rest.sort_by(|(ia, da), (ib, db)| {
+            ctx.prices[*ia]
+                .partial_cmp(&ctx.prices[*ib])
+                .expect("finite prices")
+                .then(da.partial_cmp(db).expect("finite distances"))
+        });
+
+        let mut order: Vec<usize> = cheap_set.iter().chain(rest.iter()).map(|(i, _)| *i).collect();
+
+        // Append the out-of-threshold clusters by distance as a last resort
+        // for overflow.
+        let mut rest: Vec<(usize, f64)> = (0..ctx.clusters.len())
+            .filter(|i| !order.contains(i))
+            .map(|i| (i, distance::state_to_hub_km(state, hub_refs[i])))
+            .collect();
+        rest.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+        order.extend(rest.into_iter().map(|(i, _)| i));
+        order
+    }
+}
+
+impl RoutingPolicy for PriceConsciousPolicy {
+    fn name(&self) -> &str {
+        "price-conscious"
+    }
+
+    fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
+        assign_by_preference(ctx, |_, state| self.preference_order(ctx, state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattroute_geo::HubId;
+    use wattroute_market::time::SimHour;
+    use wattroute_workload::ClusterSet;
+
+    fn ctx<'a>(
+        clusters: &'a ClusterSet,
+        states: &'a [UsState],
+        demand: &'a [f64],
+        prices: &'a [f64],
+    ) -> RoutingContext<'a> {
+        RoutingContext::new(clusters, states, demand, prices, SimHour(0))
+    }
+
+    fn nine_prices(base: f64) -> Vec<f64> {
+        vec![base; 9]
+    }
+
+    #[test]
+    fn zero_threshold_degenerates_to_nearest() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        // Make Boston expensive: a nearest-distance scheme must still pick it.
+        let mut prices = nine_prices(30.0);
+        let boston = clusters.index_of_hub(HubId::BostonMa).unwrap();
+        prices[boston] = 500.0;
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(0.0);
+        let a = policy.allocate(&c);
+        assert_eq!(a.matrix()[boston][0], 1000.0);
+    }
+
+    #[test]
+    fn unconstrained_threshold_chases_the_cheapest_hub() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let mut prices = nine_prices(80.0);
+        let austin = clusters.index_of_hub(HubId::AustinTx).unwrap();
+        prices[austin] = 20.0;
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = PriceConsciousPolicy::unconstrained_distance();
+        let a = policy.allocate(&c);
+        assert_eq!(a.matrix()[austin][0], 1000.0);
+        assert_eq!(policy.name(), "price-conscious");
+    }
+
+    #[test]
+    fn distance_threshold_excludes_far_cheap_clusters() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let mut prices = nine_prices(80.0);
+        // Palo Alto is nearly free, but ~4300km from Massachusetts clients.
+        let pa = clusters.index_of_hub(HubId::PaloAltoCa).unwrap();
+        prices[pa] = 1.0;
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+        let a = policy.allocate(&c);
+        assert_eq!(a.matrix()[pa][0], 0.0, "Palo Alto is beyond the 1500km threshold");
+        assert!(a.serves_demand(&demand, 1e-9));
+    }
+
+    #[test]
+    fn sub_threshold_differentials_prefer_the_nearer_cluster() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let boston = clusters.index_of_hub(HubId::BostonMa).unwrap();
+        let nyc = clusters.index_of_hub(HubId::NewYorkNy).unwrap();
+        // NYC is $3 cheaper — below the $5 threshold, so Boston (nearer) wins.
+        let mut prices = nine_prices(60.0);
+        prices[boston] = 50.0;
+        prices[nyc] = 47.0;
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+        let a = policy.allocate(&c);
+        assert_eq!(a.matrix()[boston][0], 1000.0);
+
+        // Make the differential exceed the threshold and NYC wins.
+        let mut prices2 = nine_prices(60.0);
+        prices2[boston] = 50.0;
+        prices2[nyc] = 40.0;
+        let c2 = ctx(&clusters, &states, &demand, &prices2);
+        let a2 = policy.allocate(&c2);
+        assert_eq!(a2.matrix()[nyc][0], 1000.0);
+    }
+
+    #[test]
+    fn capacity_pressure_spills_to_next_cheapest_candidate() {
+        let clusters = ClusterSet::akamai_like_nine().scaled(0.01);
+        let states = [UsState::NY];
+        let nyc = clusters.index_of_hub(HubId::NewYorkNy).unwrap();
+        let nj = clusters.index_of_hub(HubId::NewarkNj).unwrap();
+        let cap = clusters.get(nyc).unwrap().capacity_hits_per_sec();
+        let demand = [cap * 1.5];
+        let mut prices = nine_prices(90.0);
+        prices[nyc] = 20.0;
+        prices[nj] = 30.0;
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(1000.0);
+        let a = policy.allocate(&c);
+        let loads = a.cluster_loads();
+        assert!((loads[nyc] - cap).abs() < 1e-6, "cheapest candidate fills first");
+        assert!(loads[nj] > 0.0, "overflow moves to the next cheapest nearby cluster");
+        assert!(a.serves_demand(&demand, 1e-6));
+    }
+
+    #[test]
+    fn bandwidth_caps_respected() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::CA];
+        let demand = [100_000.0];
+        let pa = clusters.index_of_hub(HubId::PaloAltoCa).unwrap();
+        let la = clusters.index_of_hub(HubId::LosAngelesCa).unwrap();
+        let mut prices = nine_prices(70.0);
+        prices[pa] = 10.0;
+        // Cap Palo Alto's 95/5 ceiling below the offered demand.
+        let mut caps = vec![f64::INFINITY; 9];
+        caps[pa] = 30_000.0;
+        let c = ctx(&clusters, &states, &demand, &prices).with_bandwidth_caps(caps);
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(1000.0);
+        let a = policy.allocate(&c);
+        let loads = a.cluster_loads();
+        assert!(loads[pa] <= 30_000.0 + 1e-6);
+        assert!(loads[la] > 0.0, "the rest lands on the other in-threshold cluster");
+    }
+
+    #[test]
+    fn remote_states_fall_back_to_nearest_cluster() {
+        // Montana has no cluster within 1100 km in this deployment; the
+        // fallback must still serve it from the nearest cluster.
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MT];
+        let demand = [500.0];
+        let prices = nine_prices(50.0);
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(1100.0);
+        let a = policy.allocate(&c);
+        assert!(a.serves_demand(&demand, 1e-9));
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = PriceConsciousConfig::default();
+        assert_eq!(cfg.price_threshold, 5.0);
+        assert_eq!(cfg.distance_threshold_km, 1500.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Quantiles, medians, inter-quartile ranges, and the 95th percentile used by
+//! the 95/5 bandwidth billing model (§4 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// Compute the `q`-th quantile (`0.0 ..= 1.0`) of a sample using linear
+/// interpolation between order statistics (the "R-7" rule used by most
+/// spreadsheet and numerical packages).
+///
+/// Non-finite samples are ignored. Returns `None` if no finite samples
+/// remain or if `q` is outside `[0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile of an **already sorted, finite** sample. Panics only if the slice
+/// is empty (callers should guard, as [`quantile`] does).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Percentile in `[0, 100]`; thin wrapper over [`quantile`].
+///
+/// `percentile(samples, 95.0)` is the value used for 95/5 bandwidth billing:
+/// traffic is divided into five-minute intervals and the 95th percentile of
+/// those intervals is what the carrier bills for.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    quantile(samples, p / 100.0)
+}
+
+/// Median (50th percentile).
+pub fn median(samples: &[f64]) -> Option<f64> {
+    quantile(samples, 0.5)
+}
+
+/// First, second (median) and third quartiles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quartiles {
+    /// 25th percentile.
+    pub q1: f64,
+    /// 50th percentile (median).
+    pub q2: f64,
+    /// 75th percentile.
+    pub q3: f64,
+}
+
+impl Quartiles {
+    /// Inter-quartile range `q3 - q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Compute the three quartiles of a sample. `None` if the sample has no
+/// finite values.
+pub fn quartiles(samples: &[f64]) -> Option<Quartiles> {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values are comparable"));
+    Some(Quartiles {
+        q1: quantile_sorted(&sorted, 0.25),
+        q2: quantile_sorted(&sorted, 0.50),
+        q3: quantile_sorted(&sorted, 0.75),
+    })
+}
+
+/// Inter-quartile range. `None` if the sample has no finite values.
+pub fn iqr(samples: &[f64]) -> Option<f64> {
+    quartiles(samples).map(|q| q.iqr())
+}
+
+/// A (median, inter-quartile-range) summary, used to describe price
+/// differential distributions per month (Figure 11) and per hour-of-day
+/// (Figure 12).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MedianIqr {
+    /// Median of the sample.
+    pub median: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Number of finite samples summarised.
+    pub count: usize,
+}
+
+/// Summarise a sample as median plus quartiles, the representation used by
+/// Figures 11 and 12 of the paper.
+pub fn median_iqr(samples: &[f64]) -> Option<MedianIqr> {
+    let finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    let q = quartiles(&finite)?;
+    Some(MedianIqr {
+        median: q.q2,
+        q1: q.q1,
+        q3: q.q3,
+        count: finite.len(),
+    })
+}
+
+/// Fraction of samples strictly below `threshold`. Returns `None` when empty.
+pub fn fraction_below(samples: &[f64], threshold: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let below = samples.iter().filter(|&&x| x < threshold).count();
+    Some(below as f64 / samples.len() as f64)
+}
+
+/// Fraction of samples with absolute value at or above `threshold`.
+/// Returns `None` when empty.
+///
+/// Used for statements like "the price per MWh changed hourly by $20 or more
+/// roughly 20 % of the time" (§3.1).
+pub fn fraction_abs_at_least(samples: &[f64], threshold: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let hits = samples.iter().filter(|&&x| x.abs() >= threshold).count();
+    Some(hits as f64 / samples.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} vs {b}");
+    }
+
+    #[test]
+    fn quantile_bounds() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_close(quantile(&xs, 0.5).unwrap(), 2.5, 1e-12);
+        assert_close(quantile(&xs, 0.25).unwrap(), 1.75, 1e-12);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range() {
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        assert_eq!(quantile(&[1.0], -0.1), None);
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_close(median(&xs).unwrap(), 5.0, 1e-12);
+    }
+
+    #[test]
+    fn percentile_95_for_billing() {
+        // 100 five-minute samples: 95/5 billing should ignore the top 5.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let p95 = percentile(&xs, 95.0).unwrap();
+        assert!(p95 >= 95.0 && p95 <= 96.0, "p95 = {p95}");
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_close(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5, 1e-12);
+    }
+
+    #[test]
+    fn quartiles_and_iqr() {
+        let xs: Vec<f64> = (0..=100).map(|i| i as f64).collect();
+        let q = quartiles(&xs).unwrap();
+        assert_close(q.q1, 25.0, 1e-9);
+        assert_close(q.q2, 50.0, 1e-9);
+        assert_close(q.q3, 75.0, 1e-9);
+        assert_close(q.iqr(), 50.0, 1e-9);
+        assert_close(iqr(&xs).unwrap(), 50.0, 1e-9);
+    }
+
+    #[test]
+    fn median_iqr_summary() {
+        let xs = [10.0, 20.0, 30.0, 40.0, f64::NAN];
+        let s = median_iqr(&xs).unwrap();
+        assert_eq!(s.count, 4);
+        assert_close(s.median, 25.0, 1e-12);
+        assert!(s.q1 < s.median && s.median < s.q3);
+    }
+
+    #[test]
+    fn fraction_below_works() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_close(fraction_below(&xs, 3.0).unwrap(), 0.5, 1e-12);
+        assert_eq!(fraction_below(&[], 1.0), None);
+    }
+
+    #[test]
+    fn fraction_abs_at_least_works() {
+        // Mimics "hourly change of $20 or more ~20% of the time".
+        let xs = [-25.0, 5.0, 3.0, 21.0, -2.0, 0.0, 1.0, -4.0, 6.0, 2.0];
+        assert_close(fraction_abs_at_least(&xs, 20.0).unwrap(), 0.2, 1e-12);
+    }
+
+    #[test]
+    fn single_sample_quantiles() {
+        assert_eq!(quantile(&[42.0], 0.3), Some(42.0));
+        let q = quartiles(&[42.0]).unwrap();
+        assert_eq!(q.q1, 42.0);
+        assert_eq!(q.q3, 42.0);
+    }
+}

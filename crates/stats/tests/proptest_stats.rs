@@ -1,0 +1,140 @@
+//! Property-based tests for the statistics kernels.
+
+use proptest::prelude::*;
+use wattroute_stats::{correlation, descriptive, online::OnlineStats, quantiles, timeseries, Histogram};
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn mean_is_between_min_and_max(xs in finite_vec(200)) {
+        let m = descriptive::mean(&xs).unwrap();
+        let lo = descriptive::min(&xs).unwrap();
+        let hi = descriptive::max(&xs).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn variance_is_non_negative(xs in finite_vec(200)) {
+        prop_assert!(descriptive::variance(&xs).unwrap() >= -1e-9);
+    }
+
+    #[test]
+    fn shifting_does_not_change_variance(xs in finite_vec(100), shift in -1e5f64..1e5f64) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let v1 = descriptive::variance(&xs).unwrap();
+        let v2 = descriptive::variance(&shifted).unwrap();
+        // relative tolerance: catastrophic cancellation is bounded for our ranges
+        prop_assert!((v1 - v2).abs() <= 1e-6 * (1.0 + v1.abs()));
+    }
+
+    #[test]
+    fn scaling_scales_std_dev(xs in finite_vec(100), scale in 0.1f64..10.0) {
+        let scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let s1 = descriptive::std_dev(&xs).unwrap();
+        let s2 = descriptive::std_dev(&scaled).unwrap();
+        prop_assert!((s2 - scale * s1).abs() <= 1e-6 * (1.0 + s2.abs()));
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in finite_vec(200), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let qlo = quantiles::quantile(&xs, lo).unwrap();
+        let qhi = quantiles::quantile(&xs, hi).unwrap();
+        prop_assert!(qlo <= qhi + 1e-12);
+    }
+
+    #[test]
+    fn median_within_range(xs in finite_vec(200)) {
+        let m = quantiles::median(&xs).unwrap();
+        prop_assert!(m >= descriptive::min(&xs).unwrap());
+        prop_assert!(m <= descriptive::max(&xs).unwrap());
+    }
+
+    #[test]
+    fn trimmed_mean_within_raw_range(xs in finite_vec(200), frac in 0.0f64..0.2) {
+        let t = descriptive::trimmed(&xs, frac).unwrap();
+        prop_assert!(t.mean >= descriptive::min(&xs).unwrap() - 1e-9);
+        prop_assert!(t.mean <= descriptive::max(&xs).unwrap() + 1e-9);
+        prop_assert!(t.retained <= xs.len());
+    }
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        xs in finite_vec(100),
+        ys in finite_vec(100),
+    ) {
+        let n = xs.len().min(ys.len());
+        if let Some(r) = correlation::pearson(&xs[..n], &ys[..n]) {
+            prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+            let r2 = correlation::pearson(&ys[..n], &xs[..n]).unwrap();
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_self_correlation_is_one(xs in finite_vec(100)) {
+        if let Some(r) = correlation::pearson(&xs, &xs) {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mutual_information_non_negative(xs in finite_vec(200), ys in finite_vec(200)) {
+        let n = xs.len().min(ys.len());
+        if let Some(mi) = correlation::mutual_information(&xs[..n], &ys[..n], 6) {
+            prop_assert!(mi >= 0.0);
+        }
+    }
+
+    #[test]
+    fn online_stats_match_batch(xs in finite_vec(300)) {
+        let mut o = OnlineStats::new();
+        for &x in &xs {
+            o.push(x);
+        }
+        let batch_mean = descriptive::mean(&xs).unwrap();
+        let batch_var = descriptive::variance(&xs).unwrap();
+        prop_assert!((o.mean().unwrap() - batch_mean).abs() < 1e-6 * (1.0 + batch_mean.abs()));
+        prop_assert!((o.variance().unwrap() - batch_var).abs() < 1e-5 * (1.0 + batch_var.abs()));
+    }
+
+    #[test]
+    fn histogram_conserves_observations(xs in finite_vec(300), lo in -100.0f64..0.0, width in 1.0f64..200.0) {
+        let h = Histogram::from_samples(lo, lo + width, 16, &xs);
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), h.total());
+        prop_assert_eq!(h.total(), xs.len() as u64);
+    }
+
+    #[test]
+    fn diff_series_length(xs in finite_vec(300)) {
+        let d = timeseries::diff_series(&xs);
+        prop_assert_eq!(d.len(), xs.len().saturating_sub(1));
+    }
+
+    #[test]
+    fn window_average_preserves_total_mass_approximately(xs in finite_vec(300), w in 1usize..24) {
+        // The mean of window means (weighted by window sizes) equals the overall mean.
+        let means = timeseries::window_average(&xs, w);
+        prop_assert!(!means.is_empty());
+        let reconstructed: f64 = xs
+            .chunks(w)
+            .zip(&means)
+            .map(|(chunk, m)| m * chunk.len() as f64)
+            .sum();
+        let total: f64 = xs.iter().sum();
+        prop_assert!((reconstructed - total).abs() < 1e-6 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn run_lengths_sum_bounded(xs in finite_vec(300), threshold in -1e5f64..1e5) {
+        let runs = timeseries::run_lengths(&xs, |x| x > threshold);
+        let total: usize = runs.iter().sum();
+        let matching = xs.iter().filter(|&&x| x > threshold).count();
+        prop_assert_eq!(total, matching);
+        prop_assert!(runs.iter().all(|&r| r >= 1));
+    }
+}

@@ -1,0 +1,176 @@
+//! 95/5 bandwidth percentiles and capacity estimation (§4 of the paper).
+//!
+//! Carriers bill on the 95th percentile of five-minute traffic samples.
+//! Akamai's client→cluster assignment is already optimised against those
+//! percentiles, so the paper constrains its price-conscious router to never
+//! push a cluster's 95th percentile above the level observed under the
+//! original assignment. This module computes those per-cluster levels and
+//! derives cluster capacity estimates from observed peaks.
+
+use serde::{Deserialize, Serialize};
+use wattroute_stats::quantiles;
+
+/// 95th percentile of a series of five-minute samples.
+///
+/// Returns `None` for an empty series.
+pub fn percentile_95(samples: &[f64]) -> Option<f64> {
+    quantiles::percentile(samples, 95.0)
+}
+
+/// Per-cluster bandwidth/billing profile derived from an observed assignment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthProfile {
+    /// 95th percentile of each cluster's five-minute hit rate under the
+    /// observed (baseline) assignment, in hits/second. Indexed by cluster
+    /// position.
+    pub p95_hits_per_sec: Vec<f64>,
+    /// Peak five-minute hit rate per cluster under the observed assignment.
+    pub peak_hits_per_sec: Vec<f64>,
+    /// Mean five-minute hit rate per cluster.
+    pub mean_hits_per_sec: Vec<f64>,
+}
+
+impl BandwidthProfile {
+    /// Build a profile from per-cluster load series (`loads[cluster][step]`,
+    /// hits/second at 5-minute resolution).
+    ///
+    /// Returns `None` if any cluster's series is empty.
+    pub fn from_cluster_loads(loads: &[Vec<f64>]) -> Option<BandwidthProfile> {
+        let mut p95 = Vec::with_capacity(loads.len());
+        let mut peak = Vec::with_capacity(loads.len());
+        let mut mean = Vec::with_capacity(loads.len());
+        for series in loads {
+            p95.push(percentile_95(series)?);
+            peak.push(series.iter().copied().fold(f64::NAN, f64::max));
+            mean.push(wattroute_stats::mean(series)?);
+        }
+        Some(BandwidthProfile { p95_hits_per_sec: p95, peak_hits_per_sec: peak, mean_hits_per_sec: mean })
+    }
+
+    /// Number of clusters covered.
+    pub fn len(&self) -> usize {
+        self.p95_hits_per_sec.len()
+    }
+
+    /// Whether the profile is empty.
+    pub fn is_empty(&self) -> bool {
+        self.p95_hits_per_sec.is_empty()
+    }
+
+    /// Headroom (in hits/second) between a cluster's current load and its
+    /// 95th-percentile ceiling; negative when the ceiling is already
+    /// exceeded.
+    pub fn headroom(&self, cluster: usize, current_load: f64) -> Option<f64> {
+        self.p95_hits_per_sec.get(cluster).map(|p| p - current_load)
+    }
+
+    /// Scale every ceiling by a factor — "relaxing" (factor > 1) or
+    /// tightening the 95/5 constraints, as explored in Figures 15, 16 and 18.
+    pub fn scaled(&self, factor: f64) -> BandwidthProfile {
+        assert!(factor >= 0.0, "scale factor must be non-negative");
+        BandwidthProfile {
+            p95_hits_per_sec: self.p95_hits_per_sec.iter().map(|p| p * factor).collect(),
+            peak_hits_per_sec: self.peak_hits_per_sec.clone(),
+            mean_hits_per_sec: self.mean_hits_per_sec.clone(),
+        }
+    }
+}
+
+/// Estimate cluster request capacities from observed peak loads and a target
+/// peak utilization. §6.1: "Capacity estimates were derived using observed
+/// hit rates and corresponding region load level data."
+///
+/// `peak_loads[cluster]` is the largest five-minute hit rate observed at the
+/// cluster; `peak_utilization` is the load level (0..1] the cluster was
+/// judged to be running at during that peak. The estimated capacity is
+/// `peak / peak_utilization`.
+pub fn estimate_capacities(peak_loads: &[f64], peak_utilization: f64) -> Vec<f64> {
+    assert!(
+        peak_utilization > 0.0 && peak_utilization <= 1.0,
+        "peak utilization must be in (0, 1]"
+    );
+    peak_loads.iter().map(|p| p / peak_utilization).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_95_ignores_top_five_percent() {
+        let mut series: Vec<f64> = vec![100.0; 95];
+        series.extend(vec![10_000.0; 5]);
+        let p = percentile_95(&series).unwrap();
+        assert!(p < 5_000.0, "p95 = {p} should be dominated by the 100s");
+        assert_eq!(percentile_95(&[]), None);
+    }
+
+    #[test]
+    fn profile_from_loads() {
+        let loads = vec![
+            (0..100).map(|i| i as f64).collect::<Vec<_>>(),
+            vec![50.0; 100],
+        ];
+        let profile = BandwidthProfile::from_cluster_loads(&loads).unwrap();
+        assert_eq!(profile.len(), 2);
+        assert!(!profile.is_empty());
+        assert!((profile.p95_hits_per_sec[0] - 94.05).abs() < 0.5);
+        assert_eq!(profile.peak_hits_per_sec[0], 99.0);
+        assert_eq!(profile.p95_hits_per_sec[1], 50.0);
+        assert!((profile.mean_hits_per_sec[0] - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cluster_series_rejected() {
+        let loads = vec![vec![1.0, 2.0], vec![]];
+        assert!(BandwidthProfile::from_cluster_loads(&loads).is_none());
+    }
+
+    #[test]
+    fn headroom() {
+        let profile = BandwidthProfile {
+            p95_hits_per_sec: vec![1000.0],
+            peak_hits_per_sec: vec![1200.0],
+            mean_hits_per_sec: vec![600.0],
+        };
+        assert_eq!(profile.headroom(0, 400.0), Some(600.0));
+        assert_eq!(profile.headroom(0, 1400.0), Some(-400.0));
+        assert_eq!(profile.headroom(3, 0.0), None);
+    }
+
+    #[test]
+    fn scaling_relaxes_ceilings() {
+        let profile = BandwidthProfile {
+            p95_hits_per_sec: vec![1000.0, 2000.0],
+            peak_hits_per_sec: vec![1100.0, 2100.0],
+            mean_hits_per_sec: vec![500.0, 900.0],
+        };
+        let relaxed = profile.scaled(1.5);
+        assert_eq!(relaxed.p95_hits_per_sec, vec![1500.0, 3000.0]);
+        assert_eq!(relaxed.peak_hits_per_sec, profile.peak_hits_per_sec);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scale_rejected() {
+        let profile = BandwidthProfile {
+            p95_hits_per_sec: vec![1.0],
+            peak_hits_per_sec: vec![1.0],
+            mean_hits_per_sec: vec![1.0],
+        };
+        let _ = profile.scaled(-1.0);
+    }
+
+    #[test]
+    fn capacity_estimation() {
+        let caps = estimate_capacities(&[700.0, 1400.0], 0.7);
+        assert!((caps[0] - 1000.0).abs() < 1e-9);
+        assert!((caps[1] - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "peak utilization")]
+    fn bad_utilization_rejected() {
+        let _ = estimate_capacities(&[1.0], 0.0);
+    }
+}

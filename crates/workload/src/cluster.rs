@@ -1,0 +1,285 @@
+//! Server clusters and deployments.
+//!
+//! A *cluster* is a set of servers in one co-location facility, attached to
+//! an electricity-market hub so its energy can be priced. A [`ClusterSet`]
+//! is the deployment the simulator routes over; the built-in
+//! [`ClusterSet::akamai_like_nine`] mirrors the nine-hub public-cluster
+//! subset used in the paper's simulations (Figure 19's CA1, CA2, MA, NY, IL,
+//! VA, NJ, TX1, TX2).
+
+use serde::{Deserialize, Serialize};
+use wattroute_geo::{hubs, HubId};
+
+/// A server cluster at one location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Short label, e.g. `CA1` or `NY`.
+    pub label: String,
+    /// Electricity-market hub the cluster buys power at.
+    pub hub: HubId,
+    /// Number of servers.
+    pub servers: u32,
+    /// Sustainable request capacity per server in hits/second. Multiplied by
+    /// `servers` this gives the cluster capacity; the ratio of offered load
+    /// to capacity is the utilization fed to the energy model.
+    pub hits_per_server_per_sec: f64,
+    /// Whether the cluster is *public* (serves arbitrary clients and is
+    /// therefore steerable) or *private* (dedicated to a specific user base,
+    /// §4). Only public clusters participate in price-conscious routing.
+    pub public: bool,
+}
+
+impl Cluster {
+    /// Total request capacity in hits/second.
+    pub fn capacity_hits_per_sec(&self) -> f64 {
+        self.servers as f64 * self.hits_per_server_per_sec
+    }
+
+    /// Utilization (0..1+) for a given offered load in hits/second. Values
+    /// above 1.0 indicate overload; callers are expected to cap assignment
+    /// at capacity but the energy model clamps defensively.
+    pub fn utilization(&self, load_hits_per_sec: f64) -> f64 {
+        if self.capacity_hits_per_sec() <= 0.0 {
+            return 0.0;
+        }
+        (load_hits_per_sec / self.capacity_hits_per_sec()).max(0.0)
+    }
+}
+
+/// An ordered deployment of clusters. Order is significant: allocation
+/// matrices index clusters by position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSet {
+    clusters: Vec<Cluster>,
+}
+
+impl ClusterSet {
+    /// Build a deployment from a list of clusters.
+    ///
+    /// # Panics
+    /// Panics if two clusters share a hub (the simulator aggregates
+    /// same-city clusters, as the paper does in §4).
+    pub fn new(clusters: Vec<Cluster>) -> Self {
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                assert!(
+                    clusters[i].hub != clusters[j].hub,
+                    "clusters {} and {} share hub {:?}; aggregate them first",
+                    clusters[i].label,
+                    clusters[j].label,
+                    clusters[i].hub
+                );
+            }
+        }
+        Self { clusters }
+    }
+
+    /// The nine-cluster Akamai-like deployment used throughout the paper's
+    /// simulations. Server counts are synthetic but sized so that the whole
+    /// deployment runs at roughly 30 % average utilization under the
+    /// Figure 14 traffic levels, matching the utilization assumptions of §2.1.
+    pub fn akamai_like_nine() -> Self {
+        let spec: [(&str, HubId, u32); 9] = [
+            ("CA1", HubId::PaloAltoCa, 2000),
+            ("CA2", HubId::LosAngelesCa, 2400),
+            ("MA", HubId::BostonMa, 1500),
+            ("NY", HubId::NewYorkNy, 3000),
+            ("IL", HubId::ChicagoIl, 2200),
+            ("VA", HubId::RichmondVa, 2600),
+            ("NJ", HubId::NewarkNj, 2800),
+            ("TX1", HubId::DallasTx, 1700),
+            ("TX2", HubId::AustinTx, 1200),
+        ];
+        let clusters = spec
+            .into_iter()
+            .map(|(label, hub, servers)| Cluster {
+                label: label.to_string(),
+                hub,
+                servers,
+                hits_per_server_per_sec: 200.0,
+                public: true,
+            })
+            .collect();
+        Self::new(clusters)
+    }
+
+    /// A deployment with one equal-sized cluster at every market hub
+    /// ("evenly distributed across all 29 hubs", §6.3).
+    pub fn even_29_hub(servers_per_cluster: u32) -> Self {
+        let clusters = hubs::market_hubs()
+            .into_iter()
+            .map(|h| Cluster {
+                label: h.code.to_string(),
+                hub: h.id,
+                servers: servers_per_cluster,
+                hits_per_server_per_sec: 200.0,
+                public: true,
+            })
+            .collect();
+        Self::new(clusters)
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether the deployment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// The clusters in order.
+    pub fn clusters(&self) -> &[Cluster] {
+        &self.clusters
+    }
+
+    /// The cluster at a position.
+    pub fn get(&self, index: usize) -> Option<&Cluster> {
+        self.clusters.get(index)
+    }
+
+    /// Position of the cluster at a given hub.
+    pub fn index_of_hub(&self, hub: HubId) -> Option<usize> {
+        self.clusters.iter().position(|c| c.hub == hub)
+    }
+
+    /// Total server count.
+    pub fn total_servers(&self) -> u64 {
+        self.clusters.iter().map(|c| c.servers as u64).sum()
+    }
+
+    /// Total request capacity in hits/second.
+    pub fn total_capacity_hits_per_sec(&self) -> f64 {
+        self.clusters.iter().map(|c| c.capacity_hits_per_sec()).sum()
+    }
+
+    /// Hub ids in cluster order.
+    pub fn hub_ids(&self) -> Vec<HubId> {
+        self.clusters.iter().map(|c| c.hub).collect()
+    }
+
+    /// Labels in cluster order.
+    pub fn labels(&self) -> Vec<&str> {
+        self.clusters.iter().map(|c| c.label.as_str()).collect()
+    }
+
+    /// Scale every cluster's server count by a factor (rounding to at least
+    /// one server). Useful for heterogeneous-deployment experiments.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        let clusters = self
+            .clusters
+            .iter()
+            .map(|c| Cluster {
+                servers: ((c.servers as f64 * factor).round() as u32).max(1),
+                label: c.label.clone(),
+                ..*c
+            })
+            .collect();
+        Self { clusters }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_cluster_deployment_matches_figure_19_labels() {
+        let set = ClusterSet::akamai_like_nine();
+        assert_eq!(set.len(), 9);
+        assert_eq!(
+            set.labels(),
+            vec!["CA1", "CA2", "MA", "NY", "IL", "VA", "NJ", "TX1", "TX2"]
+        );
+        assert!(set.clusters().iter().all(|c| c.public));
+    }
+
+    #[test]
+    fn nine_cluster_capacity_supports_us_peak_at_moderate_utilization() {
+        // US peak traffic is ~1.25 M hits/s (Figure 14); the deployment
+        // should absorb it at well under full utilization so the router has
+        // freedom to move load.
+        let set = ClusterSet::akamai_like_nine();
+        let capacity = set.total_capacity_hits_per_sec();
+        assert!(capacity > 2.0e6, "capacity {capacity} too small");
+        let utilization_at_peak = 1.25e6 / capacity;
+        assert!(
+            utilization_at_peak > 0.2 && utilization_at_peak < 0.5,
+            "average utilization at peak should be ~30%, got {utilization_at_peak}"
+        );
+    }
+
+    #[test]
+    fn even_29_hub_deployment() {
+        let set = ClusterSet::even_29_hub(500);
+        assert_eq!(set.len(), 29);
+        assert_eq!(set.total_servers(), 29 * 500);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let c = Cluster {
+            label: "X".into(),
+            hub: HubId::BostonMa,
+            servers: 100,
+            hits_per_server_per_sec: 200.0,
+            public: true,
+        };
+        assert_eq!(c.capacity_hits_per_sec(), 20_000.0);
+        assert!((c.utilization(10_000.0) - 0.5).abs() < 1e-12);
+        assert_eq!(c.utilization(-5.0), 0.0);
+        assert!(c.utilization(30_000.0) > 1.0);
+    }
+
+    #[test]
+    fn index_of_hub() {
+        let set = ClusterSet::akamai_like_nine();
+        assert_eq!(set.index_of_hub(HubId::NewYorkNy), Some(3));
+        assert_eq!(set.index_of_hub(HubId::PortlandOr), None);
+        assert_eq!(set.get(0).unwrap().label, "CA1");
+        assert!(set.get(99).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "share hub")]
+    fn duplicate_hub_rejected() {
+        let c = |label: &str| Cluster {
+            label: label.to_string(),
+            hub: HubId::BostonMa,
+            servers: 10,
+            hits_per_server_per_sec: 200.0,
+            public: true,
+        };
+        let _ = ClusterSet::new(vec![c("A"), c("B")]);
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let set = ClusterSet::akamai_like_nine();
+        let doubled = set.scaled(2.0);
+        assert_eq!(doubled.len(), set.len());
+        assert_eq!(doubled.total_servers(), set.total_servers() * 2);
+        let tiny = set.scaled(1e-9);
+        assert!(tiny.clusters().iter().all(|c| c.servers >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = ClusterSet::akamai_like_nine().scaled(0.0);
+    }
+
+    #[test]
+    fn zero_capacity_cluster_has_zero_utilization() {
+        let c = Cluster {
+            label: "empty".into(),
+            hub: HubId::BostonMa,
+            servers: 0,
+            hits_per_server_per_sec: 200.0,
+            public: true,
+        };
+        assert_eq!(c.utilization(1000.0), 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! CDN workload substrate for the `wattroute` workspace.
+//!
+//! The paper drives its simulations with 24 days of traffic data from
+//! Akamai's public clusters: 5-minute samples of hits served per cluster,
+//! a coarse geography of where the clients were (US states), estimates of
+//! cluster capacity, and the 95th-percentile levels used for bandwidth
+//! billing (§4). That data set is proprietary, so this crate provides a
+//! synthetic equivalent with the same shape:
+//!
+//! * [`cluster`] — server clusters co-located with electricity-market hubs,
+//!   with server counts and request capacities (an Akamai-like nine-cluster
+//!   deployment is built in);
+//! * [`trace`] — 5-minute-resolution traces of per-state client demand;
+//! * [`synthetic`] — a seeded generator producing Akamai-like traffic:
+//!   population-proportional state demand, local-time diurnal and weekly
+//!   cycles, a turn-of-year dip, noise and flash crowds, scaled to the
+//!   ~2 M hits/s global peak shown in Figure 14;
+//! * [`derive`] — the paper's own procedure (§6.1) for extending the 24-day
+//!   trace to arbitrary horizons by averaging per (state, hour-of-week);
+//! * [`bandwidth`] — 95/5 percentile computation and capacity estimation.
+//!
+//! # Example
+//!
+//! ```
+//! use wattroute_workload::prelude::*;
+//! use wattroute_market::time::HourRange;
+//!
+//! let clusters = ClusterSet::akamai_like_nine();
+//! let config = SyntheticWorkloadConfig::default();
+//! let trace = config.generate(HourRange::akamai_24_days());
+//! assert_eq!(trace.num_steps(), 24 * 24 * 12);
+//! let peak = trace.peak_us_hits_per_sec();
+//! assert!(peak > 1.0e6, "US peak should be around 1.25M hits/s, got {peak}");
+//! assert_eq!(clusters.len(), 9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod cluster;
+pub mod derive;
+pub mod synthetic;
+pub mod trace;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::bandwidth::{percentile_95, BandwidthProfile};
+    pub use crate::cluster::{Cluster, ClusterSet};
+    pub use crate::derive::WeeklyProfile;
+    pub use crate::synthetic::SyntheticWorkloadConfig;
+    pub use crate::trace::{Trace, TraceStep};
+}
+
+pub use prelude::*;

@@ -1,0 +1,330 @@
+//! Synthetic Akamai-like traffic generation.
+//!
+//! # Substitution note
+//!
+//! The paper's 24-day Akamai trace is proprietary. This generator produces a
+//! trace with the same observable structure (Figure 14 and §4):
+//!
+//! * a global peak of roughly 2 million hits/second, of which about
+//!   1.25 million originate in the US;
+//! * per-state demand proportional to population, following each state's
+//!   *local* time of day (West-coast evening peaks arrive three hours after
+//!   East-coast ones — exactly the offset the price-differential analysis
+//!   of Figure 12 exploits);
+//! * a weekly cycle (weekend traffic lower than weekday traffic) and a dip
+//!   over the end-of-December holidays, which the real trace straddles;
+//! * multiplicative noise and occasional flash crowds concentrated in one
+//!   state.
+//!
+//! Because the routing simulator only consumes per-state demand series, a
+//! generator matching those marginal shapes exercises the same code paths
+//! as the original trace.
+
+use crate::trace::{Trace, TraceStep, STEPS_PER_HOUR};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wattroute_market::time::{HourRange, SimHour};
+use wattroute_geo::{state::population_share, UsState};
+
+/// Configuration of the synthetic workload generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticWorkloadConfig {
+    /// Peak global demand in hits/second (Figure 14 shows just over 2 M).
+    pub peak_global_hits_per_sec: f64,
+    /// Fraction of global traffic originating in the US at comparable local
+    /// times (Figure 14: ~1.25 M of ~2 M).
+    pub us_fraction: f64,
+    /// Ratio of the overnight trough to the evening peak (0..1).
+    pub diurnal_trough_ratio: f64,
+    /// Multiplier applied to weekend demand.
+    pub weekend_multiplier: f64,
+    /// Multiplier applied during the end-of-December holiday dip.
+    pub holiday_multiplier: f64,
+    /// Standard deviation of the multiplicative per-step noise.
+    pub noise_sigma: f64,
+    /// Expected number of flash-crowd events per day.
+    pub flash_crowds_per_day: f64,
+    /// Peak relative amplitude of a flash crowd (e.g. 0.5 adds 50 % to one
+    /// state's demand at the flash crowd's peak).
+    pub flash_crowd_amplitude: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticWorkloadConfig {
+    fn default() -> Self {
+        Self {
+            peak_global_hits_per_sec: 2.3e6,
+            us_fraction: 0.58,
+            diurnal_trough_ratio: 0.45,
+            weekend_multiplier: 0.88,
+            holiday_multiplier: 0.80,
+            noise_sigma: 0.03,
+            flash_crowds_per_day: 1.5,
+            flash_crowd_amplitude: 0.6,
+            seed: 0xACA_11A1,
+        }
+    }
+}
+
+impl SyntheticWorkloadConfig {
+    /// Generate a trace covering `range` at 5-minute resolution, including
+    /// every state (plus DC) as a client population.
+    pub fn generate(&self, range: HourRange) -> Trace {
+        self.generate_for_states(range, UsState::all().collect())
+    }
+
+    /// Generate a trace for a specific set of client states.
+    pub fn generate_for_states(&self, range: HourRange, states: Vec<UsState>) -> Trace {
+        assert!(!states.is_empty(), "need at least one client state");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_steps = (range.len_hours() as usize) * STEPS_PER_HOUR;
+
+        // Population shares renormalised over the selected states.
+        let raw_shares: Vec<f64> = states.iter().map(|s| population_share(*s)).collect();
+        let share_sum: f64 = raw_shares.iter().sum();
+        let shares: Vec<f64> = raw_shares.iter().map(|s| s / share_sum).collect();
+
+        // Scale so that the US total peaks at roughly us_fraction * peak.
+        // The diurnal shape peaks at 1.0, so the scale is simply the target
+        // US peak (flash crowds and noise push individual samples slightly
+        // above it, as in the real trace).
+        let us_peak_target = self.peak_global_hits_per_sec * self.us_fraction;
+
+        // Pre-plan flash crowds: (step index, state index, amplitude).
+        let expected_crowds = self.flash_crowds_per_day * range.len_hours() as f64 / 24.0;
+        let n_crowds = expected_crowds.round() as usize;
+        let crowds: Vec<(usize, usize, f64)> = (0..n_crowds)
+            .map(|_| {
+                (
+                    rng.gen_range(0..n_steps.max(1)),
+                    rng.gen_range(0..states.len()),
+                    self.flash_crowd_amplitude * (0.5 + rng.gen::<f64>()),
+                )
+            })
+            .collect();
+
+        let mut steps = Vec::with_capacity(n_steps);
+        for step_idx in 0..n_steps {
+            let hour = SimHour(range.start.0 + (step_idx / STEPS_PER_HOUR) as u64);
+            let minute_frac = (step_idx % STEPS_PER_HOUR) as f64 / STEPS_PER_HOUR as f64;
+
+            let holiday = self.holiday_factor(hour);
+            let weekend = if hour.is_weekend() { self.weekend_multiplier } else { 1.0 };
+
+            let mut us_demand = Vec::with_capacity(states.len());
+            for (state_idx, state) in states.iter().enumerate() {
+                let local_hour =
+                    hour.hour_of_day_local(state.utc_offset_hours()) as f64 + minute_frac;
+                let diurnal = self.diurnal_shape(local_hour);
+                let noise = (1.0 + self.noise_sigma * crate::synthetic::gaussian(&mut rng))
+                    .max(0.0);
+                let mut demand =
+                    us_peak_target * shares[state_idx] * diurnal * weekend * holiday * noise;
+                // Apply any flash crowd affecting this state near this step.
+                for &(crowd_step, crowd_state, amplitude) in &crowds {
+                    if crowd_state == state_idx {
+                        let distance = (step_idx as f64 - crowd_step as f64).abs();
+                        // Flash crowds ramp up and decay over about two hours.
+                        let width = 24.0;
+                        if distance < width * 4.0 {
+                            demand *= 1.0 + amplitude * (-distance * distance / (2.0 * width * width)).exp();
+                        }
+                    }
+                }
+                us_demand.push(demand);
+            }
+
+            // Non-US demand mixes many time zones (Europe + Asia), so it is
+            // much flatter than the US curve and keeps the global series
+            // elevated around the clock, as in Figure 14.
+            let overseas_local = (hour.hour_of_day_eastern() as f64 + minute_frac + 7.0) % 24.0;
+            let non_us = self.peak_global_hits_per_sec
+                * (1.0 - self.us_fraction)
+                * (0.70 + 0.30 * self.diurnal_shape(overseas_local))
+                * holiday
+                * (1.0 + self.noise_sigma * gaussian(&mut rng)).max(0.0);
+
+            steps.push(TraceStep { us_demand, non_us_hits_per_sec: non_us });
+        }
+
+        Trace::new(range.start, states, steps)
+    }
+
+    /// Smooth diurnal shape in `[trough_ratio, 1]`, peaking in the local
+    /// evening (~19:00) with a trough in the early morning (~05:00).
+    fn diurnal_shape(&self, local_hour: f64) -> f64 {
+        let phase = (local_hour - 5.0) / 24.0 * std::f64::consts::TAU;
+        let base = 0.5 * (1.0 - phase.cos()); // 0 at 5am, 1 at 5pm
+        let evening_boost = 0.35 * (-(local_hour - 20.0) * (local_hour - 20.0) / 8.0).exp();
+        // Normalise so the evening peak reaches ~1.0 without flattening into
+        // a plateau; a distinct peak hour preserves the 3-hour East/West
+        // offset the price-differential analysis relies on.
+        let shape = ((base + evening_boost) / 1.25).min(1.0);
+        self.diurnal_trough_ratio + (1.0 - self.diurnal_trough_ratio) * shape
+    }
+
+    /// Multiplier modelling the end-of-December holiday dip.
+    fn holiday_factor(&self, hour: SimHour) -> f64 {
+        let (_, month, day) = hour.calendar_date();
+        if month == 12 && day >= 23 || month == 1 && day <= 2 {
+            self.holiday_multiplier
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Standard normal sample (module-private helper; Box-Muller).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattroute_stats as stats;
+
+    fn akamai_trace() -> Trace {
+        SyntheticWorkloadConfig::default().generate(HourRange::akamai_24_days())
+    }
+
+    #[test]
+    fn trace_covers_24_days_at_5_minutes() {
+        let t = akamai_trace();
+        assert_eq!(t.num_steps(), 24 * 24 * 12);
+        assert_eq!(t.states.len(), 51);
+    }
+
+    #[test]
+    fn peaks_match_figure_14() {
+        let t = akamai_trace();
+        let global_peak = t.peak_global_hits_per_sec();
+        let us_peak = t.peak_us_hits_per_sec();
+        assert!(
+            global_peak > 1.6e6 && global_peak < 2.6e6,
+            "global peak should be ~2M hits/s, got {global_peak}"
+        );
+        assert!(
+            us_peak > 1.0e6 && us_peak < 1.7e6,
+            "US peak should be ~1.25M hits/s, got {us_peak}"
+        );
+        assert!(us_peak < global_peak);
+    }
+
+    #[test]
+    fn demand_is_deterministic_per_seed() {
+        let a = SyntheticWorkloadConfig::default().generate(HourRange::akamai_24_days());
+        let b = SyntheticWorkloadConfig::default().generate(HourRange::akamai_24_days());
+        assert_eq!(a, b);
+        let c = SyntheticWorkloadConfig { seed: 999, ..Default::default() }
+            .generate(HourRange::akamai_24_days());
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn diurnal_swing_is_strong() {
+        // Figure 14 shows peak-to-trough swings of roughly 2x.
+        let t = akamai_trace();
+        let us = t.us_series();
+        let peak = us.iter().copied().fold(0.0, f64::max);
+        let trough = us.iter().copied().fold(f64::INFINITY, f64::min);
+        let ratio = peak / trough;
+        assert!(ratio > 1.6 && ratio < 4.0, "peak/trough = {ratio}");
+    }
+
+    #[test]
+    fn demand_tracks_population() {
+        let t = akamai_trace();
+        let means = t.mean_state_demand();
+        let by_state = |s: UsState| means.iter().find(|(st, _)| *st == s).unwrap().1;
+        assert!(by_state(UsState::CA) > by_state(UsState::WY) * 20.0);
+        assert!(by_state(UsState::TX) > by_state(UsState::VT) * 10.0);
+        assert!(by_state(UsState::NY) > by_state(UsState::RI) * 5.0);
+    }
+
+    #[test]
+    fn california_peaks_later_than_new_york_in_eastern_time() {
+        let t = akamai_trace();
+        let ca = t.state_index(UsState::CA).unwrap();
+        let ny = t.state_index(UsState::NY).unwrap();
+        // Average demand by hour-of-day (Eastern) for each state; the
+        // argmax for California should be ~3 hours later.
+        let mut ca_by_hour = vec![0.0f64; 24];
+        let mut ny_by_hour = vec![0.0f64; 24];
+        let mut counts = vec![0usize; 24];
+        for (i, step) in t.steps().iter().enumerate() {
+            let h = t.step_hour(i).hour_of_day_eastern() as usize;
+            ca_by_hour[h] += step.us_demand[ca];
+            ny_by_hour[h] += step.us_demand[ny];
+            counts[h] += 1;
+        }
+        for h in 0..24 {
+            ca_by_hour[h] /= counts[h] as f64;
+            ny_by_hour[h] /= counts[h] as f64;
+        }
+        let argmax = |xs: &[f64]| {
+            xs.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0 as i64
+        };
+        let lag = (argmax(&ca_by_hour) - argmax(&ny_by_hour)).rem_euclid(24);
+        assert!((2..=4).contains(&lag), "California peak should lag New York by ~3h, got {lag}");
+    }
+
+    #[test]
+    fn holiday_dip_present() {
+        let t = akamai_trace();
+        // Compare Christmas day with a comparable non-holiday weekday.
+        let christmas = t.slice(HourRange::new(
+            SimHour::from_date(2008, 12, 25),
+            SimHour::from_date(2008, 12, 26),
+        ));
+        let early_january = t.slice(HourRange::new(
+            SimHour::from_date(2009, 1, 8),
+            SimHour::from_date(2009, 1, 9),
+        ));
+        let christmas_mean = stats::mean(&christmas.us_series()).unwrap();
+        let january_mean = stats::mean(&early_january.us_series()).unwrap();
+        assert!(
+            christmas_mean < january_mean * 0.92,
+            "holiday traffic {christmas_mean} should be below normal {january_mean}"
+        );
+    }
+
+    #[test]
+    fn weekend_dip_present() {
+        let t = SyntheticWorkloadConfig { holiday_multiplier: 1.0, ..Default::default() }
+            .generate(HourRange::akamai_24_days());
+        let mut weekday = Vec::new();
+        let mut weekend = Vec::new();
+        for (i, step) in t.steps().iter().enumerate() {
+            if t.step_hour(i).is_weekend() {
+                weekend.push(step.us_total());
+            } else {
+                weekday.push(step.us_total());
+            }
+        }
+        assert!(stats::mean(&weekend).unwrap() < stats::mean(&weekday).unwrap());
+    }
+
+    #[test]
+    fn restricted_state_set() {
+        let cfg = SyntheticWorkloadConfig::default();
+        let t = cfg.generate_for_states(
+            HourRange::new(SimHour(0), SimHour(24)),
+            vec![UsState::CA, UsState::NY],
+        );
+        assert_eq!(t.states.len(), 2);
+        // Shares renormalise: the two states carry the whole US target.
+        assert!(t.peak_us_hits_per_sec() > 0.5e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client state")]
+    fn empty_state_set_panics() {
+        let _ = SyntheticWorkloadConfig::default()
+            .generate_for_states(HourRange::new(SimHour(0), SimHour(24)), vec![]);
+    }
+}

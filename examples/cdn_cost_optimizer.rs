@@ -1,0 +1,62 @@
+//! A CDN operator's view: sweep energy-elasticity assumptions and distance
+//! thresholds to decide whether price-conscious routing is worth deploying.
+//!
+//! ```sh
+//! cargo run --release --example cdn_cost_optimizer
+//! ```
+
+use wattroute::prelude::*;
+
+fn main() {
+    let start = SimHour::from_date(2008, 12, 19);
+    let range = HourRange::new(start, start.plus_hours(10 * 24));
+
+    println!("== How much does energy elasticity matter? ==");
+    println!("(ten-day window, 1500 km distance threshold, savings vs Akamai-like baseline)\n");
+    println!("{:<28} {:>16} {:>16}", "energy model (idle, PUE)", "relax 95/5", "follow 95/5");
+    for (label, params) in EnergyModelParams::figure_15_sweep() {
+        let scenario = Scenario::custom_window(7, range).with_energy(params);
+        let cmp = scenario.compare_price_conscious(1500.0);
+        println!(
+            "{:<28} {:>15.1}% {:>15.1}%",
+            label,
+            cmp.alternatives[0].savings_percent_vs(&cmp.baseline),
+            cmp.alternatives[1].savings_percent_vs(&cmp.baseline),
+        );
+    }
+
+    println!("\n== How far are we willing to send clients? ==");
+    println!("(fully elastic model; cost normalized to the baseline)\n");
+    let scenario = Scenario::custom_window(7, range).with_energy(EnergyModelParams::optimistic_future());
+    let baseline = scenario.baseline_report();
+    println!(
+        "{:<22} {:>12} {:>14} {:>12}",
+        "distance threshold", "norm. cost", "mean dist km", "p99 dist km"
+    );
+    for threshold in [0.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0] {
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(threshold);
+        let report = scenario.run(&mut policy);
+        println!(
+            "{:<22} {:>12.3} {:>14.0} {:>12.0}",
+            format!("{threshold:.0} km"),
+            report.normalized_cost_vs(&baseline),
+            report.mean_distance_km,
+            report.p99_distance_km
+        );
+    }
+
+    println!("\n== Does a static move to the cheapest market do as well? ==\n");
+    let mut static_policy = scenario.static_cheapest_policy();
+    let static_report = scenario.run(&mut static_policy);
+    let mut dynamic = PriceConsciousPolicy::unconstrained_distance();
+    let dynamic_report = scenario.run(&mut dynamic);
+    println!(
+        "static cheapest-hub:     {:>5.1}% savings",
+        static_report.savings_percent_vs(&baseline)
+    );
+    println!(
+        "dynamic (unconstrained): {:>5.1}% savings",
+        dynamic_report.savings_percent_vs(&baseline)
+    );
+    println!("\nThe dynamic router wins because price differentials keep reversing (Figure 9-13).");
+}

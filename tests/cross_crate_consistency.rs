@@ -1,0 +1,104 @@
+//! Consistency checks across crate boundaries: the identifiers, units and
+//! orderings that the crates must agree on.
+
+use wattroute::prelude::*;
+use wattroute::geo::hubs;
+
+#[test]
+fn every_cluster_hub_has_market_parameters_and_prices() {
+    let clusters = ClusterSet::akamai_like_nine();
+    let model = MarketModel::calibrated();
+    for hub in clusters.hub_ids() {
+        assert!(model.hub_params(hub).is_some(), "no market calibration for {hub:?}");
+        assert!(hubs::hub(hub).rto.has_hourly_market(), "cluster hub {hub:?} must be in a market");
+    }
+    let generator = PriceGenerator::nine_cluster_default(1);
+    let range = HourRange::new(SimHour(0), SimHour(24));
+    let prices = generator.realtime_hourly(range);
+    for hub in clusters.hub_ids() {
+        assert!(prices.for_hub(hub).is_some());
+    }
+}
+
+#[test]
+fn simulation_hub_labels_match_cluster_labels() {
+    let clusters = ClusterSet::akamai_like_nine();
+    assert_eq!(clusters.labels(), hubs::SIMULATION_HUB_LABELS.to_vec());
+    let sim_hubs = hubs::simulation_hubs();
+    for (cluster, hub) in clusters.clusters().iter().zip(sim_hubs.iter()) {
+        assert_eq!(cluster.hub, hub.id);
+    }
+}
+
+#[test]
+fn every_market_hub_has_model_parameters() {
+    let model = MarketModel::calibrated();
+    for hub in hubs::all_hubs() {
+        assert!(model.hub_params(hub.id).is_some(), "missing calibration for {:?}", hub.id);
+    }
+    assert_eq!(model.hub_ids().len(), hubs::all_hubs().len());
+}
+
+#[test]
+fn workload_states_align_with_geo_states() {
+    let trace = SyntheticWorkloadConfig::default()
+        .generate(HourRange::new(SimHour(0), SimHour(24)));
+    assert_eq!(trace.states.len(), UsState::all().count());
+    for state in &trace.states {
+        // Each state has a population and a centroid in the geo tables.
+        assert!(state.population() > 0);
+        assert!(state.centroid().lat.is_finite());
+    }
+}
+
+#[test]
+fn figure_15_energy_sweep_is_consistent_with_elasticity_ordering() {
+    use wattroute::energy::model::ClusterPowerModel;
+    let sweep = EnergyModelParams::figure_15_sweep();
+    let elasticities: Vec<f64> = sweep
+        .iter()
+        .map(|(_, p)| ClusterPowerModel::new(*p, 1000).elasticity_ratio())
+        .collect();
+    for pair in elasticities.windows(2) {
+        assert!(pair[0] <= pair[1] + 1e-9, "sweep must be ordered from elastic to inelastic");
+    }
+    // The extremes match the paper's descriptions: a fully proportional
+    // cluster idles at ~0 while the (65%, 2.0) cluster idles above 80% of
+    // its peak draw.
+    assert!(elasticities[0] < 0.05);
+    assert!(elasticities[6] > 0.8);
+}
+
+#[test]
+fn csv_roundtrip_preserves_simulation_results() {
+    // Exporting prices to CSV and re-importing them must not change the
+    // simulator's answer (beyond the 4-decimal rounding of the format).
+    let start = SimHour::from_date(2008, 12, 19);
+    let range = HourRange::new(start, start.plus_hours(48));
+    let scenario = Scenario::custom_window(55, range);
+    let baseline_original = scenario.baseline_report();
+
+    let csv = wattroute::market::csv::to_csv(&scenario.prices);
+    let reimported = wattroute::market::csv::from_csv(&csv).unwrap();
+    let mut scenario2 = scenario.clone();
+    scenario2.prices = reimported;
+    let baseline_roundtrip = scenario2.baseline_report();
+
+    let relative = (baseline_original.total_cost_dollars - baseline_roundtrip.total_cost_dollars).abs()
+        / baseline_original.total_cost_dollars;
+    assert!(relative < 1e-4, "CSV roundtrip changed the answer by {relative}");
+}
+
+#[test]
+fn units_are_coherent_from_watts_to_dollars() {
+    // A cluster of 1000 servers at 250 W peak, fully utilised for one hour
+    // in a PUE-1.0 facility, at $60/MWh, costs 0.25 MWh * $60 = $15.
+    use wattroute::energy::cost::energy_cost_dollars;
+    use wattroute::energy::model::ClusterPowerModel;
+    let params = EnergyModelParams::new(250.0, 0.0, 1.0);
+    let model = ClusterPowerModel::new(params, 1000);
+    let wh = model.energy_watt_hours(1.0, 1.0);
+    let dollars = energy_cost_dollars(wh, 60.0);
+    assert!((wh - 250_000.0).abs() < 1e-6);
+    assert!((dollars - 15.0).abs() < 1e-9);
+}

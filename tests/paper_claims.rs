@@ -1,0 +1,154 @@
+//! Integration tests pinning the paper's qualitative claims: the directions
+//! and orderings its evaluation reports must hold on the reproduction.
+//! (Exact magnitudes depend on the synthetic calibration and are recorded in
+//! EXPERIMENTS.md rather than asserted here.)
+
+use wattroute::prelude::*;
+use wattroute::market::analysis;
+use wattroute::market::differential::Differential;
+
+fn window(days: u64) -> HourRange {
+    let start = SimHour::from_date(2008, 12, 19);
+    HourRange::new(start, start.plus_hours(days * 24))
+}
+
+/// §6.2 / Figure 15: savings grow with energy elasticity, and obeying the
+/// 95/5 constraints reduces but does not eliminate them.
+#[test]
+fn savings_increase_with_elasticity_and_shrink_under_95_5() {
+    let elastic = Scenario::custom_window(1, window(4)).with_energy(EnergyModelParams::optimistic_future());
+    let google = Scenario::custom_window(1, window(4)).with_energy(EnergyModelParams::google_2009());
+
+    let cmp_elastic = elastic.compare_price_conscious(1500.0);
+    let cmp_google = google.compare_price_conscious(1500.0);
+
+    let elastic_relaxed = cmp_elastic.alternatives[0].savings_percent_vs(&cmp_elastic.baseline);
+    let elastic_strict = cmp_elastic.alternatives[1].savings_percent_vs(&cmp_elastic.baseline);
+    let google_relaxed = cmp_google.alternatives[0].savings_percent_vs(&cmp_google.baseline);
+
+    assert!(elastic_relaxed > 10.0, "fully elastic relaxed savings should be large, got {elastic_relaxed:.1}%");
+    assert!(
+        elastic_relaxed > google_relaxed + 3.0,
+        "savings must grow with elasticity: {elastic_relaxed:.1}% vs {google_relaxed:.1}%"
+    );
+    assert!(elastic_strict > 0.0, "following 95/5 must not eliminate savings entirely");
+    assert!(elastic_strict < elastic_relaxed, "following 95/5 must reduce savings");
+    assert!(google_relaxed > -0.5, "even at Google elasticity the optimizer should not lose money");
+}
+
+/// §6.2 / Figures 16-17: larger distance thresholds mean lower cost and
+/// longer client-server distances.
+#[test]
+fn cost_falls_and_distance_rises_with_the_threshold() {
+    let scenario = Scenario::custom_window(3, window(4)).with_energy(EnergyModelParams::optimistic_future());
+    let baseline = scenario.baseline_report();
+
+    let mut last_cost = f64::INFINITY;
+    let mut costs = Vec::new();
+    let mut distances = Vec::new();
+    for threshold in [0.0, 1000.0, 2500.0] {
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(threshold);
+        let report = scenario.run(&mut policy);
+        costs.push(report.normalized_cost_vs(&baseline));
+        distances.push(report.mean_distance_km);
+        assert!(report.normalized_cost_vs(&baseline) <= last_cost + 1e-9);
+        last_cost = report.normalized_cost_vs(&baseline);
+    }
+    assert!(costs[2] < costs[0], "unconstrained threshold must be cheaper than nearest routing");
+    assert!(
+        distances[2] > distances[0],
+        "savings are not free: distances must grow, {distances:?}"
+    );
+}
+
+/// §6.3 / Figure 18: the dynamic price optimizer beats the static
+/// cheapest-market placement over a long horizon.
+#[test]
+fn dynamic_beats_static_over_a_long_horizon() {
+    let start = SimHour::from_date(2008, 1, 1);
+    let range = HourRange::new(start, start.plus_hours(60 * 24));
+    let scenario = Scenario::synthetic_over(17, range).with_energy(EnergyModelParams::optimistic_future());
+    let baseline = scenario.baseline_report();
+
+    let mut dynamic = PriceConsciousPolicy::unconstrained_distance();
+    let dynamic_savings = scenario.run(&mut dynamic).savings_percent_vs(&baseline);
+    let mut static_policy = scenario.static_cheapest_policy();
+    let static_savings = scenario.run(&mut static_policy).savings_percent_vs(&baseline);
+
+    assert!(dynamic_savings > 0.0);
+    assert!(
+        dynamic_savings > static_savings,
+        "dynamic ({dynamic_savings:.1}%) must beat static ({static_savings:.1}%)"
+    );
+}
+
+/// §6.4 / Figure 20: reacting late to prices costs money.
+#[test]
+fn reaction_delay_increases_cost() {
+    let start = SimHour::from_date(2008, 5, 1);
+    let range = HourRange::new(start, start.plus_hours(45 * 24));
+    let scenario = Scenario::synthetic_over(23, range).with_energy(EnergyModelParams::optimistic_future());
+
+    let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+    let immediate = scenario
+        .run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(0))
+        .total_cost_dollars;
+    let delayed_12h = scenario
+        .run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(12))
+        .total_cost_dollars;
+    assert!(
+        delayed_12h > immediate,
+        "a 12-hour stale view of prices must cost more: {delayed_12h:.0} vs {immediate:.0}"
+    );
+}
+
+/// §3.2 / Figure 8: same-RTO hub pairs are better correlated than cross-RTO
+/// pairs, and California's two hubs are tightly coupled.
+#[test]
+fn correlation_structure_matches_section_3() {
+    let generator = PriceGenerator::new(MarketModel::calibrated(), 31);
+    let range = HourRange::new(SimHour::from_date(2007, 1, 1), SimHour::from_date(2007, 7, 1));
+    let prices = generator.realtime_hourly(range);
+    let pairs = analysis::pairwise_correlations(&prices);
+    let summary = analysis::correlation_summary(&pairs).unwrap();
+    assert!(summary.mean_same_rto > summary.mean_cross_rto);
+    assert!(summary.same_rto_above_06 > summary.cross_rto_above_06);
+}
+
+/// §3.3 / Figure 10: the cross-country PaloAlto-Virginia differential is
+/// roughly zero-mean and dynamically exploitable, while Boston-NYC is skewed
+/// toward Boston being cheaper.
+#[test]
+fn differential_shapes_match_section_3() {
+    let generator = PriceGenerator::new(
+        MarketModel::calibrated().restricted_to(&[
+            HubId::PaloAltoCa,
+            HubId::RichmondVa,
+            HubId::BostonMa,
+            HubId::NewYorkNy,
+        ]),
+        37,
+    );
+    let range = HourRange::new(SimHour::from_date(2006, 1, 1), SimHour::from_date(2006, 12, 1));
+    let prices = generator.realtime_hourly(range);
+
+    let pa_va = Differential::between(
+        prices.for_hub(HubId::PaloAltoCa).unwrap(),
+        prices.for_hub(HubId::RichmondVa).unwrap(),
+    )
+    .unwrap();
+    assert!(pa_va.is_dynamically_exploitable(0.15), "{:?}", pa_va.stats());
+
+    let bos_nyc = Differential::between(
+        prices.for_hub(HubId::BostonMa).unwrap(),
+        prices.for_hub(HubId::NewYorkNy).unwrap(),
+    )
+    .unwrap();
+    let stats = bos_nyc.stats().unwrap();
+    assert!(stats.mean < 0.0, "Boston should be cheaper than NYC on average, mean = {}", stats.mean);
+    assert!(
+        stats.fraction_b_cheaper_by_threshold > 0.05,
+        "but NYC should still be meaningfully cheaper part of the time ({:.2})",
+        stats.fraction_b_cheaper_by_threshold
+    );
+}
