@@ -9,12 +9,16 @@ fn bench_price_generation(c: &mut Criterion) {
     group.sample_size(10);
 
     for &days in &[7u64, 30u64] {
-        group.bench_with_input(BenchmarkId::new("nine_hubs_rt_hourly_days", days), &days, |b, &days| {
-            let generator = PriceGenerator::nine_cluster_default(1);
-            let start = SimHour::from_date(2007, 1, 1);
-            let range = HourRange::new(start, start.plus_hours(days * 24));
-            b.iter(|| generator.realtime_hourly(range));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("nine_hubs_rt_hourly_days", days),
+            &days,
+            |b, &days| {
+                let generator = PriceGenerator::nine_cluster_default(1);
+                let start = SimHour::from_date(2007, 1, 1);
+                let range = HourRange::new(start, start.plus_hours(days * 24));
+                b.iter(|| generator.realtime_hourly(range));
+            },
+        );
     }
 
     group.bench_function("thirty_hubs_rt_hourly_30_days", |b| {

@@ -12,8 +12,8 @@ fn bench_simulation(c: &mut Criterion) {
     let week = HourRange::new(start, start.plus_hours(7 * 24));
 
     group.bench_function("one_week_24day_trace_price_conscious", |b| {
-        let scenario = Scenario::custom_window(1, week)
-            .with_energy(EnergyModelParams::optimistic_future());
+        let scenario =
+            Scenario::custom_window(1, week).with_energy(EnergyModelParams::optimistic_future());
         b.iter(|| {
             let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
             scenario.run(&mut policy)
@@ -28,8 +28,8 @@ fn bench_simulation(c: &mut Criterion) {
     group.bench_function("one_month_weekly_profile_hourly_realloc", |b| {
         let month_start = SimHour::from_date(2007, 5, 1);
         let month = HourRange::new(month_start, month_start.plus_hours(30 * 24));
-        let scenario = Scenario::synthetic_over(1, month)
-            .with_energy(EnergyModelParams::optimistic_future());
+        let scenario =
+            Scenario::synthetic_over(1, month).with_energy(EnergyModelParams::optimistic_future());
         b.iter(|| {
             let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
             scenario.run(&mut policy)

@@ -19,16 +19,13 @@ fn bench_stats(c: &mut Criterion) {
     let xs = series(28_464, 0.0);
     let ys = series(28_464, 0.3);
 
-    group.bench_function("trimmed_stats_39_months", |b| {
-        b.iter(|| descriptive::trimmed(&xs, 0.01))
-    });
+    group.bench_function("trimmed_stats_39_months", |b| b.iter(|| descriptive::trimmed(&xs, 0.01)));
     group.bench_function("pearson_39_months", |b| b.iter(|| correlation::pearson(&xs, &ys)));
     group.bench_function("mutual_information_39_months", |b| {
         b.iter(|| correlation::mutual_information(&xs, &ys, 8))
     });
-    group.bench_function("percentile_95_39_months", |b| {
-        b.iter(|| quantiles::percentile(&xs, 95.0))
-    });
+    group
+        .bench_function("percentile_95_39_months", |b| b.iter(|| quantiles::percentile(&xs, 95.0)));
     group.bench_function("histogram_39_months", |b| {
         b.iter(|| Histogram::from_samples(-50.0, 150.0, 80, &xs))
     });

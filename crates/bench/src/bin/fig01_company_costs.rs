@@ -23,6 +23,8 @@ fn main() {
         "Google search cross-check (1.2B searches/day @ 1 kJ): {} MWh/yr",
         fmt(fleet::google_search_energy_mwh_per_year(1.2e9, 1000.0), 0)
     );
-    println!("Paper reference rows: eBay ~0.6e5 MWh/$3.7M, Akamai ~1.7e5/$10M, Rackspace ~2e5/$12M,");
+    println!(
+        "Paper reference rows: eBay ~0.6e5 MWh/$3.7M, Akamai ~1.7e5/$10M, Rackspace ~2e5/$12M,"
+    );
     println!("                      Microsoft >6e5/$36M, Google >6.3e5/$38M");
 }

@@ -8,7 +8,10 @@ use wattroute_stats as stats;
 
 fn main() {
     banner("Figure 4", "Price variation across market products, NYC hub, Feb/Mar 2009");
-    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&[HubId::NewYorkNy]), HARNESS_SEED);
+    let generator = PriceGenerator::new(
+        MarketModel::calibrated().restricted_to(&[HubId::NewYorkNy]),
+        HARNESS_SEED,
+    );
 
     for (label, start, days) in [
         ("2009-02-10 .. 2009-02-20", SimHour::from_date(2009, 2, 10), 10u64),

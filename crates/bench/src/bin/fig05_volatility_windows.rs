@@ -44,6 +44,8 @@ fn main() {
     ];
     print_table(&header, &[rt_cells, da_cells]);
     println!();
-    println!("Paper values: RT 28.5 / 24.8 / 21.9 / 18.1 / 15.6; DA N/A / 20.0 / 19.4 / 17.1 / 16.0");
+    println!(
+        "Paper values: RT 28.5 / 24.8 / 21.9 / 18.1 / 15.6; DA N/A / 20.0 / 19.4 / 17.1 / 16.0"
+    );
     println!("Expected shape: RT exceeds DA at short windows; both fall as the window grows.");
 }

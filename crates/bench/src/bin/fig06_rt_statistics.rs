@@ -17,7 +17,8 @@ fn main() {
         ("New York, NY", HubId::NewYorkNy, (77.9, 40.26, 7.9)),
     ];
     let hubs: Vec<HubId> = named.iter().map(|(_, h, _)| *h).collect();
-    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let generator =
+        PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
     let set = generator.realtime_hourly(price_window());
 
     let rows: Vec<Vec<String>> = named
@@ -36,6 +37,8 @@ fn main() {
         .collect();
     print_table(&["Location", "RTO", "Mean*", "StDev*", "Kurt.*", "paper (mean, sd, kurt)"], &rows);
     println!();
-    println!("Expected shape: the ordering Chicago < Indianapolis < PaloAlto < Richmond < Boston < NYC");
+    println!(
+        "Expected shape: the ordering Chicago < Indianapolis < PaloAlto < Richmond < Boston < NYC"
+    );
     println!("holds for the mean; every distribution is heavy-tailed (kurtosis > 3).");
 }

@@ -8,11 +8,16 @@ use wattroute_market::prelude::*;
 fn main() {
     banner("Figure 7", "Hour-to-hour change in RT hourly prices (heavy-tailed, zero-mean)");
     let hubs = [HubId::PaloAltoCa, HubId::ChicagoIl];
-    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let generator =
+        PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
     let set = generator.realtime_hourly(price_window());
 
     for (name, hub, paper) in [
-        ("Palo Alto (NP15)", HubId::PaloAltoCa, "paper: sigma=37.2 kurt=17.8, 78%/89% within +/-20/40"),
+        (
+            "Palo Alto (NP15)",
+            HubId::PaloAltoCa,
+            "paper: sigma=37.2 kurt=17.8, 78%/89% within +/-20/40",
+        ),
         ("Chicago (PJM)", HubId::ChicagoIl, "paper: sigma=22.5 kurt=33.3, 82%/96% within +/-20/40"),
     ] {
         let dist = hourly_change_distribution(set.for_hub(hub).unwrap()).unwrap();

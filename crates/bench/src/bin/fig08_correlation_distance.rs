@@ -23,9 +23,11 @@ fn main() {
     let bands = [(0.0, 250.0), (250.0, 500.0), (500.0, 1000.0), (1000.0, 2000.0), (2000.0, 5000.0)];
     let mut rows = Vec::new();
     for (lo, hi) in bands {
-        let in_band: Vec<_> = pairs.iter().filter(|p| p.distance_km >= lo && p.distance_km < hi).collect();
+        let in_band: Vec<_> =
+            pairs.iter().filter(|p| p.distance_km >= lo && p.distance_km < hi).collect();
         let same: Vec<f64> = in_band.iter().filter(|p| p.same_rto).map(|p| p.correlation).collect();
-        let cross: Vec<f64> = in_band.iter().filter(|p| !p.same_rto).map(|p| p.correlation).collect();
+        let cross: Vec<f64> =
+            in_band.iter().filter(|p| !p.same_rto).map(|p| p.correlation).collect();
         rows.push(vec![
             format!("{lo:.0}-{hi:.0} km"),
             same.len().to_string(),
@@ -34,7 +36,10 @@ fn main() {
             fmt(wattroute_stats::mean(&cross).unwrap_or(f64::NAN), 2),
         ]);
     }
-    print_table(&["distance band", "#same-RTO", "mean r (same)", "#cross-RTO", "mean r (cross)"], &rows);
+    print_table(
+        &["distance band", "#same-RTO", "mean r (same)", "#cross-RTO", "mean r (cross)"],
+        &rows,
+    );
 
     let summary = correlation_summary(&pairs).unwrap();
     println!();
@@ -48,11 +53,15 @@ fn main() {
     let ca = pairs
         .iter()
         .find(|p| {
-            (p.hub_a == wattroute_geo::HubId::PaloAltoCa && p.hub_b == wattroute_geo::HubId::LosAngelesCa)
-                || (p.hub_b == wattroute_geo::HubId::PaloAltoCa && p.hub_a == wattroute_geo::HubId::LosAngelesCa)
+            (p.hub_a == wattroute_geo::HubId::PaloAltoCa
+                && p.hub_b == wattroute_geo::HubId::LosAngelesCa)
+                || (p.hub_b == wattroute_geo::HubId::PaloAltoCa
+                    && p.hub_a == wattroute_geo::HubId::LosAngelesCa)
         })
         .unwrap();
     println!("LA - Palo Alto correlation: {} (paper: 0.94)", fmt(ca.correlation, 2));
-    println!("Expected shape: correlation decreases with distance; same-RTO pairs sit mostly above");
+    println!(
+        "Expected shape: correlation decreases with distance; same-RTO pairs sit mostly above"
+    );
     println!("0.6 while cross-RTO pairs sit below it.");
 }

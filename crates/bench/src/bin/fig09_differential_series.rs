@@ -7,9 +7,13 @@ use wattroute_market::prelude::*;
 use wattroute_market::time::SimHour;
 
 fn main() {
-    banner("Figure 9", "Price differentials (PaloAlto-Richmond, Austin-Richmond), two weeks of Aug 2008");
+    banner(
+        "Figure 9",
+        "Price differentials (PaloAlto-Richmond, Austin-Richmond), two weeks of Aug 2008",
+    );
     let hubs = [HubId::PaloAltoCa, HubId::AustinTx, HubId::RichmondVa];
-    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let generator =
+        PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
     let start = SimHour::from_date(2008, 8, 9);
     let range = HourRange::new(start, start.plus_hours(14 * 24));
     let set = generator.realtime_hourly(range);

@@ -7,7 +7,10 @@ use wattroute_market::prelude::*;
 use wattroute_stats::Histogram;
 
 fn main() {
-    banner("Figure 10", "Differential distributions for five hub pairs (39 months of hourly prices)");
+    banner(
+        "Figure 10",
+        "Differential distributions for five hub pairs (39 months of hourly prices)",
+    );
     let pairs = [
         ("PaloAlto - Virginia", HubId::PaloAltoCa, HubId::RichmondVa, "paper: mu=0.0 sd=55.7"),
         ("Austin - Virginia", HubId::AustinTx, HubId::RichmondVa, "paper: mu=0.9 sd=87.7"),
@@ -18,7 +21,8 @@ fn main() {
     let mut hubs: Vec<HubId> = pairs.iter().flat_map(|(_, a, b, _)| [*a, *b]).collect();
     hubs.sort();
     hubs.dedup();
-    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let generator =
+        PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
     let set = generator.realtime_hourly(price_window());
 
     for (name, a, b, paper) in pairs {
@@ -36,11 +40,8 @@ fn main() {
             d.is_dynamically_exploitable(0.10)
         );
         let hist = Histogram::from_samples(-100.0, 100.0, 20, &d.values);
-        let rows: Vec<Vec<String>> = hist
-            .rows()
-            .iter()
-            .map(|(c, f)| vec![fmt(*c, 0), fmt(*f, 3)])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            hist.rows().iter().map(|(c, f)| vec![fmt(*c, 0), fmt(*f, 3)]).collect();
         print_table(&["$ diff (bin center)", "fraction"], &rows);
     }
     println!("\nExpected shape: cross-country pairs (a, b) are ~zero-mean with large spread;");

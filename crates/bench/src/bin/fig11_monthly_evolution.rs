@@ -6,9 +6,13 @@ use wattroute_market::differential::Differential;
 use wattroute_market::prelude::*;
 
 fn main() {
-    banner("Figure 11", "PaloAlto-Virginia differential, per-month median and inter-quartile range");
+    banner(
+        "Figure 11",
+        "PaloAlto-Virginia differential, per-month median and inter-quartile range",
+    );
     let hubs = [HubId::PaloAltoCa, HubId::RichmondVa];
-    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let generator =
+        PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
     let set = generator.realtime_hourly(price_window());
     let d = Differential::between(
         set.for_hub(HubId::PaloAltoCa).unwrap(),

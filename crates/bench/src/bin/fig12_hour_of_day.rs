@@ -15,7 +15,8 @@ fn main() {
     let mut hubs: Vec<HubId> = pairs.iter().flat_map(|(_, a, b)| [*a, *b]).collect();
     hubs.sort();
     hubs.dedup();
-    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let generator =
+        PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
     let set = generator.realtime_hourly(price_window());
 
     for (name, a, b) in pairs {

@@ -7,9 +7,13 @@ use wattroute_market::differential::{Differential, DEFAULT_PRICE_THRESHOLD};
 use wattroute_market::prelude::*;
 
 fn main() {
-    banner("Figure 13", "Fraction of total time in sustained PaloAlto-Virginia differentials, by duration");
+    banner(
+        "Figure 13",
+        "Fraction of total time in sustained PaloAlto-Virginia differentials, by duration",
+    );
     let hubs = [HubId::PaloAltoCa, HubId::RichmondVa];
-    let generator = PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
+    let generator =
+        PriceGenerator::new(MarketModel::calibrated().restricted_to(&hubs), HARNESS_SEED);
     let set = generator.realtime_hourly(price_window());
     let d = Differential::between(
         set.for_hub(HubId::PaloAltoCa).unwrap(),
@@ -38,5 +42,7 @@ fn main() {
         fmt(long * 100.0, 1)
     );
     println!("Expected shape: short differentials (<3h) account for the most time, medium (<9h)");
-    println!("differentials are common, and day-long differentials are rare for this balanced pair.");
+    println!(
+        "differentials are common, and day-long differentials are rare for this balanced pair."
+    );
 }

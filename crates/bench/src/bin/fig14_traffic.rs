@@ -37,6 +37,8 @@ fn main() {
         fmt(trace.peak_us_hits_per_sec() / 1.0e6, 2),
         fmt(nine.iter().copied().fold(0.0, f64::max) / 1.0e6, 2)
     );
-    println!("Paper: global peak just over 2 M hits/s, of which ~1.25 M from the US; strong diurnal");
+    println!(
+        "Paper: global peak just over 2 M hits/s, of which ~1.25 M from the US; strong diurnal"
+    );
     println!("swing and a visible dip over the holidays.");
 }

@@ -5,25 +5,24 @@ use wattroute_bench::{banner, elasticity_savings_sweep, fmt, print_table, scenar
 use wattroute_energy::model::EnergyModelParams;
 
 fn main() {
-    banner("Figure 15", "24-day savings vs (idle %, PUE), price-conscious routing @ 1500 km threshold");
+    banner(
+        "Figure 15",
+        "24-day savings vs (idle %, PUE), price-conscious routing @ 1500 km threshold",
+    );
     let scenario = scenario_24_day();
     let rows = elasticity_savings_sweep(&scenario, 1500.0, &EnergyModelParams::figure_15_sweep());
 
     let table: Vec<Vec<String>> = rows
         .iter()
-        .map(|r| {
-            vec![
-                r.label.clone(),
-                fmt(r.relaxed_percent, 1),
-                fmt(r.constrained_percent, 1),
-            ]
-        })
+        .map(|r| vec![r.label.clone(), fmt(r.relaxed_percent, 1), fmt(r.constrained_percent, 1)])
         .collect();
     print_table(&["(idle, PUE)", "savings % (relax 95/5)", "savings % (follow 95/5)"], &table);
 
     println!();
     println!("Paper shape: ~40% relaxed savings for a fully proportional system, dropping steeply");
-    println!("as idle power and PUE rise (roughly 5% at Google's (65%, 1.3)); obeying the original");
+    println!(
+        "as idle power and PUE rise (roughly 5% at Google's (65%, 1.3)); obeying the original"
+    );
     println!("95/5 constraints cuts savings to roughly a third of the relaxed value.");
 
     // Ablation called out in DESIGN.md: spike-free prices and a linear

@@ -5,7 +5,10 @@ use wattroute_bench::{banner, fmt, print_table, reaction_delay_sweep, scenario_l
 use wattroute_energy::model::EnergyModelParams;
 
 fn main() {
-    banner("Figure 20", "Cost increase vs price-reaction delay, (65% idle, 1.3 PUE), 1500 km threshold");
+    banner(
+        "Figure 20",
+        "Cost increase vs price-reaction delay, (65% idle, 1.3 PUE), 1500 km threshold",
+    );
     let scenario = scenario_long().with_energy(EnergyModelParams::google_2009());
     let delays: Vec<u64> = vec![0, 1, 2, 3, 6, 9, 12, 15, 18, 21, 24, 27, 30];
     let rows = reaction_delay_sweep(&scenario, 1500.0, &delays);
@@ -16,7 +19,11 @@ fn main() {
         .collect();
     print_table(&["delay (hours)", "cost increase vs immediate reaction"], &table);
     println!();
-    println!("Paper shape: an initial jump between immediate and next-hour reaction, a rise toward");
+    println!(
+        "Paper shape: an initial jump between immediate and next-hour reaction, a rise toward"
+    );
     println!("~1-1.5% at large delays, and a local dip near 24 hours (day-over-day price");
-    println!("correlation). With the (65%, 1.3) model a ~1% increase erases much of the ~5% savings.");
+    println!(
+        "correlation). With the (65%, 1.3) model a ~1% increase erases much of the ~5% savings."
+    );
 }

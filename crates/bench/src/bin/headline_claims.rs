@@ -64,5 +64,7 @@ fn main() {
     );
     println!();
     println!("Absolute numbers depend on the synthetic price/traffic calibration; the comparisons");
-    println!("(who wins, how savings scale with elasticity and constraints) are the reproduced result.");
+    println!(
+        "(who wins, how savings scale with elasticity and constraints) are the reproduced result."
+    );
 }

@@ -56,7 +56,10 @@ pub const HARNESS_SEED: u64 = 2009;
 pub fn banner(figure: &str, description: &str) {
     println!("================================================================");
     println!("{figure}: {description}");
-    println!("mode: {}", if full_mode() { "FULL (paper window)" } else { "fast (pass --full for the paper window)" });
+    println!(
+        "mode: {}",
+        if full_mode() { "FULL (paper window)" } else { "fast (pass --full for the paper window)" }
+    );
     println!("================================================================");
 }
 
@@ -194,17 +197,14 @@ pub fn reaction_delay_sweep(
     delays_hours: &[u64],
 ) -> Vec<(u64, f64)> {
     let mut policy = PriceConsciousPolicy::with_distance_threshold(distance_threshold_km);
-    let reference = scenario
-        .run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(0));
+    let reference =
+        scenario.run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(0));
     delays_hours
         .iter()
         .map(|&delay| {
-            let report = scenario.run_with_config(
-                &mut policy,
-                scenario.config.clone().with_reaction_delay(delay),
-            );
-            let increase =
-                (report.total_cost_dollars / reference.total_cost_dollars - 1.0) * 100.0;
+            let report = scenario
+                .run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(delay));
+            let increase = (report.total_cost_dollars / reference.total_cost_dollars - 1.0) * 100.0;
             (delay, increase)
         })
         .collect()

@@ -1,7 +1,61 @@
 //! Simulation results: costs, distances, per-cluster breakdowns.
 
+use crate::json::{self, JsonValue};
 use serde::{Deserialize, Serialize};
 use wattroute_workload::ClusterSet;
+
+/// An error produced while decoding a report from JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportDecodeError(String);
+
+impl std::fmt::Display for ReportDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "report decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReportDecodeError {}
+
+impl From<json::JsonError> for ReportDecodeError {
+    fn from(e: json::JsonError) -> Self {
+        ReportDecodeError(e.to_string())
+    }
+}
+
+fn field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ReportDecodeError> {
+    v.get(key).ok_or_else(|| ReportDecodeError(format!("missing field '{key}'")))
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> Result<f64, ReportDecodeError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| ReportDecodeError(format!("field '{key}' is not a number")))
+}
+
+fn f64_vec_field(v: &JsonValue, key: &str) -> Result<Vec<f64>, ReportDecodeError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| ReportDecodeError(format!("field '{key}' is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_f64()
+                .ok_or_else(|| ReportDecodeError(format!("field '{key}' has a non-number entry")))
+        })
+        .collect()
+}
+
+fn str_field(v: &JsonValue, key: &str) -> Result<String, ReportDecodeError> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| ReportDecodeError(format!("field '{key}' is not a string")))?
+        .to_string())
+}
+
+fn bool_field(v: &JsonValue, key: &str) -> Result<bool, ReportDecodeError> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| ReportDecodeError(format!("field '{key}' is not a boolean")))
+}
 
 /// A demand-weighted histogram over client–server distances, used to report
 /// mean and tail (99th percentile) distances without storing every sample
@@ -64,6 +118,32 @@ impl DistanceHistogram {
         Some(self.weights.len() as f64 * self.bin_km)
     }
 
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            ("bin_km", JsonValue::Number(self.bin_km)),
+            ("weights", json::number_array(&self.weights)),
+            ("total_weight", JsonValue::Number(self.total_weight)),
+            ("weighted_sum", JsonValue::Number(self.weighted_sum)),
+        ])
+    }
+
+    /// Decode from a JSON value produced by [`Self::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, ReportDecodeError> {
+        let bin_km = f64_field(v, "bin_km")?;
+        let weights = f64_vec_field(v, "weights")?;
+        let geometry_ok = bin_km.is_finite() && bin_km > 0.0 && !weights.is_empty();
+        if !geometry_ok {
+            return Err(ReportDecodeError("histogram geometry is invalid".to_string()));
+        }
+        Ok(Self {
+            bin_km,
+            weights,
+            total_weight: f64_field(v, "total_weight")?,
+            weighted_sum: f64_field(v, "weighted_sum")?,
+        })
+    }
+
     /// Merge another histogram with the same geometry.
     pub fn merge(&mut self, other: &DistanceHistogram) {
         assert_eq!(self.bin_km, other.bin_km);
@@ -95,6 +175,34 @@ pub struct ClusterReport {
     pub total_hits: f64,
 }
 
+impl ClusterReport {
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            ("label", JsonValue::String(self.label.clone())),
+            ("cost_dollars", JsonValue::Number(self.cost_dollars)),
+            ("energy_mwh", JsonValue::Number(self.energy_mwh)),
+            ("mean_utilization", JsonValue::Number(self.mean_utilization)),
+            ("p95_hits_per_sec", JsonValue::Number(self.p95_hits_per_sec)),
+            ("peak_hits_per_sec", JsonValue::Number(self.peak_hits_per_sec)),
+            ("total_hits", JsonValue::Number(self.total_hits)),
+        ])
+    }
+
+    /// Decode from a JSON value produced by [`Self::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, ReportDecodeError> {
+        Ok(Self {
+            label: str_field(v, "label")?,
+            cost_dollars: f64_field(v, "cost_dollars")?,
+            energy_mwh: f64_field(v, "energy_mwh")?,
+            mean_utilization: f64_field(v, "mean_utilization")?,
+            p95_hits_per_sec: f64_field(v, "p95_hits_per_sec")?,
+            peak_hits_per_sec: f64_field(v, "peak_hits_per_sec")?,
+            total_hits: f64_field(v, "total_hits")?,
+        })
+    }
+}
+
 /// The result of simulating one routing policy over one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationReport {
@@ -121,6 +229,57 @@ pub struct SimulationReport {
 }
 
 impl SimulationReport {
+    /// Serialize to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            ("policy", JsonValue::String(self.policy.clone())),
+            ("steps", JsonValue::Number(self.steps as f64)),
+            ("reaction_delay_hours", JsonValue::Number(self.reaction_delay_hours as f64)),
+            ("bandwidth_constrained", JsonValue::Bool(self.bandwidth_constrained)),
+            ("total_cost_dollars", JsonValue::Number(self.total_cost_dollars)),
+            ("total_energy_mwh", JsonValue::Number(self.total_energy_mwh)),
+            (
+                "clusters",
+                JsonValue::Array(self.clusters.iter().map(ClusterReport::to_json_value).collect()),
+            ),
+            ("mean_distance_km", JsonValue::Number(self.mean_distance_km)),
+            ("p99_distance_km", JsonValue::Number(self.p99_distance_km)),
+            ("distances", self.distances.to_json_value()),
+        ])
+    }
+
+    /// Deserialize from JSON text produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, ReportDecodeError> {
+        Self::from_json_value(&JsonValue::parse(text)?)
+    }
+
+    /// Decode from a JSON value produced by [`Self::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, ReportDecodeError> {
+        let clusters = field(v, "clusters")?
+            .as_array()
+            .ok_or_else(|| ReportDecodeError("field 'clusters' is not an array".to_string()))?
+            .iter()
+            .map(ClusterReport::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            policy: str_field(v, "policy")?,
+            steps: f64_field(v, "steps")? as usize,
+            reaction_delay_hours: f64_field(v, "reaction_delay_hours")? as u64,
+            bandwidth_constrained: bool_field(v, "bandwidth_constrained")?,
+            total_cost_dollars: f64_field(v, "total_cost_dollars")?,
+            total_energy_mwh: f64_field(v, "total_energy_mwh")?,
+            clusters,
+            mean_distance_km: f64_field(v, "mean_distance_km")?,
+            p99_distance_km: f64_field(v, "p99_distance_km")?,
+            distances: DistanceHistogram::from_json_value(field(v, "distances")?)?,
+        })
+    }
+
     /// This report's cost normalised to a baseline report's cost
     /// (Figures 16 and 18 plot exactly this quantity).
     pub fn normalized_cost_vs(&self, baseline: &SimulationReport) -> f64 {
@@ -289,7 +448,7 @@ mod tests {
         let mean = h.mean_km().unwrap();
         assert!((mean - (100.0 + 200.0 + 1800.0) / 4.0).abs() < 1e-9);
         let p99 = h.percentile_km(99.0).unwrap();
-        assert!(p99 >= 900.0 && p99 <= 920.0);
+        assert!((900.0..=920.0).contains(&p99));
         let p25 = h.percentile_km(25.0).unwrap();
         assert!(p25 <= 110.0);
         assert_eq!(h.total_weight(), 4.0);

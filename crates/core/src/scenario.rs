@@ -66,9 +66,10 @@ impl Scenario {
     /// months).
     pub fn synthetic_over(seed: u64, range: HourRange) -> Self {
         let clusters = ClusterSet::akamai_like_nine();
-        let base =
-            SyntheticWorkloadConfig { seed, ..Default::default() }.generate(HourRange::akamai_24_days());
-        let profile = WeeklyProfile::from_trace(&base).expect("24-day trace covers every hour-of-week");
+        let base = SyntheticWorkloadConfig { seed, ..Default::default() }
+            .generate(HourRange::akamai_24_days());
+        let profile =
+            WeeklyProfile::from_trace(&base).expect("24-day trace covers every hour-of-week");
         let trace = profile.replay(range);
         let prices = PriceGenerator::nine_cluster_default(seed).realtime_hourly(range);
         let config = SimulationConfig::default().with_reallocation_interval(12);
@@ -111,11 +112,7 @@ impl Scenario {
     /// Per-cluster 95/5 ceilings observed under the baseline allocation —
     /// the "original 95/5 constraints" of Figures 15, 16 and 18.
     pub fn bandwidth_caps_from_baseline(&self) -> Vec<f64> {
-        self.baseline_report()
-            .clusters
-            .iter()
-            .map(|c| c.p95_hits_per_sec)
-            .collect()
+        self.baseline_report().clusters.iter().map(|c| c.p95_hits_per_sec).collect()
     }
 
     /// Long-run mean price per cluster (for the static cheapest-hub policy).
@@ -147,10 +144,8 @@ impl Scenario {
 
         let mut optimizer = PriceConsciousPolicy::with_distance_threshold(distance_threshold_km);
         let relaxed = self.run(&mut optimizer);
-        let constrained = self.run_with_config(
-            &mut optimizer,
-            self.config.clone().with_bandwidth_caps(caps),
-        );
+        let constrained =
+            self.run_with_config(&mut optimizer, self.config.clone().with_bandwidth_caps(caps));
 
         PolicyComparison { baseline, alternatives: vec![relaxed, constrained] }
     }
@@ -214,7 +209,8 @@ mod tests {
     #[test]
     fn energy_model_override_changes_cost() {
         let s = short_scenario();
-        let elastic = s.clone().with_energy(EnergyModelParams::optimistic_future()).baseline_report();
+        let elastic =
+            s.clone().with_energy(EnergyModelParams::optimistic_future()).baseline_report();
         let inelastic = s.with_energy(EnergyModelParams::no_power_management()).baseline_report();
         assert!(inelastic.total_cost_dollars > elastic.total_cost_dollars * 1.5);
     }

@@ -103,9 +103,8 @@ impl<'a> Simulation<'a> {
         }
         let trace_range = trace.hour_range();
         for hub in clusters.hub_ids() {
-            let series = prices
-                .for_hub(hub)
-                .unwrap_or_else(|| panic!("no price series for hub {hub:?}"));
+            let series =
+                prices.for_hub(hub).unwrap_or_else(|| panic!("no price series for hub {hub:?}"));
             let price_range = series.range();
             assert!(
                 price_range.start.0 <= trace_range.start.0
@@ -148,7 +147,8 @@ impl<'a> Simulation<'a> {
         for (i, step) in self.trace.steps().iter().enumerate() {
             let hour = self.trace.step_hour(i);
 
-            let reallocate = i % self.config.reallocate_every_steps == 0 || cached_allocation.is_none();
+            let reallocate =
+                i % self.config.reallocate_every_steps == 0 || cached_allocation.is_none();
             if reallocate {
                 cached_prices = self
                     .clusters
@@ -276,7 +276,8 @@ mod tests {
     #[test]
     fn price_optimizer_is_cheaper_than_baseline_with_elastic_energy() {
         let (clusters, trace, prices) = small_setup();
-        let config = SimulationConfig::default().with_energy(EnergyModelParams::optimistic_future());
+        let config =
+            SimulationConfig::default().with_energy(EnergyModelParams::optimistic_future());
         let sim = Simulation::new(&clusters, &trace, &prices, config);
         let baseline = sim.run(&mut AkamaiLikePolicy::default());
         let optimized = sim.run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
@@ -293,8 +294,10 @@ mod tests {
     #[test]
     fn inelastic_clusters_see_much_smaller_savings() {
         let (clusters, trace, prices) = small_setup();
-        let elastic_cfg = SimulationConfig::default().with_energy(EnergyModelParams::optimistic_future());
-        let inelastic_cfg = SimulationConfig::default().with_energy(EnergyModelParams::no_power_management());
+        let elastic_cfg =
+            SimulationConfig::default().with_energy(EnergyModelParams::optimistic_future());
+        let inelastic_cfg =
+            SimulationConfig::default().with_energy(EnergyModelParams::no_power_management());
 
         let elastic_sim = Simulation::new(&clusters, &trace, &prices, elastic_cfg);
         let inelastic_sim = Simulation::new(&clusters, &trace, &prices, inelastic_cfg);

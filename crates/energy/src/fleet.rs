@@ -52,7 +52,8 @@ impl FleetAssumptions {
     /// overhead, in watts.
     pub fn average_server_watts(&self) -> f64 {
         let idle = self.peak_watts * self.idle_fraction;
-        idle + (self.peak_watts - idle) * self.average_utilization + (self.pue - 1.0) * self.peak_watts
+        idle + (self.peak_watts - idle) * self.average_utilization
+            + (self.pue - 1.0) * self.peak_watts
     }
 
     /// Estimated annual fleet consumption in MWh.

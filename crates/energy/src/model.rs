@@ -37,13 +37,7 @@ impl EnergyModelParams {
         assert!(peak_watts > 0.0, "peak power must be positive");
         assert!((0.0..=1.0).contains(&idle_fraction), "idle fraction must be in [0,1]");
         assert!(pue >= 1.0, "PUE cannot be below 1.0");
-        Self {
-            peak_watts,
-            idle_fraction,
-            pue,
-            utilization_exponent: 1.4,
-            epsilon_watts: 0.0,
-        }
+        Self { peak_watts, idle_fraction, pue, utilization_exponent: 1.4, epsilon_watts: 0.0 }
     }
 
     /// "Optimistic future" preset: fully energy-proportional servers in a
@@ -244,10 +238,8 @@ mod tests {
 
         // Monotone across the Figure 15 sweep.
         let sweep = EnergyModelParams::figure_15_sweep();
-        let ratios: Vec<f64> = sweep
-            .iter()
-            .map(|(_, p)| ClusterPowerModel::new(*p, 100).elasticity_ratio())
-            .collect();
+        let ratios: Vec<f64> =
+            sweep.iter().map(|(_, p)| ClusterPowerModel::new(*p, 100).elasticity_ratio()).collect();
         for w in ratios.windows(2) {
             assert!(w[0] <= w[1] + 1e-9, "sweep should be ordered by inelasticity: {ratios:?}");
         }

@@ -39,10 +39,7 @@ impl RouterEnergyModel {
     /// 540 000 mid-sized packets per second.
     pub fn from_router_measurements(watts: f64, packets_per_second: f64) -> Self {
         assert!(watts > 0.0 && packets_per_second > 0.0);
-        Self {
-            average_joules_per_packet: watts / packets_per_second,
-            ..Self::default()
-        }
+        Self { average_joules_per_packet: watts / packets_per_second, ..Self::default() }
     }
 
     /// Marginal energy (J) added by pushing one request through `extra_hops`

@@ -50,10 +50,7 @@ pub fn mean_nearest_hub_distance_km(hubs: &[&Hub]) -> Option<f64> {
     let mut weighted = 0.0;
     let mut total_pop = 0.0;
     for state in UsState::all() {
-        let nearest = hubs
-            .iter()
-            .map(|h| state_to_hub_km(state, h))
-            .fold(f64::INFINITY, f64::min);
+        let nearest = hubs.iter().map(|h| state_to_hub_km(state, h)).fold(f64::INFINITY, f64::min);
         let pop = state.population() as f64;
         weighted += nearest * pop;
         total_pop += pop;
@@ -61,9 +58,14 @@ pub fn mean_nearest_hub_distance_km(hubs: &[&Hub]) -> Option<f64> {
     Some(weighted / total_pop)
 }
 
+/// A hub identified by its index into a caller-supplied hub slice, paired
+/// with a distance in kilometres. The routing crate sorts and partitions
+/// collections of these when ranking candidate clusters.
+pub type RankedHub = (usize, f64);
+
 /// The hub (by index into `hubs`) nearest to a client state, together with
 /// the distance. Returns `None` for an empty slice.
-pub fn nearest_hub_index(state: UsState, hubs: &[&Hub]) -> Option<(usize, f64)> {
+pub fn nearest_hub_index(state: UsState, hubs: &[&Hub]) -> Option<RankedHub> {
     hubs.iter()
         .enumerate()
         .map(|(i, h)| (i, state_to_hub_km(state, h)))
@@ -74,34 +76,21 @@ pub fn nearest_hub_index(state: UsState, hubs: &[&Hub]) -> Option<(usize, f64)> 
 /// ascending distance. If none are within the threshold, returns the single
 /// nearest hub plus any other hubs within 50 km of that nearest hub — the
 /// fallback rule used by the paper's price-conscious router (§6.1).
-pub fn hubs_within_threshold(
-    state: UsState,
-    hubs: &[&Hub],
-    threshold_km: f64,
-) -> Vec<(usize, f64)> {
-    let mut distances: Vec<(usize, f64)> = hubs
-        .iter()
-        .enumerate()
-        .map(|(i, h)| (i, state_to_hub_km(state, h)))
-        .collect();
+pub fn hubs_within_threshold(state: UsState, hubs: &[&Hub], threshold_km: f64) -> Vec<RankedHub> {
+    let mut distances: Vec<RankedHub> =
+        hubs.iter().enumerate().map(|(i, h)| (i, state_to_hub_km(state, h))).collect();
     distances.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
     if distances.is_empty() {
         return distances;
     }
-    let within: Vec<(usize, f64)> = distances
-        .iter()
-        .copied()
-        .filter(|(_, d)| *d <= threshold_km)
-        .collect();
+    let within: Vec<RankedHub> =
+        distances.iter().copied().filter(|(_, d)| *d <= threshold_km).collect();
     if !within.is_empty() {
         return within;
     }
     // Fallback: nearest cluster plus any cluster within 50 km of it.
     let nearest = distances[0];
-    distances
-        .into_iter()
-        .filter(|(_, d)| *d <= nearest.1 + 50.0)
-        .collect()
+    distances.into_iter().filter(|(_, d)| *d <= nearest.1 + 50.0).collect()
 }
 
 #[cfg(test)]

@@ -133,10 +133,7 @@ pub const ALL_HUBS: [Hub; 30] = [
 
 /// Look up the static record for a hub.
 pub fn hub(id: HubId) -> &'static Hub {
-    ALL_HUBS
-        .iter()
-        .find(|h| h.id == id)
-        .expect("every HubId has a table entry")
+    ALL_HUBS.iter().find(|h| h.id == id).expect("every HubId has a table entry")
 }
 
 /// All hubs, including the non-market Pacific Northwest hub.

@@ -33,14 +33,8 @@ pub enum Rto {
 impl Rto {
     /// All RTOs with an hourly wholesale market (i.e. excluding the
     /// Northwest), in a stable order.
-    pub const MARKETS: [Rto; 6] = [
-        Rto::IsoNe,
-        Rto::Nyiso,
-        Rto::Pjm,
-        Rto::Miso,
-        Rto::Caiso,
-        Rto::Ercot,
-    ];
+    pub const MARKETS: [Rto; 6] =
+        [Rto::IsoNe, Rto::Nyiso, Rto::Pjm, Rto::Miso, Rto::Caiso, Rto::Ercot];
 
     /// Every region including the non-market Northwest.
     pub const ALL: [Rto; 7] = [

@@ -15,9 +15,57 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum UsState {
-    AL, AK, AZ, AR, CA, CO, CT, DE, DC, FL, GA, HI, ID, IL, IN, IA, KS, KY, LA, ME,
-    MD, MA, MI, MN, MS, MO, MT, NE, NV, NH, NJ, NM, NY, NC, ND, OH, OK, OR, PA, RI,
-    SC, SD, TN, TX, UT, VT, VA, WA, WV, WI, WY,
+    AL,
+    AK,
+    AZ,
+    AR,
+    CA,
+    CO,
+    CT,
+    DE,
+    DC,
+    FL,
+    GA,
+    HI,
+    ID,
+    IL,
+    IN,
+    IA,
+    KS,
+    KY,
+    LA,
+    ME,
+    MD,
+    MA,
+    MI,
+    MN,
+    MS,
+    MO,
+    MT,
+    NE,
+    NV,
+    NH,
+    NJ,
+    NM,
+    NY,
+    NC,
+    ND,
+    OH,
+    OK,
+    OR,
+    PA,
+    RI,
+    SC,
+    SD,
+    TN,
+    TX,
+    UT,
+    VT,
+    VA,
+    WA,
+    WV,
+    WI,
+    WY,
 }
 
 /// Static facts about a state.
@@ -115,10 +163,7 @@ impl UsState {
 
     /// The static record for this state.
     pub fn info(&self) -> &'static StateInfo {
-        ALL_STATES
-            .iter()
-            .find(|s| s.state == *self)
-            .expect("every UsState has a table entry")
+        ALL_STATES.iter().find(|s| s.state == *self).expect("every UsState has a table entry")
     }
 
     /// Two-letter postal abbreviation.
@@ -126,29 +171,64 @@ impl UsState {
         // Derive from the Debug representation, which is exactly the
         // two-letter code by construction of the enum.
         match self {
-            UsState::AL => "AL", UsState::AK => "AK", UsState::AZ => "AZ", UsState::AR => "AR",
-            UsState::CA => "CA", UsState::CO => "CO", UsState::CT => "CT", UsState::DE => "DE",
-            UsState::DC => "DC", UsState::FL => "FL", UsState::GA => "GA", UsState::HI => "HI",
-            UsState::ID => "ID", UsState::IL => "IL", UsState::IN => "IN", UsState::IA => "IA",
-            UsState::KS => "KS", UsState::KY => "KY", UsState::LA => "LA", UsState::ME => "ME",
-            UsState::MD => "MD", UsState::MA => "MA", UsState::MI => "MI", UsState::MN => "MN",
-            UsState::MS => "MS", UsState::MO => "MO", UsState::MT => "MT", UsState::NE => "NE",
-            UsState::NV => "NV", UsState::NH => "NH", UsState::NJ => "NJ", UsState::NM => "NM",
-            UsState::NY => "NY", UsState::NC => "NC", UsState::ND => "ND", UsState::OH => "OH",
-            UsState::OK => "OK", UsState::OR => "OR", UsState::PA => "PA", UsState::RI => "RI",
-            UsState::SC => "SC", UsState::SD => "SD", UsState::TN => "TN", UsState::TX => "TX",
-            UsState::UT => "UT", UsState::VT => "VT", UsState::VA => "VA", UsState::WA => "WA",
-            UsState::WV => "WV", UsState::WI => "WI", UsState::WY => "WY",
+            UsState::AL => "AL",
+            UsState::AK => "AK",
+            UsState::AZ => "AZ",
+            UsState::AR => "AR",
+            UsState::CA => "CA",
+            UsState::CO => "CO",
+            UsState::CT => "CT",
+            UsState::DE => "DE",
+            UsState::DC => "DC",
+            UsState::FL => "FL",
+            UsState::GA => "GA",
+            UsState::HI => "HI",
+            UsState::ID => "ID",
+            UsState::IL => "IL",
+            UsState::IN => "IN",
+            UsState::IA => "IA",
+            UsState::KS => "KS",
+            UsState::KY => "KY",
+            UsState::LA => "LA",
+            UsState::ME => "ME",
+            UsState::MD => "MD",
+            UsState::MA => "MA",
+            UsState::MI => "MI",
+            UsState::MN => "MN",
+            UsState::MS => "MS",
+            UsState::MO => "MO",
+            UsState::MT => "MT",
+            UsState::NE => "NE",
+            UsState::NV => "NV",
+            UsState::NH => "NH",
+            UsState::NJ => "NJ",
+            UsState::NM => "NM",
+            UsState::NY => "NY",
+            UsState::NC => "NC",
+            UsState::ND => "ND",
+            UsState::OH => "OH",
+            UsState::OK => "OK",
+            UsState::OR => "OR",
+            UsState::PA => "PA",
+            UsState::RI => "RI",
+            UsState::SC => "SC",
+            UsState::SD => "SD",
+            UsState::TN => "TN",
+            UsState::TX => "TX",
+            UsState::UT => "UT",
+            UsState::VT => "VT",
+            UsState::VA => "VA",
+            UsState::WA => "WA",
+            UsState::WV => "WV",
+            UsState::WI => "WI",
+            UsState::WY => "WY",
         }
     }
 
     /// Parse a two-letter postal abbreviation (case-insensitive).
     pub fn from_abbreviation(code: &str) -> Option<UsState> {
         let upper = code.to_ascii_uppercase();
-        ALL_STATES
-            .iter()
-            .find(|s| s.state.abbreviation() == upper)
-            .map(|s| s.state)
+        ALL_STATES.iter().find(|s| s.state.abbreviation() == upper).map(|s| s.state)
     }
 
     /// Population circa 2007.

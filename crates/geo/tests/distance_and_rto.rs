@@ -1,0 +1,77 @@
+//! Integration tests: haversine distance sanity against well-known city
+//! pairs, and RTO/hub lookup consistency (Figure 2 of the paper maps every
+//! market hub to its Regional Transmission Organization).
+
+use wattroute_geo::hubs::{self, HubId};
+use wattroute_geo::latlon::{haversine_km, LatLon};
+use wattroute_geo::{hub_to_hub_km, Rto, UsState};
+
+#[test]
+fn haversine_matches_known_city_distances() {
+    // Great-circle distances from public geodesic calculators.
+    let cases = [
+        (LatLon::new(42.36, -71.06), LatLon::new(40.71, -74.01), 306.0, "Boston-NYC"),
+        (LatLon::new(40.71, -74.01), LatLon::new(34.05, -118.24), 3936.0, "NYC-LA"),
+        (LatLon::new(41.88, -87.63), LatLon::new(29.76, -95.37), 1514.0, "Chicago-Houston"),
+        (LatLon::new(47.61, -122.33), LatLon::new(25.77, -80.19), 4404.0, "Seattle-Miami"),
+    ];
+    for (a, b, expected_km, label) in cases {
+        let d = haversine_km(a, b);
+        let err = (d - expected_km).abs() / expected_km;
+        assert!(err < 0.01, "{label}: expected ~{expected_km} km, got {d:.1} km");
+    }
+}
+
+#[test]
+fn haversine_degenerate_and_antipodal_cases() {
+    let boston = LatLon::new(42.36, -71.06);
+    assert!(haversine_km(boston, boston) < 1e-9);
+    // Antipodal points are half the circumference (~20015 km) apart.
+    let north = LatLon::new(90.0, 0.0);
+    let south = LatLon::new(-90.0, 0.0);
+    let d = haversine_km(north, south);
+    assert!((d - 20_015.0).abs() < 25.0, "pole-to-pole = {d:.0} km");
+}
+
+#[test]
+fn every_market_hub_resolves_by_code_and_rto() {
+    for hub in hubs::market_hubs() {
+        let found = hubs::find_by_code(hub.code)
+            .unwrap_or_else(|| panic!("hub code {} should resolve", hub.code));
+        assert_eq!(found.id, hub.id, "code {} resolved to the wrong hub", hub.code);
+        assert!(hub.rto.has_hourly_market(), "market hub {} must sit in a market RTO", hub.code);
+        assert!(
+            hubs::hubs_in_rto(hub.rto).iter().any(|h| h.id == hub.id),
+            "hub {} missing from its own RTO listing",
+            hub.code
+        );
+    }
+}
+
+#[test]
+fn rto_hub_lookup_matches_paper_geography() {
+    // Spot-check the paper's Figure 2 assignments.
+    assert_eq!(hubs::hub(HubId::BostonMa).rto, Rto::IsoNe);
+    assert_eq!(hubs::hub(HubId::NewYorkNy).rto, Rto::Nyiso);
+    assert_eq!(hubs::hub(HubId::ChicagoIl).rto, Rto::Pjm);
+    assert_eq!(hubs::hub(HubId::PaloAltoCa).rto, Rto::Caiso);
+    // NP15 is the paper's Northern California hub.
+    assert_eq!(hubs::find_by_code("NP15").unwrap().id, HubId::PaloAltoCa);
+    assert_eq!(hubs::hub(HubId::PaloAltoCa).state, UsState::CA);
+    // Every RTO with an hourly market contributes at least one hub.
+    for rto in Rto::MARKETS {
+        assert!(!hubs::hubs_in_rto(rto).is_empty(), "{rto:?} should have hubs");
+    }
+}
+
+#[test]
+fn hub_to_hub_distances_are_geographically_plausible() {
+    let boston = hubs::hub(HubId::BostonMa);
+    let nyc = hubs::hub(HubId::NewYorkNy);
+    let palo_alto = hubs::hub(HubId::PaloAltoCa);
+    let near = hub_to_hub_km(boston, nyc);
+    let far = hub_to_hub_km(boston, palo_alto);
+    assert!((near - 306.0).abs() < 15.0, "Boston-NYC = {near:.0} km");
+    assert!(far > 4000.0, "Boston-Palo Alto = {far:.0} km");
+    assert!(near < far);
+}

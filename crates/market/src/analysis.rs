@@ -3,7 +3,7 @@
 
 use crate::types::{PriceSeries, PriceSet};
 use serde::{Deserialize, Serialize};
-use wattroute_geo::{hubs, hub_to_hub_km, HubId, Rto};
+use wattroute_geo::{hub_to_hub_km, hubs, HubId, Rto};
 use wattroute_stats::{correlation, descriptive, timeseries, Histogram};
 
 /// One point of the correlation-vs-distance scatter plot (Figure 8).
@@ -139,7 +139,9 @@ pub fn hourly_change_distribution(series: &PriceSeries) -> Option<HourlyChangeDi
         mean: descriptive::mean(&diffs)?,
         std_dev: descriptive::std_dev(&diffs)?,
         kurtosis: descriptive::kurtosis(&diffs).unwrap_or(f64::NAN),
-        fraction_change_at_least_20: wattroute_stats::quantiles::fraction_abs_at_least(&diffs, 20.0)?,
+        fraction_change_at_least_20: wattroute_stats::quantiles::fraction_abs_at_least(
+            &diffs, 20.0,
+        )?,
         histogram,
     })
 }
@@ -250,8 +252,10 @@ mod tests {
     fn correlation_decreases_with_distance_on_average() {
         let set = generated_set(107, 60);
         let pairs = pairwise_correlations(&set);
-        let near: Vec<f64> = pairs.iter().filter(|p| p.distance_km < 500.0).map(|p| p.correlation).collect();
-        let far: Vec<f64> = pairs.iter().filter(|p| p.distance_km > 2500.0).map(|p| p.correlation).collect();
+        let near: Vec<f64> =
+            pairs.iter().filter(|p| p.distance_km < 500.0).map(|p| p.correlation).collect();
+        let far: Vec<f64> =
+            pairs.iter().filter(|p| p.distance_km > 2500.0).map(|p| p.correlation).collect();
         let near_mean = descriptive::mean(&near).unwrap();
         let far_mean = descriptive::mean(&far).unwrap();
         assert!(near_mean > far_mean, "near {near_mean} vs far {far_mean}");
@@ -286,7 +290,11 @@ mod tests {
         assert_eq!(row.rto, Rto::IsoNe);
         assert!(row.trimmed_mean > 40.0 && row.trimmed_mean < 100.0);
         assert!(row.trimmed_std_dev > 5.0);
-        assert!(row.mean_daily_max_min_ratio > 1.2, "intra-day swing too small: {}", row.mean_daily_max_min_ratio);
+        assert!(
+            row.mean_daily_max_min_ratio > 1.2,
+            "intra-day swing too small: {}",
+            row.mean_daily_max_min_ratio
+        );
     }
 
     #[test]

@@ -197,16 +197,14 @@ impl Auction {
                 }
                 if remaining_in_offer <= 1e-9 {
                     offer_idx += 1;
-                    remaining_in_offer = offers.get(offer_idx).map(|o| o.capacity_mw).unwrap_or(0.0);
+                    remaining_in_offer =
+                        offers.get(offer_idx).map(|o| o.capacity_mw).unwrap_or(0.0);
                 }
             }
         }
 
-        let total_demand: f64 = bids
-            .iter()
-            .filter(|b| b.max_price.is_none())
-            .map(|b| b.quantity_mw)
-            .sum();
+        let total_demand: f64 =
+            bids.iter().filter(|b| b.max_price.is_none()).map(|b| b.quantity_mw).sum();
         ClearingResult {
             clearing_price,
             cleared_demand_mw: cleared,
@@ -227,9 +225,7 @@ impl Auction {
         let mut remaining = negawatts_mw.max(0.0);
         // Reduce price-insensitive bids first (they are the load the data
         // center actually controls).
-        reduced
-            .bids
-            .sort_by(|a, b| b.quantity_mw.partial_cmp(&a.quantity_mw).expect("finite"));
+        reduced.bids.sort_by(|a, b| b.quantity_mw.partial_cmp(&a.quantity_mw).expect("finite"));
         for bid in &mut reduced.bids {
             if bid.max_price.is_none() && remaining > 0.0 {
                 let cut = bid.quantity_mw.min(remaining);
@@ -355,8 +351,14 @@ mod tests {
     #[test]
     fn fuel_metadata_is_ordered_sensibly() {
         assert!(FuelType::Nuclear.typical_marginal_cost() < FuelType::Coal.typical_marginal_cost());
-        assert!(FuelType::Coal.typical_marginal_cost() < FuelType::NaturalGasPeaker.typical_marginal_cost());
+        assert!(
+            FuelType::Coal.typical_marginal_cost()
+                < FuelType::NaturalGasPeaker.typical_marginal_cost()
+        );
         assert_eq!(FuelType::Wind.carbon_intensity_tons_per_mwh(), 0.0);
-        assert!(FuelType::Coal.carbon_intensity_tons_per_mwh() > FuelType::NaturalGasCombinedCycle.carbon_intensity_tons_per_mwh());
+        assert!(
+            FuelType::Coal.carbon_intensity_tons_per_mwh()
+                > FuelType::NaturalGasCombinedCycle.carbon_intensity_tons_per_mwh()
+        );
     }
 }

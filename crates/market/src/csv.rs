@@ -41,11 +41,15 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::BadHeader(h) => write!(f, "bad header: {h:?} (expected 'hub,hour,price')"),
-            CsvError::BadRow { line, content } => write!(f, "line {line}: expected 3 fields, got {content:?}"),
+            CsvError::BadRow { line, content } => {
+                write!(f, "line {line}: expected 3 fields, got {content:?}")
+            }
             CsvError::BadField { line, field, value } => {
                 write!(f, "line {line}: could not parse {field} from {value:?}")
             }
-            CsvError::UnknownHub { line, code } => write!(f, "line {line}: unknown hub code {code:?}"),
+            CsvError::UnknownHub { line, code } => {
+                write!(f, "line {line}: unknown hub code {code:?}")
+            }
             CsvError::NonContiguous { hub, expected_hour, found_hour } => write!(
                 f,
                 "hub {hub}: hours must be contiguous, expected {expected_hour} found {found_hour}"
@@ -80,7 +84,8 @@ pub fn from_csv(text: &str) -> Result<PriceSet, CsvError> {
             None => return Err(CsvError::BadHeader(String::new())),
         }
     };
-    let normalized: String = header.split(',').map(|s| s.trim().to_ascii_lowercase()).collect::<Vec<_>>().join(",");
+    let normalized: String =
+        header.split(',').map(|s| s.trim().to_ascii_lowercase()).collect::<Vec<_>>().join(",");
     if normalized != "hub,hour,price" {
         return Err(CsvError::BadHeader(header.to_string()));
     }
@@ -101,12 +106,16 @@ pub fn from_csv(text: &str) -> Result<PriceSet, CsvError> {
         if hubs::find_by_code(&code).is_none() {
             return Err(CsvError::UnknownHub { line: line_no, code });
         }
-        let hour: u64 = fields[1]
-            .parse()
-            .map_err(|_| CsvError::BadField { line: line_no, field: "hour", value: fields[1].to_string() })?;
-        let price: f64 = fields[2]
-            .parse()
-            .map_err(|_| CsvError::BadField { line: line_no, field: "price", value: fields[2].to_string() })?;
+        let hour: u64 = fields[1].parse().map_err(|_| CsvError::BadField {
+            line: line_no,
+            field: "hour",
+            value: fields[1].to_string(),
+        })?;
+        let price: f64 = fields[2].parse().map_err(|_| CsvError::BadField {
+            line: line_no,
+            field: "price",
+            value: fields[2].to_string(),
+        })?;
         per_hub.entry(code).or_default().insert(hour, price);
     }
 
@@ -118,7 +127,11 @@ pub fn from_csv(text: &str) -> Result<PriceSet, CsvError> {
         for (expected, (&hour, &price)) in hours.iter().enumerate() {
             let expected_hour = first + expected as u64;
             if hour != expected_hour {
-                return Err(CsvError::NonContiguous { hub: code.clone(), expected_hour, found_hour: hour });
+                return Err(CsvError::NonContiguous {
+                    hub: code.clone(),
+                    expected_hour,
+                    found_hour: hour,
+                });
             }
             prices.push(price);
         }

@@ -239,7 +239,8 @@ mod tests {
     fn month_counting() {
         let r = HourRange::new(SimHour::from_date(2006, 1, 15), SimHour::from_date(2006, 3, 2));
         assert_eq!(months_in_range(&r), 3);
-        let single = HourRange::new(SimHour::from_date(2006, 5, 1), SimHour::from_date(2006, 5, 20));
+        let single =
+            HourRange::new(SimHour::from_date(2006, 5, 1), SimHour::from_date(2006, 5, 20));
         assert_eq!(months_in_range(&single), 1);
         let empty = HourRange::new(SimHour(10), SimHour(10));
         assert_eq!(months_in_range(&empty), 0);

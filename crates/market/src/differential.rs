@@ -72,8 +72,10 @@ impl Differential {
         }
         let n = self.values.len() as f64;
         let a_cheaper = self.values.iter().filter(|&&d| d < 0.0).count() as f64 / n;
-        let a_by_thresh = self.values.iter().filter(|&&d| d < -DEFAULT_PRICE_THRESHOLD).count() as f64 / n;
-        let b_by_thresh = self.values.iter().filter(|&&d| d > DEFAULT_PRICE_THRESHOLD).count() as f64 / n;
+        let a_by_thresh =
+            self.values.iter().filter(|&&d| d < -DEFAULT_PRICE_THRESHOLD).count() as f64 / n;
+        let b_by_thresh =
+            self.values.iter().filter(|&&d| d > DEFAULT_PRICE_THRESHOLD).count() as f64 / n;
         Some(DifferentialStats {
             mean: descriptive::mean(&self.values)?,
             std_dev: descriptive::std_dev(&self.values)?,
@@ -172,10 +174,7 @@ impl Differential {
         for d in self.sustained_durations(threshold) {
             *time_by_duration.entry(d).or_insert(0) += d;
         }
-        time_by_duration
-            .into_iter()
-            .map(|(d, hours)| (d, hours as f64 / total as f64))
-            .collect()
+        time_by_duration.into_iter().map(|(d, hours)| (d, hours as f64 / total as f64)).collect()
     }
 
     /// The money (in $/MWh-hours) a perfectly informed buyer of one MWh per

@@ -6,9 +6,9 @@
 
 use crate::model::{demand_factor, HubPriceParams, MarketModel};
 use crate::rng::{exponential, normal, Ar1};
-use crate::time::{HourRange, STEPS_PER_HOUR_5MIN};
 #[cfg(test)]
 use crate::time::SimHour;
+use crate::time::{HourRange, STEPS_PER_HOUR_5MIN};
 use crate::types::{MarketKind, PriceSeries, PriceSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -73,7 +73,8 @@ impl PriceGenerator {
         for &hour_price in &hourly.prices {
             // Generate 12 deviations and recentre them so the hour's mean is
             // preserved, then add an extra chance of a short-lived spike.
-            let mut devs: Vec<f64> = (0..STEPS_PER_HOUR_5MIN).map(|_| noise.step(&mut rng)).collect();
+            let mut devs: Vec<f64> =
+                (0..STEPS_PER_HOUR_5MIN).map(|_| noise.step(&mut rng)).collect();
             let mean_dev = devs.iter().sum::<f64>() / devs.len() as f64;
             for d in &mut devs {
                 *d -= mean_dev;
@@ -145,7 +146,8 @@ impl PriceGenerator {
         for hour in range.iter() {
             let fuel = self.model.fuel.deterministic(hour) + fuel_noise.step(&mut rng);
             // Advance shared regional factors once per hour.
-            let regional_values: Vec<f64> = regional.iter_mut().map(|ar| ar.step(&mut rng)).collect();
+            let regional_values: Vec<f64> =
+                regional.iter_mut().map(|ar| ar.step(&mut rng)).collect();
             // Region-wide congestion spike events. The shared-spike rate
             // scales with each RTO's `shared_spike_fraction`; hubs in RTOs
             // with a high fraction (e.g. CAISO) see most of their spikes
@@ -174,11 +176,8 @@ impl PriceGenerator {
                 let demand = demand_factor(params, hour);
                 let deterministic = params.base_price * fuel * seasonal * demand;
 
-                let shared_fraction = self
-                    .model
-                    .rto_params(rto)
-                    .expect("rto params present")
-                    .shared_spike_fraction;
+                let shared_fraction =
+                    self.model.rto_params(rto).expect("rto params present").shared_spike_fraction;
                 let mut price = deterministic + regional_values[rto_idx] + local[i].step(&mut rng);
 
                 match product {
@@ -416,16 +415,14 @@ mod tests {
     #[test]
     fn occasional_negative_prices_occur_over_long_ranges() {
         // §2.2: "negative prices can show up for brief periods".
-        let model = MarketModel::calibrated().restricted_to(&[HubId::MinneapolisMn, HubId::PeoriaIl]);
+        let model =
+            MarketModel::calibrated().restricted_to(&[HubId::MinneapolisMn, HubId::PeoriaIl]);
         let g = PriceGenerator::new(model, 37);
         let start = SimHour::from_date(2006, 1, 1);
         let r = HourRange::new(start, start.plus_hours(365 * 24));
         let set = g.realtime_hourly(r);
-        let negatives: usize = set
-            .series
-            .iter()
-            .map(|s| s.prices.iter().filter(|&&p| p < 0.0).count())
-            .sum();
+        let negatives: usize =
+            set.series.iter().map(|s| s.prices.iter().filter(|&&p| p < 0.0).count()).sum();
         assert!(negatives > 0, "expected at least one negative-price hour in a year");
         // But they must stay rare.
         let total: usize = set.series.iter().map(|s| s.prices.len()).sum();

@@ -178,18 +178,59 @@ impl MarketModel {
     /// paper (see module docs).
     pub fn calibrated() -> Self {
         let rtos = vec![
-            RtoParams { rto: Rto::IsoNe, regional_sigma: 11.0, regional_rho: 0.75, shared_spike_fraction: 0.5 },
-            RtoParams { rto: Rto::Nyiso, regional_sigma: 14.0, regional_rho: 0.75, shared_spike_fraction: 0.4 },
-            RtoParams { rto: Rto::Pjm, regional_sigma: 12.0, regional_rho: 0.75, shared_spike_fraction: 0.4 },
-            RtoParams { rto: Rto::Miso, regional_sigma: 12.0, regional_rho: 0.75, shared_spike_fraction: 0.5 },
-            RtoParams { rto: Rto::Caiso, regional_sigma: 15.0, regional_rho: 0.78, shared_spike_fraction: 0.85 },
-            RtoParams { rto: Rto::Ercot, regional_sigma: 13.0, regional_rho: 0.75, shared_spike_fraction: 0.6 },
-            RtoParams { rto: Rto::NonMarketNorthwest, regional_sigma: 8.0, regional_rho: 0.8, shared_spike_fraction: 0.5 },
+            RtoParams {
+                rto: Rto::IsoNe,
+                regional_sigma: 11.0,
+                regional_rho: 0.75,
+                shared_spike_fraction: 0.5,
+            },
+            RtoParams {
+                rto: Rto::Nyiso,
+                regional_sigma: 14.0,
+                regional_rho: 0.75,
+                shared_spike_fraction: 0.4,
+            },
+            RtoParams {
+                rto: Rto::Pjm,
+                regional_sigma: 12.0,
+                regional_rho: 0.75,
+                shared_spike_fraction: 0.4,
+            },
+            RtoParams {
+                rto: Rto::Miso,
+                regional_sigma: 12.0,
+                regional_rho: 0.75,
+                shared_spike_fraction: 0.5,
+            },
+            RtoParams {
+                rto: Rto::Caiso,
+                regional_sigma: 15.0,
+                regional_rho: 0.78,
+                shared_spike_fraction: 0.85,
+            },
+            RtoParams {
+                rto: Rto::Ercot,
+                regional_sigma: 13.0,
+                regional_rho: 0.75,
+                shared_spike_fraction: 0.6,
+            },
+            RtoParams {
+                rto: Rto::NonMarketNorthwest,
+                regional_sigma: 8.0,
+                regional_rho: 0.8,
+                shared_spike_fraction: 0.5,
+            },
         ];
 
         use HubId::*;
         use SeasonalProfile::*;
-        let hub = |hub, base: f64, diurnal: f64, local_sigma: f64, spike_rate: f64, spike_scale: f64, seasonal| HubPriceParams {
+        let hub = |hub,
+                   base: f64,
+                   diurnal: f64,
+                   local_sigma: f64,
+                   spike_rate: f64,
+                   spike_scale: f64,
+                   seasonal| HubPriceParams {
             hub,
             base_price: base,
             diurnal_amplitude: diurnal,
@@ -385,7 +426,8 @@ mod tests {
     #[test]
     fn restricted_model_keeps_only_requested_hubs() {
         let m = MarketModel::calibrated();
-        let nine: Vec<HubId> = wattroute_geo::hubs::simulation_hubs().iter().map(|h| h.id).collect();
+        let nine: Vec<HubId> =
+            wattroute_geo::hubs::simulation_hubs().iter().map(|h| h.id).collect();
         let r = m.restricted_to(&nine);
         assert_eq!(r.hubs.len(), 9);
         assert!(r.hub_params(HubId::PortlandOr).is_none());

@@ -334,7 +334,7 @@ mod tests {
     #[test]
     fn local_hour_conversion() {
         let h = SimHour::from_date(2006, 1, 2); // midnight EST
-        // Midnight EST is 21:00 the previous evening in California (UTC-8).
+                                                // Midnight EST is 21:00 the previous evening in California (UTC-8).
         assert_eq!(h.hour_of_day_local(-8), 21);
         // And midnight in the Eastern zone itself.
         assert_eq!(h.hour_of_day_local(-5), 0);

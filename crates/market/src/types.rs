@@ -122,10 +122,7 @@ impl PriceSeries {
     /// Daily average prices (the series plotted in Figure 3).
     pub fn daily_averages(&self) -> Vec<DollarsPerMwh> {
         let hourly = self.hourly_prices();
-        hourly
-            .chunks(24)
-            .map(|day| day.iter().sum::<f64>() / day.len() as f64)
-            .collect()
+        hourly.chunks(24).map(|day| day.iter().sum::<f64>() / day.len() as f64).collect()
     }
 
     /// Restrict the series to a sub-range of hours (intersection).
@@ -161,11 +158,7 @@ impl PriceSet {
         if let Some(first) = series.first() {
             for s in &series {
                 assert_eq!(s.start, first.start, "price series must share a start hour");
-                assert_eq!(
-                    s.len_hours(),
-                    first.len_hours(),
-                    "price series must share a length"
-                );
+                assert_eq!(s.len_hours(), first.len_hours(), "price series must share a length");
             }
         }
         Self { series }
@@ -227,12 +220,8 @@ mod tests {
     fn five_minute_series_averages_within_hour() {
         let mut prices = vec![10.0; 12];
         prices.extend(vec![20.0; 12]);
-        let s = PriceSeries::new(
-            HubId::NewYorkNy,
-            MarketKind::RealTimeFiveMinute,
-            SimHour(0),
-            prices,
-        );
+        let s =
+            PriceSeries::new(HubId::NewYorkNy, MarketKind::RealTimeFiveMinute, SimHour(0), prices);
         assert_eq!(s.len_hours(), 2);
         assert_eq!(s.price_at(SimHour(0)), Some(10.0));
         assert_eq!(s.price_at(SimHour(1)), Some(20.0));

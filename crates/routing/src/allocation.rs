@@ -88,11 +88,7 @@ impl Allocation {
     /// cluster serving it, weighted by the assigned demand. The samples are
     /// returned so callers can accumulate 99th percentiles across steps
     /// (Figure 17).
-    pub fn distance_samples(
-        &self,
-        clusters: &ClusterSet,
-        states: &[UsState],
-    ) -> Vec<(f64, f64)> {
+    pub fn distance_samples(&self, clusters: &ClusterSet, states: &[UsState]) -> Vec<(f64, f64)> {
         assert_eq!(self.num_clusters(), clusters.len(), "cluster count mismatch");
         assert_eq!(self.num_states(), states.len(), "state count mismatch");
         let mut samples = Vec::new();

@@ -211,7 +211,10 @@ mod tests {
         assert!((a.matrix()[boston][0] - 800.0).abs() < 1e-6);
         // The remaining 20% went somewhere else, and everything is served.
         assert!(a.serves_demand(&demand, 1e-9));
-        let non_boston: f64 = a.cluster_loads().iter().enumerate()
+        let non_boston: f64 = a
+            .cluster_loads()
+            .iter()
+            .enumerate()
             .filter(|(i, _)| *i != boston)
             .map(|(_, l)| l)
             .sum();

@@ -14,6 +14,7 @@
 use crate::allocation::Allocation;
 use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
 use serde::{Deserialize, Serialize};
+use wattroute_geo::distance::RankedHub;
 use wattroute_geo::{distance, hubs, UsState};
 
 /// Route to the cluster whose grid currently has the lowest carbon
@@ -121,10 +122,8 @@ fn preference_by_cost(
     // by distance, the remainder by cost then distance. This keeps the
     // ordering a genuine total order.
     let best = candidates.iter().map(|(i, _)| costs[*i]).fold(f64::INFINITY, f64::min);
-    let (mut cheap_set, mut rest): (Vec<(usize, f64)>, Vec<(usize, f64)>) = candidates
-        .iter()
-        .copied()
-        .partition(|(i, _)| costs[*i] <= best + cost_threshold);
+    let (mut cheap_set, mut rest): (Vec<RankedHub>, Vec<RankedHub>) =
+        candidates.iter().copied().partition(|(i, _)| costs[*i] <= best + cost_threshold);
     cheap_set.sort_by(|(_, da), (_, db)| da.partial_cmp(db).expect("finite distances"));
     rest.sort_by(|(ia, da), (ib, db)| {
         costs[*ia]
@@ -133,7 +132,7 @@ fn preference_by_cost(
             .then(da.partial_cmp(db).expect("finite distances"))
     });
     let mut order: Vec<usize> = cheap_set.iter().chain(rest.iter()).map(|(i, _)| *i).collect();
-    let mut rest: Vec<(usize, f64)> = (0..ctx.clusters.len())
+    let mut rest: Vec<RankedHub> = (0..ctx.clusters.len())
         .filter(|i| !order.contains(i))
         .map(|i| (i, distance::state_to_hub_km(state, hub_refs[i])))
         .collect();

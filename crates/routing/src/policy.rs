@@ -104,9 +104,7 @@ where
 
     // Process states in descending demand.
     let mut order: Vec<usize> = (0..n_states).collect();
-    order.sort_by(|&a, &b| {
-        ctx.demand[b].partial_cmp(&ctx.demand[a]).expect("finite demand")
-    });
+    order.sort_by(|&a, &b| ctx.demand[b].partial_cmp(&ctx.demand[a]).expect("finite demand"));
 
     for state_idx in order {
         let mut unserved = ctx.demand[state_idx];

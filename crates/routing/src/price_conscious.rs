@@ -16,6 +16,7 @@
 use crate::allocation::Allocation;
 use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
 use serde::{Deserialize, Serialize};
+use wattroute_geo::distance::RankedHub;
 use wattroute_geo::{distance, hubs, UsState};
 use wattroute_market::differential::DEFAULT_PRICE_THRESHOLD;
 
@@ -80,11 +81,8 @@ impl PriceConsciousPolicy {
         // are ignored) and the remainder, ordered by price then distance.
         // Doing it in two stages, rather than with a price-or-distance
         // comparator, keeps the ordering a total order.
-        let cheapest = candidates
-            .iter()
-            .map(|(i, _)| ctx.prices[*i])
-            .fold(f64::INFINITY, f64::min);
-        let (mut cheap_set, mut rest): (Vec<(usize, f64)>, Vec<(usize, f64)>) = candidates
+        let cheapest = candidates.iter().map(|(i, _)| ctx.prices[*i]).fold(f64::INFINITY, f64::min);
+        let (mut cheap_set, mut rest): (Vec<RankedHub>, Vec<RankedHub>) = candidates
             .iter()
             .copied()
             .partition(|(i, _)| ctx.prices[*i] <= cheapest + self.config.price_threshold);
@@ -100,7 +98,7 @@ impl PriceConsciousPolicy {
 
         // Append the out-of-threshold clusters by distance as a last resort
         // for overflow.
-        let mut rest: Vec<(usize, f64)> = (0..ctx.clusters.len())
+        let mut rest: Vec<RankedHub> = (0..ctx.clusters.len())
             .filter(|i| !order.contains(i))
             .map(|i| (i, distance::state_to_hub_km(state, hub_refs[i])))
             .collect();

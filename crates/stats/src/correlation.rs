@@ -117,9 +117,8 @@ fn quantile_bin_edges(xs: &[f64], bins: usize) -> Option<Vec<f64>> {
     if sorted[0] == sorted[sorted.len() - 1] {
         return None; // constant series carries no information
     }
-    let edges: Vec<f64> = (1..bins)
-        .map(|i| quantile_sorted(&sorted, i as f64 / bins as f64))
-        .collect();
+    let edges: Vec<f64> =
+        (1..bins).map(|i| quantile_sorted(&sorted, i as f64 / bins as f64)).collect();
     Some(edges)
 }
 
@@ -220,7 +219,8 @@ mod tests {
         // Deterministic pseudo-independent sequences built from different
         // hash streams of the sample index.
         let xs: Vec<f64> = (0..5000u64).map(|i| mix(i) as f64).collect();
-        let ys: Vec<f64> = (0..5000u64).map(|i| mix(i.wrapping_add(0xDEAD_BEEF) * 31) as f64).collect();
+        let ys: Vec<f64> =
+            (0..5000u64).map(|i| mix(i.wrapping_add(0xDEAD_BEEF) * 31) as f64).collect();
         let mi = mutual_information(&xs, &ys, 8).unwrap();
         assert!(mi < 0.15, "independent MI should be near zero, got {mi}");
     }

@@ -129,18 +129,12 @@ impl Histogram {
         if self.total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts
-            .iter()
-            .map(|&c| c as f64 / self.total as f64)
-            .collect()
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
     }
 
     /// Probability density estimate per bin (fraction / bin width).
     pub fn densities(&self) -> Vec<f64> {
-        self.fractions()
-            .into_iter()
-            .map(|f| f / self.bin_width)
-            .collect()
+        self.fractions().into_iter().map(|f| f / self.bin_width).collect()
     }
 
     /// Fraction of all observations falling within `[a, b]`, computed from
@@ -169,21 +163,13 @@ impl Histogram {
         if self.counts.iter().all(|&c| c == 0) {
             return None;
         }
-        self.counts
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .map(|(i, _)| i)
+        self.counts.iter().enumerate().max_by_key(|(_, &c)| c).map(|(i, _)| i)
     }
 
     /// Render the histogram as `(bin_center, fraction)` rows, convenient for
     /// the experiment harness to print.
     pub fn rows(&self) -> Vec<(f64, f64)> {
-        self.fractions()
-            .iter()
-            .enumerate()
-            .map(|(i, &f)| (self.bin_center(i), f))
-            .collect()
+        self.fractions().iter().enumerate().map(|(i, &f)| (self.bin_center(i), f)).collect()
     }
 }
 

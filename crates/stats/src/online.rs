@@ -21,14 +21,7 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// Create an empty accumulator.
     pub fn new() -> Self {
-        Self {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            sum: 0.0,
-        }
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
     }
 
     /// Add one observation. Non-finite observations are ignored.
@@ -142,12 +135,7 @@ pub struct SampleReservoir {
 impl SampleReservoir {
     /// Create a reservoir that holds at most `cap` samples (`cap >= 2`).
     pub fn new(cap: usize) -> Self {
-        Self {
-            cap: cap.max(2),
-            stride: 1,
-            seen: 0,
-            samples: Vec::new(),
-        }
+        Self { cap: cap.max(2), stride: 1, seen: 0, samples: Vec::new() }
     }
 
     /// Offer a sample to the reservoir.

@@ -112,12 +112,7 @@ pub struct MedianIqr {
 pub fn median_iqr(samples: &[f64]) -> Option<MedianIqr> {
     let finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
     let q = quartiles(&finite)?;
-    Some(MedianIqr {
-        median: q.q2,
-        q1: q.q1,
-        q3: q.q3,
-        count: finite.len(),
-    })
+    Some(MedianIqr { median: q.q2, q1: q.q1, q3: q.q3, count: finite.len() })
 }
 
 /// Fraction of samples strictly below `threshold`. Returns `None` when empty.
@@ -187,7 +182,7 @@ mod tests {
         // 100 five-minute samples: 95/5 billing should ignore the top 5.
         let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let p95 = percentile(&xs, 95.0).unwrap();
-        assert!(p95 >= 95.0 && p95 <= 96.0, "p95 = {p95}");
+        assert!((95.0..=96.0).contains(&p95), "p95 = {p95}");
     }
 
     #[test]

@@ -35,9 +35,7 @@ pub fn window_average(xs: &[f64], window: usize) -> Vec<f64> {
     if window == 0 || xs.is_empty() {
         return Vec::new();
     }
-    xs.chunks(window)
-        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
-        .collect()
+    xs.chunks(window).map(|c| c.iter().sum::<f64>() / c.len() as f64).collect()
 }
 
 /// Centered moving average with an odd window; edges use a shrunken window.
@@ -69,9 +67,7 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> Option<f64> {
     if denom == 0.0 {
         return None;
     }
-    let num: f64 = (0..n - lag)
-        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
-        .sum();
+    let num: f64 = (0..n - lag).map(|i| (xs[i] - mean) * (xs[i + lag] - mean)).sum();
     Some(num / denom)
 }
 
@@ -91,9 +87,7 @@ where
         entry.0 += x;
         entry.1 += 1;
     }
-    sums.into_iter()
-        .map(|(k, (sum, count))| (k, sum / count as f64))
-        .collect()
+    sums.into_iter().map(|(k, (sum, count))| (k, sum / count as f64)).collect()
 }
 
 /// Collect the values of each group defined by a key function, in ascending
@@ -153,10 +147,7 @@ mod tests {
 
     #[test]
     fn pairwise_difference_basic() {
-        assert_eq!(
-            pairwise_difference(&[5.0, 7.0], &[1.0, 10.0]),
-            Some(vec![4.0, -3.0])
-        );
+        assert_eq!(pairwise_difference(&[5.0, 7.0], &[1.0, 10.0]), Some(vec![4.0, -3.0]));
         assert_eq!(pairwise_difference(&[1.0], &[1.0, 2.0]), None);
     }
 
@@ -203,7 +194,8 @@ mod tests {
 
     #[test]
     fn autocorrelation_periodic_signal() {
-        let xs: Vec<f64> = (0..240).map(|i| ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin()).collect();
+        let xs: Vec<f64> =
+            (0..240).map(|i| ((i % 24) as f64 / 24.0 * std::f64::consts::TAU).sin()).collect();
         let ac24 = autocorrelation(&xs, 24).unwrap();
         let ac12 = autocorrelation(&xs, 12).unwrap();
         assert!(ac24 > 0.8, "diurnal signal should correlate at lag 24, got {ac24}");

@@ -1,7 +1,9 @@
 //! Property-based tests for the statistics kernels.
 
 use proptest::prelude::*;
-use wattroute_stats::{correlation, descriptive, online::OnlineStats, quantiles, timeseries, Histogram};
+use wattroute_stats::{
+    correlation, descriptive, online::OnlineStats, quantiles, timeseries, Histogram,
+};
 
 fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e6f64..1e6f64, 1..max_len)
@@ -68,7 +70,7 @@ proptest! {
     ) {
         let n = xs.len().min(ys.len());
         if let Some(r) = correlation::pearson(&xs[..n], &ys[..n]) {
-            prop_assert!(r >= -1.0 - 1e-9 && r <= 1.0 + 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
             let r2 = correlation::pearson(&ys[..n], &xs[..n]).unwrap();
             prop_assert!((r - r2).abs() < 1e-9);
         }

@@ -44,7 +44,11 @@ impl BandwidthProfile {
             peak.push(series.iter().copied().fold(f64::NAN, f64::max));
             mean.push(wattroute_stats::mean(series)?);
         }
-        Some(BandwidthProfile { p95_hits_per_sec: p95, peak_hits_per_sec: peak, mean_hits_per_sec: mean })
+        Some(BandwidthProfile {
+            p95_hits_per_sec: p95,
+            peak_hits_per_sec: peak,
+            mean_hits_per_sec: mean,
+        })
     }
 
     /// Number of clusters covered.
@@ -107,10 +111,7 @@ mod tests {
 
     #[test]
     fn profile_from_loads() {
-        let loads = vec![
-            (0..100).map(|i| i as f64).collect::<Vec<_>>(),
-            vec![50.0; 100],
-        ];
+        let loads = vec![(0..100).map(|i| i as f64).collect::<Vec<_>>(), vec![50.0; 100]];
         let profile = BandwidthProfile::from_cluster_loads(&loads).unwrap();
         assert_eq!(profile.len(), 2);
         assert!(!profile.is_empty());

@@ -189,10 +189,7 @@ mod tests {
     fn nine_cluster_deployment_matches_figure_19_labels() {
         let set = ClusterSet::akamai_like_nine();
         assert_eq!(set.len(), 9);
-        assert_eq!(
-            set.labels(),
-            vec!["CA1", "CA2", "MA", "NY", "IL", "VA", "NJ", "TX1", "TX2"]
-        );
+        assert_eq!(set.labels(), vec!["CA1", "CA2", "MA", "NY", "IL", "VA", "NJ", "TX1", "TX2"]);
         assert!(set.clusters().iter().all(|c| c.public));
     }
 

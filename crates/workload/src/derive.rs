@@ -15,10 +15,10 @@
 
 use crate::trace::{Trace, TraceStep, STEPS_PER_HOUR};
 use serde::{Deserialize, Serialize};
+use wattroute_geo::UsState;
 use wattroute_market::time::HourRange;
 #[cfg(test)]
 use wattroute_market::time::SimHour;
-use wattroute_geo::UsState;
 
 /// Hours in a week.
 const HOURS_PER_WEEK: usize = 168;
@@ -58,7 +58,7 @@ impl WeeklyProfile {
             counts[how] += 1;
         }
 
-        if counts.iter().any(|&c| c == 0) {
+        if counts.contains(&0) {
             return None;
         }
 
@@ -67,20 +67,14 @@ impl WeeklyProfile {
             .zip(&counts)
             .map(|(row, &c)| row.into_iter().map(|s| s / c as f64).collect())
             .collect();
-        let non_us = non_us_sums
-            .into_iter()
-            .zip(&counts)
-            .map(|(s, &c)| s / c as f64)
-            .collect();
+        let non_us = non_us_sums.into_iter().zip(&counts).map(|(s, &c)| s / c as f64).collect();
         Some(WeeklyProfile { states: trace.states.clone(), profile, non_us })
     }
 
     /// Average demand for a state at a given hour of the week.
     pub fn demand(&self, state: UsState, hour_of_week: u64) -> Option<f64> {
         let idx = self.states.iter().position(|s| *s == state)?;
-        self.profile
-            .get((hour_of_week as usize) % HOURS_PER_WEEK)
-            .map(|row| row[idx])
+        self.profile.get((hour_of_week as usize) % HOURS_PER_WEEK).map(|row| row[idx])
     }
 
     /// Replay the weekly profile over an arbitrary hour range, producing a
@@ -139,8 +133,8 @@ mod tests {
 
     #[test]
     fn too_short_a_trace_is_rejected() {
-        let short = SyntheticWorkloadConfig::default()
-            .generate(HourRange::new(SimHour(0), SimHour(24))); // one day only
+        let short =
+            SyntheticWorkloadConfig::default().generate(HourRange::new(SimHour(0), SimHour(24))); // one day only
         assert!(WeeklyProfile::from_trace(&short).is_none());
         let empty = Trace::new(SimHour(0), vec![UsState::MA], vec![]);
         assert!(WeeklyProfile::from_trace(&empty).is_none());
@@ -203,10 +197,8 @@ mod tests {
         assert!(profile.demand(UsState::CA, 100).unwrap() > 0.0);
         assert!(profile.demand(UsState::CA, 100 + 168).unwrap() > 0.0);
         // Unknown state (if restricted) returns None.
-        let restricted = SyntheticWorkloadConfig::default().generate_for_states(
-            HourRange::akamai_24_days(),
-            vec![UsState::CA, UsState::NY],
-        );
+        let restricted = SyntheticWorkloadConfig::default()
+            .generate_for_states(HourRange::akamai_24_days(), vec![UsState::CA, UsState::NY]);
         let p2 = WeeklyProfile::from_trace(&restricted).unwrap();
         assert!(p2.demand(UsState::TX, 5).is_none());
     }

@@ -24,8 +24,8 @@ use crate::trace::{Trace, TraceStep, STEPS_PER_HOUR};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use wattroute_market::time::{HourRange, SimHour};
 use wattroute_geo::{state::population_share, UsState};
+use wattroute_market::time::{HourRange, SimHour};
 
 /// Configuration of the synthetic workload generator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -118,8 +118,8 @@ impl SyntheticWorkloadConfig {
                 let local_hour =
                     hour.hour_of_day_local(state.utc_offset_hours()) as f64 + minute_frac;
                 let diurnal = self.diurnal_shape(local_hour);
-                let noise = (1.0 + self.noise_sigma * crate::synthetic::gaussian(&mut rng))
-                    .max(0.0);
+                let noise =
+                    (1.0 + self.noise_sigma * crate::synthetic::gaussian(&mut rng)).max(0.0);
                 let mut demand =
                     us_peak_target * shares[state_idx] * diurnal * weekend * holiday * noise;
                 // Apply any flash crowd affecting this state near this step.
@@ -129,7 +129,8 @@ impl SyntheticWorkloadConfig {
                         // Flash crowds ramp up and decay over about two hours.
                         let width = 24.0;
                         if distance < width * 4.0 {
-                            demand *= 1.0 + amplitude * (-distance * distance / (2.0 * width * width)).exp();
+                            demand *= 1.0
+                                + amplitude * (-distance * distance / (2.0 * width * width)).exp();
                         }
                     }
                 }
@@ -255,7 +256,7 @@ mod tests {
         // argmax for California should be ~3 hours later.
         let mut ca_by_hour = vec![0.0f64; 24];
         let mut ny_by_hour = vec![0.0f64; 24];
-        let mut counts = vec![0usize; 24];
+        let mut counts = [0usize; 24];
         for (i, step) in t.steps().iter().enumerate() {
             let h = t.step_hour(i).hour_of_day_eastern() as usize;
             ca_by_hour[h] += step.us_demand[ca];
@@ -281,10 +282,8 @@ mod tests {
             SimHour::from_date(2008, 12, 25),
             SimHour::from_date(2008, 12, 26),
         ));
-        let early_january = t.slice(HourRange::new(
-            SimHour::from_date(2009, 1, 8),
-            SimHour::from_date(2009, 1, 9),
-        ));
+        let early_january =
+            t.slice(HourRange::new(SimHour::from_date(2009, 1, 8), SimHour::from_date(2009, 1, 9)));
         let christmas_mean = stats::mean(&christmas.us_series()).unwrap();
         let january_mean = stats::mean(&early_january.us_series()).unwrap();
         assert!(

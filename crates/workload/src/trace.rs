@@ -10,8 +10,8 @@
 
 use crate::cluster::ClusterSet;
 use serde::{Deserialize, Serialize};
-use wattroute_market::time::{HourRange, SimHour};
 use wattroute_geo::UsState;
+use wattroute_market::time::{HourRange, SimHour};
 
 /// Seconds per trace step (the Akamai data is 5-minute resolution).
 pub const STEP_SECONDS: u64 = 300;
@@ -128,11 +128,8 @@ impl Trace {
     /// analogue of the paper's "9-region subset" series in Figure 14: the
     /// traffic that the studied clusters would plausibly serve.
     pub fn region_subset_series(&self, clusters: &ClusterSet, radius_km: f64) -> Vec<f64> {
-        let hubs: Vec<&wattroute_geo::Hub> = clusters
-            .hub_ids()
-            .iter()
-            .map(|id| wattroute_geo::hubs::hub(*id))
-            .collect();
+        let hubs: Vec<&wattroute_geo::Hub> =
+            clusters.hub_ids().iter().map(|id| wattroute_geo::hubs::hub(*id)).collect();
         let included: Vec<bool> = self
             .states
             .iter()
@@ -146,12 +143,7 @@ impl Trace {
         self.steps
             .iter()
             .map(|step| {
-                step.us_demand
-                    .iter()
-                    .zip(&included)
-                    .filter(|(_, inc)| **inc)
-                    .map(|(d, _)| d)
-                    .sum()
+                step.us_demand.iter().zip(&included).filter(|(_, inc)| **inc).map(|(d, _)| d).sum()
             })
             .collect()
     }

@@ -6,8 +6,8 @@
 //! cargo run --release --example carbon_aware
 //! ```
 
-use wattroute::prelude::*;
 use wattroute::market::auction::{Auction, DemandBid};
+use wattroute::prelude::*;
 
 /// Derive an hourly carbon intensity (tCO₂/MWh) per cluster hub from the
 /// supply-stack model: higher regional demand pushes dirtier marginal units
@@ -24,8 +24,8 @@ fn carbon_intensity_for(price: f64) -> f64 {
 fn main() {
     let start = SimHour::from_date(2008, 6, 1);
     let range = HourRange::new(start, start.plus_hours(7 * 24));
-    let scenario = Scenario::custom_window(13, range)
-        .with_energy(EnergyModelParams::optimistic_future());
+    let scenario =
+        Scenario::custom_window(13, range).with_energy(EnergyModelParams::optimistic_future());
 
     let baseline = scenario.baseline_report();
 
@@ -36,18 +36,14 @@ fn main() {
     // Carbon-aware routing: the policy needs per-cluster intensities; we use
     // the scenario's mean prices as a (stable) proxy for each grid's typical
     // position on its supply stack over the window.
-    let intensities: Vec<f64> = scenario.mean_prices().iter().map(|p| carbon_intensity_for(*p)).collect();
+    let intensities: Vec<f64> =
+        scenario.mean_prices().iter().map(|p| carbon_intensity_for(*p)).collect();
     let mut carbon_policy = CarbonAwarePolicy::new(1500.0, intensities.clone());
     let carbon_report = scenario.run(&mut carbon_policy);
 
     // Estimate tons of CO₂ for a report: energy per cluster × intensity.
     let tons = |report: &wattroute::report::SimulationReport| -> f64 {
-        report
-            .clusters
-            .iter()
-            .zip(&intensities)
-            .map(|(c, i)| c.energy_mwh * i)
-            .sum()
+        report.clusters.iter().zip(&intensities).map(|(c, i)| c.energy_mwh * i).sum()
     };
 
     println!("Seven-day comparison on the nine-cluster deployment (fully elastic energy):\n");
@@ -74,7 +70,11 @@ fn main() {
     for (cluster, i) in scenario.clusters.clusters().iter().zip(&intensities) {
         println!("  {:>4}: {:.2}", cluster.label, i);
     }
-    println!("\nThe carbon-aware policy shifts load toward cleaner grids even when they are not the");
-    println!("cheapest, trading a little of the dollar savings for a lower footprint — the trade-off");
+    println!(
+        "\nThe carbon-aware policy shifts load toward cleaner grids even when they are not the"
+    );
+    println!(
+        "cheapest, trading a little of the dollar savings for a lower footprint — the trade-off"
+    );
     println!("§8 of the paper sketches.");
 }

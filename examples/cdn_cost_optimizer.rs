@@ -27,7 +27,8 @@ fn main() {
 
     println!("\n== How far are we willing to send clients? ==");
     println!("(fully elastic model; cost normalized to the baseline)\n");
-    let scenario = Scenario::custom_window(7, range).with_energy(EnergyModelParams::optimistic_future());
+    let scenario =
+        Scenario::custom_window(7, range).with_energy(EnergyModelParams::optimistic_future());
     let baseline = scenario.baseline_report();
     println!(
         "{:<22} {:>12} {:>14} {:>12}",

@@ -5,9 +5,9 @@
 //! cargo run --release --example demand_response
 //! ```
 
-use wattroute::prelude::*;
 use wattroute::market::auction::{Auction, DemandBid};
 use wattroute::market::demand_response::{simulate_program, Aggregator, DemandResponseProgram};
+use wattroute::prelude::*;
 
 fn main() {
     // 1. Negawatts in the day-ahead auction: a data center offering a load
@@ -16,7 +16,10 @@ fn main() {
     let mut auction = Auction::with_typical_stack(5_000.0); // a 5 GW region
     auction.bid(DemandBid { quantity_mw: 4_700.0, max_price: None });
     let before = auction.clear();
-    println!("clearing price with full load:        ${:.0}/MWh (carbon {:.2} t/MWh)", before.clearing_price, before.carbon_intensity);
+    println!(
+        "clearing price with full load:        ${:.0}/MWh (carbon {:.2} t/MWh)",
+        before.clearing_price, before.carbon_intensity
+    );
     for negawatts in [50.0, 150.0, 400.0] {
         let after = auction.clear_with_negawatts(negawatts);
         println!(
@@ -70,6 +73,8 @@ fn main() {
         "  via an aggregator taking 25%: participants keep ${:.0}/year",
         aggregator.participant_revenue(&outcomes)
     );
-    println!("\nDemand response pays even where wholesale markets (and price differentials) do not");
+    println!(
+        "\nDemand response pays even where wholesale markets (and price differentials) do not"
+    );
     println!("exist — it monetises the same elasticity the price-conscious router exploits.");
 }

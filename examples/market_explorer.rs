@@ -6,9 +6,9 @@
 //! cargo run --release --example market_explorer
 //! ```
 
-use wattroute::prelude::*;
 use wattroute::market::analysis;
 use wattroute::market::differential::Differential;
+use wattroute::prelude::*;
 
 fn main() {
     let generator = PriceGenerator::new(MarketModel::calibrated(), 7);
@@ -17,17 +17,17 @@ fn main() {
 
     println!("== Per-hub price statistics (1% trimmed), Jan-Jun 2008 ==\n");
     println!("{:<22} {:>6} {:>8} {:>8} {:>8}", "hub", "RTO", "mean", "stdev", "kurt");
-    let mut rows: Vec<_> = prices
-        .series
-        .iter()
-        .filter_map(analysis::hub_price_stats)
-        .collect();
+    let mut rows: Vec<_> = prices.series.iter().filter_map(analysis::hub_price_stats).collect();
     rows.sort_by(|a, b| a.trimmed_mean.partial_cmp(&b.trimmed_mean).unwrap());
     for row in &rows {
         let hub = wattroute::geo::hubs::hub(row.hub);
         println!(
             "{:<22} {:>6} {:>8.1} {:>8.1} {:>8.1}",
-            hub.city, row.rto.abbreviation(), row.trimmed_mean, row.trimmed_std_dev, row.trimmed_kurtosis
+            hub.city,
+            row.rto.abbreviation(),
+            row.trimmed_mean,
+            row.trimmed_std_dev,
+            row.trimmed_kurtosis
         );
     }
 
@@ -66,7 +66,10 @@ fn main() {
         }
     }
     exploitable.sort_by(|a, b| b.1.std_dev.partial_cmp(&a.1.std_dev).unwrap());
-    println!("{} pairs where each side is cheaper by >$5/MWh at least 15% of the time:", exploitable.len());
+    println!(
+        "{} pairs where each side is cheaper by >$5/MWh at least 15% of the time:",
+        exploitable.len()
+    );
     for (name, stats) in exploitable.iter().take(15) {
         println!(
             "  {:<22} mean {:+6.1}  sd {:5.1}  A-cheaper {:3.0}%",

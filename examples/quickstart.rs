@@ -12,18 +12,29 @@ fn main() {
     // bench harness (`crates/bench/src/bin/`) runs the paper's full windows.
     let start = SimHour::from_date(2008, 12, 19);
     let range = HourRange::new(start, start.plus_hours(7 * 24));
-    let scenario = Scenario::custom_window(42, range)
-        .with_energy(EnergyModelParams::optimistic_future());
+    let scenario =
+        Scenario::custom_window(42, range).with_energy(EnergyModelParams::optimistic_future());
 
-    println!("Deployment: {} clusters, {} servers total", scenario.clusters.len(), scenario.clusters.total_servers());
-    println!("Traffic:    {} five-minute steps, US peak {:.2} M hits/s", scenario.trace.num_steps(), scenario.trace.peak_us_hits_per_sec() / 1e6);
+    println!(
+        "Deployment: {} clusters, {} servers total",
+        scenario.clusters.len(),
+        scenario.clusters.total_servers()
+    );
+    println!(
+        "Traffic:    {} five-minute steps, US peak {:.2} M hits/s",
+        scenario.trace.num_steps(),
+        scenario.trace.peak_us_hits_per_sec() / 1e6
+    );
 
     // 1. The baseline: an Akamai-like, distance-driven allocation.
     let baseline = scenario.baseline_report();
     println!("\nBaseline ({}):", baseline.policy);
     println!("  electricity cost: ${:.0}", baseline.total_cost_dollars);
     println!("  energy:           {:.1} MWh", baseline.total_energy_mwh);
-    println!("  mean distance:    {:.0} km (p99 {:.0} km)", baseline.mean_distance_km, baseline.p99_distance_km);
+    println!(
+        "  mean distance:    {:.0} km (p99 {:.0} km)",
+        baseline.mean_distance_km, baseline.p99_distance_km
+    );
 
     // 2. The paper's price-conscious optimizer at a 1500 km distance threshold.
     let mut optimizer = PriceConsciousPolicy::with_distance_threshold(1500.0);
@@ -31,15 +42,16 @@ fn main() {
     println!("\nPrice-conscious routing (1500 km threshold, 95/5 relaxed):");
     println!("  electricity cost: ${:.0}", optimized.total_cost_dollars);
     println!("  savings:          {:.1}%", optimized.savings_percent_vs(&baseline));
-    println!("  mean distance:    {:.0} km (p99 {:.0} km)", optimized.mean_distance_km, optimized.p99_distance_km);
+    println!(
+        "  mean distance:    {:.0} km (p99 {:.0} km)",
+        optimized.mean_distance_km, optimized.p99_distance_km
+    );
 
     // 3. Same policy, but never exceeding the baseline's 95th-percentile
     //    per-cluster load (the 95/5 bandwidth billing constraint).
     let caps = scenario.bandwidth_caps_from_baseline();
-    let constrained = scenario.run_with_config(
-        &mut optimizer,
-        scenario.config.clone().with_bandwidth_caps(caps),
-    );
+    let constrained =
+        scenario.run_with_config(&mut optimizer, scenario.config.clone().with_bandwidth_caps(caps));
     println!("\nPrice-conscious routing (following the original 95/5 constraints):");
     println!("  electricity cost: ${:.0}", constrained.total_cost_dollars);
     println!("  savings:          {:.1}%", constrained.savings_percent_vs(&baseline));

@@ -1,8 +1,8 @@
 //! Consistency checks across crate boundaries: the identifiers, units and
 //! orderings that the crates must agree on.
 
-use wattroute::prelude::*;
 use wattroute::geo::hubs;
+use wattroute::prelude::*;
 
 #[test]
 fn every_cluster_hub_has_market_parameters_and_prices() {
@@ -41,8 +41,8 @@ fn every_market_hub_has_model_parameters() {
 
 #[test]
 fn workload_states_align_with_geo_states() {
-    let trace = SyntheticWorkloadConfig::default()
-        .generate(HourRange::new(SimHour(0), SimHour(24)));
+    let trace =
+        SyntheticWorkloadConfig::default().generate(HourRange::new(SimHour(0), SimHour(24)));
     assert_eq!(trace.states.len(), UsState::all().count());
     for state in &trace.states {
         // Each state has a population and a centroid in the geo tables.
@@ -55,10 +55,8 @@ fn workload_states_align_with_geo_states() {
 fn figure_15_energy_sweep_is_consistent_with_elasticity_ordering() {
     use wattroute::energy::model::ClusterPowerModel;
     let sweep = EnergyModelParams::figure_15_sweep();
-    let elasticities: Vec<f64> = sweep
-        .iter()
-        .map(|(_, p)| ClusterPowerModel::new(*p, 1000).elasticity_ratio())
-        .collect();
+    let elasticities: Vec<f64> =
+        sweep.iter().map(|(_, p)| ClusterPowerModel::new(*p, 1000).elasticity_ratio()).collect();
     for pair in elasticities.windows(2) {
         assert!(pair[0] <= pair[1] + 1e-9, "sweep must be ordered from elastic to inelastic");
     }
@@ -84,7 +82,8 @@ fn csv_roundtrip_preserves_simulation_results() {
     scenario2.prices = reimported;
     let baseline_roundtrip = scenario2.baseline_report();
 
-    let relative = (baseline_original.total_cost_dollars - baseline_roundtrip.total_cost_dollars).abs()
+    let relative = (baseline_original.total_cost_dollars - baseline_roundtrip.total_cost_dollars)
+        .abs()
         / baseline_original.total_cost_dollars;
     assert!(relative < 1e-4, "CSV roundtrip changed the answer by {relative}");
 }

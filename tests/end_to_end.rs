@@ -48,10 +48,8 @@ fn bandwidth_constrained_run_respects_baseline_p95() {
     let caps: Vec<f64> = baseline.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
 
     let mut optimizer = PriceConsciousPolicy::with_distance_threshold(2500.0);
-    let constrained = scenario.run_with_config(
-        &mut optimizer,
-        scenario.config.clone().with_bandwidth_caps(caps.clone()),
-    );
+    let constrained = scenario
+        .run_with_config(&mut optimizer, scenario.config.clone().with_bandwidth_caps(caps.clone()));
     assert!(constrained.bandwidth_constrained);
     assert!(constrained.respects_p95_caps(&caps, 0.05));
 
@@ -102,10 +100,10 @@ fn carbon_and_joint_policies_run_end_to_end() {
 fn reports_serialize_to_json() {
     let scenario = Scenario::custom_window(3, short_range());
     let report = scenario.baseline_report();
-    let json = serde_json::to_string(&report).expect("report serializes");
+    let json = report.to_json();
     assert!(json.contains("\"policy\""));
     let back: wattroute::report::SimulationReport =
-        serde_json::from_str(&json).expect("report deserializes");
+        wattroute::report::SimulationReport::from_json(&json).expect("report deserializes");
     assert_eq!(back.policy, report.policy);
     assert!((back.total_cost_dollars - report.total_cost_dollars).abs() < 1e-9);
 }

@@ -3,9 +3,9 @@
 //! (Exact magnitudes depend on the synthetic calibration and are recorded in
 //! EXPERIMENTS.md rather than asserted here.)
 
-use wattroute::prelude::*;
 use wattroute::market::analysis;
 use wattroute::market::differential::Differential;
+use wattroute::prelude::*;
 
 fn window(days: u64) -> HourRange {
     let start = SimHour::from_date(2008, 12, 19);
@@ -16,8 +16,10 @@ fn window(days: u64) -> HourRange {
 /// 95/5 constraints reduces but does not eliminate them.
 #[test]
 fn savings_increase_with_elasticity_and_shrink_under_95_5() {
-    let elastic = Scenario::custom_window(1, window(4)).with_energy(EnergyModelParams::optimistic_future());
-    let google = Scenario::custom_window(1, window(4)).with_energy(EnergyModelParams::google_2009());
+    let elastic =
+        Scenario::custom_window(1, window(4)).with_energy(EnergyModelParams::optimistic_future());
+    let google =
+        Scenario::custom_window(1, window(4)).with_energy(EnergyModelParams::google_2009());
 
     let cmp_elastic = elastic.compare_price_conscious(1500.0);
     let cmp_google = google.compare_price_conscious(1500.0);
@@ -26,7 +28,10 @@ fn savings_increase_with_elasticity_and_shrink_under_95_5() {
     let elastic_strict = cmp_elastic.alternatives[1].savings_percent_vs(&cmp_elastic.baseline);
     let google_relaxed = cmp_google.alternatives[0].savings_percent_vs(&cmp_google.baseline);
 
-    assert!(elastic_relaxed > 10.0, "fully elastic relaxed savings should be large, got {elastic_relaxed:.1}%");
+    assert!(
+        elastic_relaxed > 10.0,
+        "fully elastic relaxed savings should be large, got {elastic_relaxed:.1}%"
+    );
     assert!(
         elastic_relaxed > google_relaxed + 3.0,
         "savings must grow with elasticity: {elastic_relaxed:.1}% vs {google_relaxed:.1}%"
@@ -40,7 +45,8 @@ fn savings_increase_with_elasticity_and_shrink_under_95_5() {
 /// longer client-server distances.
 #[test]
 fn cost_falls_and_distance_rises_with_the_threshold() {
-    let scenario = Scenario::custom_window(3, window(4)).with_energy(EnergyModelParams::optimistic_future());
+    let scenario =
+        Scenario::custom_window(3, window(4)).with_energy(EnergyModelParams::optimistic_future());
     let baseline = scenario.baseline_report();
 
     let mut last_cost = f64::INFINITY;
@@ -67,7 +73,8 @@ fn cost_falls_and_distance_rises_with_the_threshold() {
 fn dynamic_beats_static_over_a_long_horizon() {
     let start = SimHour::from_date(2008, 1, 1);
     let range = HourRange::new(start, start.plus_hours(60 * 24));
-    let scenario = Scenario::synthetic_over(17, range).with_energy(EnergyModelParams::optimistic_future());
+    let scenario =
+        Scenario::synthetic_over(17, range).with_energy(EnergyModelParams::optimistic_future());
     let baseline = scenario.baseline_report();
 
     let mut dynamic = PriceConsciousPolicy::unconstrained_distance();
@@ -87,7 +94,8 @@ fn dynamic_beats_static_over_a_long_horizon() {
 fn reaction_delay_increases_cost() {
     let start = SimHour::from_date(2008, 5, 1);
     let range = HourRange::new(start, start.plus_hours(45 * 24));
-    let scenario = Scenario::synthetic_over(23, range).with_energy(EnergyModelParams::optimistic_future());
+    let scenario =
+        Scenario::synthetic_over(23, range).with_energy(EnergyModelParams::optimistic_future());
 
     let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
     let immediate = scenario
@@ -145,7 +153,11 @@ fn differential_shapes_match_section_3() {
     )
     .unwrap();
     let stats = bos_nyc.stats().unwrap();
-    assert!(stats.mean < 0.0, "Boston should be cheaper than NYC on average, mean = {}", stats.mean);
+    assert!(
+        stats.mean < 0.0,
+        "Boston should be cheaper than NYC on average, mean = {}",
+        stats.mean
+    );
     assert!(
         stats.fraction_b_cheaper_by_threshold > 0.05,
         "but NYC should still be meaningfully cheaper part of the time ({:.2})",

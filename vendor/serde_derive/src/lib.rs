@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real `serde`/`serde_derive` cannot be fetched. Nothing in the
+//! workspace actually serializes data yet — the `#[derive(Serialize,
+//! Deserialize)]` attributes only declare intent — so these derives expand
+//! to an empty token stream. Swapping in the real serde later requires no
+//! source changes: delete the `vendor/serde*` crates and repoint
+//! `[workspace.dependencies]` at crates.io.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
