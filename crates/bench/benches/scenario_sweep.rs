@@ -1,0 +1,51 @@
+//! Criterion benchmark: a five-point distance-threshold sweep run through
+//! the parallel [`ScenarioSweep`] engine versus the same five runs executed
+//! sequentially — the evidence that sharing compiled price tables across a
+//! worker pool beats back-to-back `Simulation::run` calls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wattroute::prelude::*;
+use wattroute::sweep::ScenarioSweep;
+use wattroute_market::time::SimHour;
+
+const THRESHOLDS: [f64; 5] = [0.0, 500.0, 1000.0, 1500.0, 2500.0];
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_sweep");
+    group.sample_size(10);
+
+    let start = SimHour::from_date(2008, 12, 19);
+    let week = HourRange::new(start, start.plus_hours(7 * 24));
+    let scenario =
+        Scenario::custom_window(1, week).with_energy(EnergyModelParams::optimistic_future());
+
+    group.bench_function("five_point_fig17_sequential", |b| {
+        b.iter(|| {
+            THRESHOLDS
+                .iter()
+                .map(|&t| {
+                    let mut policy = PriceConsciousPolicy::with_distance_threshold(t);
+                    scenario.run(&mut policy)
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+
+    group.bench_function("five_point_fig17_parallel_sweep", |b| {
+        b.iter(|| {
+            let mut sweep =
+                ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
+            for (i, &t) in THRESHOLDS.iter().enumerate() {
+                sweep.add_point(format!("t:{i}"), scenario.config.clone(), move || {
+                    PriceConsciousPolicy::with_distance_threshold(t)
+                });
+            }
+            sweep.run()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

@@ -117,20 +117,51 @@ pub struct SavingsRow {
 
 /// Figure 15: maximum savings vs energy-model parameters, with and without
 /// the 95/5 constraints, at a fixed distance threshold.
+///
+/// Runs as two parallel [`ScenarioSweep`]s sharing one compiled price
+/// table: first every model's Akamai-like baseline (whose observed 95th
+/// percentiles become the "follow 95/5" caps), then the relaxed and
+/// constrained optimizer runs for every model.
 pub fn elasticity_savings_sweep(
     scenario: &Scenario,
     distance_threshold_km: f64,
     models: &[(String, EnergyModelParams)],
 ) -> Vec<SavingsRow> {
+    let mut baselines = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
+    for (i, (_, params)) in models.iter().enumerate() {
+        baselines.add_point(
+            format!("base:{i}"),
+            scenario.config.clone().with_energy(*params),
+            AkamaiLikePolicy::default,
+        );
+    }
+    let baselines = baselines.run();
+
+    let mut grid = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
+    for (i, (_, params)) in models.iter().enumerate() {
+        let caps: Vec<f64> =
+            baselines.runs[i].report.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
+        let config = scenario.config.clone().with_energy(*params);
+        grid.add_point(format!("relaxed:{i}"), config.clone(), move || {
+            PriceConsciousPolicy::with_distance_threshold(distance_threshold_km)
+        });
+        grid.add_point(format!("follow:{i}"), config.with_bandwidth_caps(caps), move || {
+            PriceConsciousPolicy::with_distance_threshold(distance_threshold_km)
+        });
+    }
+    let grid = grid.run();
+
+    // Both sweeps return one run per point in grid order, so rows pair up
+    // by index.
     models
         .iter()
-        .map(|(label, params)| {
-            let s = scenario.clone().with_energy(*params);
-            let cmp = s.compare_price_conscious(distance_threshold_km);
+        .enumerate()
+        .map(|(i, (label, _))| {
+            let baseline = &baselines.runs[i].report;
             SavingsRow {
                 label: label.clone(),
-                relaxed_percent: cmp.alternatives[0].savings_percent_vs(&cmp.baseline),
-                constrained_percent: cmp.alternatives[1].savings_percent_vs(&cmp.baseline),
+                relaxed_percent: grid.runs[2 * i].report.savings_percent_vs(baseline),
+                constrained_percent: grid.runs[2 * i + 1].report.savings_percent_vs(baseline),
             }
         })
         .collect()
@@ -156,21 +187,34 @@ pub struct ThresholdRow {
 }
 
 /// Sweep the price optimizer's distance threshold against a fixed baseline.
+///
+/// All `2 × thresholds` runs (relaxed and 95/5-constrained per threshold)
+/// execute as one parallel [`ScenarioSweep`] over a shared compiled price
+/// table.
 pub fn distance_threshold_sweep(
     scenario: &Scenario,
     baseline: &SimulationReport,
     caps: &[f64],
     thresholds_km: &[f64],
 ) -> Vec<ThresholdRow> {
+    let mut sweep = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
+    for (i, &threshold_km) in thresholds_km.iter().enumerate() {
+        sweep.add_point(format!("relaxed:{i}"), scenario.config.clone(), move || {
+            PriceConsciousPolicy::with_distance_threshold(threshold_km)
+        });
+        sweep.add_point(
+            format!("follow:{i}"),
+            scenario.config.clone().with_bandwidth_caps(caps.to_vec()),
+            move || PriceConsciousPolicy::with_distance_threshold(threshold_km),
+        );
+    }
+    let report = sweep.run();
     thresholds_km
         .iter()
-        .map(|&threshold_km| {
-            let mut policy = PriceConsciousPolicy::with_distance_threshold(threshold_km);
-            let relaxed = scenario.run(&mut policy);
-            let constrained = scenario.run_with_config(
-                &mut policy,
-                scenario.config.clone().with_bandwidth_caps(caps.to_vec()),
-            );
+        .enumerate()
+        .map(|(i, &threshold_km)| {
+            let relaxed = report.get(&format!("relaxed:{i}")).expect("point ran");
+            let constrained = report.get(&format!("follow:{i}")).expect("point ran");
             ThresholdRow {
                 threshold_km,
                 normalized_cost_relaxed: relaxed.normalized_cost_vs(baseline),
@@ -189,22 +233,36 @@ pub fn standard_thresholds() -> Vec<f64> {
     vec![0.0, 250.0, 500.0, 750.0, 1000.0, 1250.0, 1500.0, 1750.0, 2000.0, 2500.0]
 }
 
-/// Reaction-delay sweep (Figure 20): percentage cost increase relative to a
-/// one-hour delay, for a given energy model and distance threshold.
+/// Reaction-delay sweep (Figure 20): percentage cost increase relative to
+/// an immediate reaction, for a given energy model and distance threshold.
+///
+/// Each delay needs its own delayed-price table, but the runs themselves
+/// execute in parallel as one [`ScenarioSweep`] (tables are compiled once
+/// per distinct delay and shared).
 pub fn reaction_delay_sweep(
     scenario: &Scenario,
     distance_threshold_km: f64,
     delays_hours: &[u64],
 ) -> Vec<(u64, f64)> {
-    let mut policy = PriceConsciousPolicy::with_distance_threshold(distance_threshold_km);
-    let reference =
-        scenario.run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(0));
+    let mut sweep = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
+    sweep.add_point("reference", scenario.config.clone().with_reaction_delay(0), move || {
+        PriceConsciousPolicy::with_distance_threshold(distance_threshold_km)
+    });
+    for (i, &delay) in delays_hours.iter().enumerate() {
+        sweep.add_point(
+            format!("delay:{i}"),
+            scenario.config.clone().with_reaction_delay(delay),
+            move || PriceConsciousPolicy::with_distance_threshold(distance_threshold_km),
+        );
+    }
+    let report = sweep.run();
+    let reference = report.get("reference").expect("reference ran");
     delays_hours
         .iter()
-        .map(|&delay| {
-            let report = scenario
-                .run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(delay));
-            let increase = (report.total_cost_dollars / reference.total_cost_dollars - 1.0) * 100.0;
+        .enumerate()
+        .map(|(i, &delay)| {
+            let run = report.get(&format!("delay:{i}")).expect("point ran");
+            let increase = (run.total_cost_dollars / reference.total_cost_dollars - 1.0) * 100.0;
             (delay, increase)
         })
         .collect()

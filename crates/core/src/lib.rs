@@ -52,6 +52,7 @@ pub mod json;
 pub mod report;
 pub mod scenario;
 pub mod simulation;
+pub mod sweep;
 
 pub use wattroute_energy as energy;
 pub use wattroute_geo as geo;
@@ -66,6 +67,7 @@ pub mod prelude {
     pub use crate::report::{PolicyComparison, SimulationReport};
     pub use crate::scenario::Scenario;
     pub use crate::simulation::{Simulation, SimulationConfig};
+    pub use crate::sweep::{ScenarioSweep, SweepReport};
     pub use wattroute_energy::model::EnergyModelParams;
     pub use wattroute_geo::{HubId, Rto, UsState};
     pub use wattroute_market::prelude::*;

@@ -8,6 +8,14 @@ use wattroute_workload::ClusterSet;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReportDecodeError(String);
 
+impl ReportDecodeError {
+    /// Build an error from a plain message (used by sibling decoders such
+    /// as the sweep report).
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ReportDecodeError(message.into())
+    }
+}
+
 impl std::fmt::Display for ReportDecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "report decode error: {}", self.0)
@@ -173,6 +181,12 @@ pub struct ClusterReport {
     pub peak_hits_per_sec: f64,
     /// Total hits served over the run.
     pub total_hits: f64,
+    /// Hits assigned beyond the cluster's capacity, summed over all steps
+    /// where the cluster was over-subscribed. The engine bills such demand
+    /// as if served at capacity (the energy model saturates), so a nonzero
+    /// value means the cost figures understate what serving everything
+    /// would really take.
+    pub overflow_hits: f64,
 }
 
 impl ClusterReport {
@@ -186,6 +200,7 @@ impl ClusterReport {
             ("p95_hits_per_sec", JsonValue::Number(self.p95_hits_per_sec)),
             ("peak_hits_per_sec", JsonValue::Number(self.peak_hits_per_sec)),
             ("total_hits", JsonValue::Number(self.total_hits)),
+            ("overflow_hits", JsonValue::Number(self.overflow_hits)),
         ])
     }
 
@@ -199,6 +214,7 @@ impl ClusterReport {
             p95_hits_per_sec: f64_field(v, "p95_hits_per_sec")?,
             peak_hits_per_sec: f64_field(v, "peak_hits_per_sec")?,
             total_hits: f64_field(v, "total_hits")?,
+            overflow_hits: f64_field(v, "overflow_hits")?,
         })
     }
 }
@@ -218,6 +234,17 @@ pub struct SimulationReport {
     pub total_cost_dollars: f64,
     /// Total energy in MWh.
     pub total_energy_mwh: f64,
+    /// Total hits assigned beyond cluster capacity across the whole run
+    /// (the sum of every cluster's [`ClusterReport::overflow_hits`]).
+    /// Nonzero means the deployment was over-subscribed at some point and
+    /// the cost totals silently assume capacity-saturated service.
+    pub total_overflow_hits: f64,
+    /// Hours at the start of the run whose *delayed* (router-visible) price
+    /// fell before the price series began and was clamped to the first
+    /// sample. Runs whose price data start exactly at the trace start see
+    /// `min(reaction_delay_hours, run hours)` here; supply series extending
+    /// `reaction_delay_hours` earlier for faithful routing from step one.
+    pub delay_clamped_hours: u64,
     /// Per-cluster breakdown, in cluster order.
     pub clusters: Vec<ClusterReport>,
     /// Demand-weighted mean client–server distance in km.
@@ -243,6 +270,8 @@ impl SimulationReport {
             ("bandwidth_constrained", JsonValue::Bool(self.bandwidth_constrained)),
             ("total_cost_dollars", JsonValue::Number(self.total_cost_dollars)),
             ("total_energy_mwh", JsonValue::Number(self.total_energy_mwh)),
+            ("total_overflow_hits", JsonValue::Number(self.total_overflow_hits)),
+            ("delay_clamped_hours", JsonValue::Number(self.delay_clamped_hours as f64)),
             (
                 "clusters",
                 JsonValue::Array(self.clusters.iter().map(ClusterReport::to_json_value).collect()),
@@ -273,6 +302,8 @@ impl SimulationReport {
             bandwidth_constrained: bool_field(v, "bandwidth_constrained")?,
             total_cost_dollars: f64_field(v, "total_cost_dollars")?,
             total_energy_mwh: f64_field(v, "total_energy_mwh")?,
+            total_overflow_hits: f64_field(v, "total_overflow_hits")?,
+            delay_clamped_hours: f64_field(v, "delay_clamped_hours")? as u64,
             clusters,
             mean_distance_km: f64_field(v, "mean_distance_km")?,
             p99_distance_km: f64_field(v, "p99_distance_km")?,
@@ -383,6 +414,7 @@ mod tests {
                 p95_hits_per_sec: 1000.0,
                 peak_hits_per_sec: 1200.0,
                 total_hits: 1.0e9,
+                overflow_hits: 0.0,
             })
             .collect::<Vec<_>>();
         SimulationReport {
@@ -392,6 +424,8 @@ mod tests {
             bandwidth_constrained: false,
             total_cost_dollars: costs.iter().sum(),
             total_energy_mwh: costs.iter().sum::<f64>() / 60.0,
+            total_overflow_hits: 0.0,
+            delay_clamped_hours: 1,
             clusters,
             mean_distance_km: 500.0,
             p99_distance_km: 900.0,

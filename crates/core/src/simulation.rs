@@ -9,12 +9,15 @@
 //! client–server distance statistics.
 
 use crate::report::{cluster_labels, ClusterReport, DistanceHistogram, SimulationReport};
+use std::borrow::Cow;
 use wattroute_energy::cost::energy_cost_dollars;
 use wattroute_energy::model::{ClusterPowerModel, EnergyModelParams};
+use wattroute_market::price_table::PriceTable;
+use wattroute_market::time::{HourRange, SimHour};
 use wattroute_market::types::PriceSet;
 use wattroute_routing::policy::{RoutingContext, RoutingPolicy};
 use wattroute_stats::{quantiles, OnlineStats};
-use wattroute_workload::trace::{Trace, STEP_SECONDS};
+use wattroute_workload::trace::{Trace, STEPS_PER_HOUR, STEP_SECONDS};
 use wattroute_workload::ClusterSet;
 
 /// Static configuration of a simulation run (everything except the policy).
@@ -33,6 +36,11 @@ pub struct SimulationConfig {
     /// step; 12 re-routes hourly, which is exact for workloads that are
     /// constant within the hour (such as the replayed weekly profile used
     /// for the 39-month simulations) and far faster.
+    ///
+    /// The engine additionally re-routes whenever a step crosses an hour
+    /// boundary, so a cached allocation never straddles hours and stale
+    /// prices are never reused — intervals that do not divide twelve behave
+    /// as "at most this often within the hour".
     pub reallocate_every_steps: usize,
 }
 
@@ -74,18 +82,27 @@ impl SimulationConfig {
     }
 }
 
-/// A bound simulation: deployment + trace + prices + configuration.
+/// The hour range spanned by a trace's steps, including a partial trailing
+/// hour (unlike [`Trace::hour_range`], which rounds down — the price table
+/// must cover every hour any step falls in).
+pub(crate) fn step_coverage(trace: &Trace) -> HourRange {
+    let covered = trace.num_steps().div_ceil(STEPS_PER_HOUR) as u64;
+    HourRange::new(trace.start, trace.start.plus_hours(covered))
+}
+
+/// A bound simulation: deployment + trace + compiled prices + configuration.
 #[derive(Debug, Clone)]
 pub struct Simulation<'a> {
     clusters: &'a ClusterSet,
     trace: &'a Trace,
-    prices: &'a PriceSet,
+    table: Cow<'a, PriceTable>,
     config: SimulationConfig,
 }
 
 impl<'a> Simulation<'a> {
-    /// Bind a simulation. Validates that every cluster's hub has a price
-    /// series covering the trace.
+    /// Bind a simulation, compiling the price set into a dense
+    /// [`PriceTable`] for the trace range. Validates that every cluster's
+    /// hub has a price series covering the trace.
     ///
     /// # Panics
     /// Panics on missing price series, coverage gaps, or cap-length
@@ -98,27 +115,56 @@ impl<'a> Simulation<'a> {
     ) -> Self {
         assert!(!clusters.is_empty(), "deployment has no clusters");
         assert!(trace.num_steps() > 0, "trace is empty");
+        let table = PriceTable::build(
+            prices,
+            &clusters.hub_ids(),
+            step_coverage(trace),
+            config.reaction_delay_hours,
+        );
+        Self::with_price_table(clusters, trace, Cow::Owned(table), config)
+    }
+
+    /// Bind a simulation to an already-compiled [`PriceTable`] (borrowed, so
+    /// one table can be shared across many concurrent runs — the scenario
+    /// sweep runner does exactly this).
+    ///
+    /// # Panics
+    /// Panics if the table's hub order, range, or delay do not match the
+    /// deployment, trace, and configuration.
+    pub fn with_price_table(
+        clusters: &'a ClusterSet,
+        trace: &'a Trace,
+        table: Cow<'a, PriceTable>,
+        config: SimulationConfig,
+    ) -> Self {
+        assert!(!clusters.is_empty(), "deployment has no clusters");
+        assert!(trace.num_steps() > 0, "trace is empty");
         if let Some(caps) = &config.bandwidth_caps {
             assert_eq!(caps.len(), clusters.len(), "bandwidth cap length mismatch");
         }
-        let trace_range = trace.hour_range();
-        for hub in clusters.hub_ids() {
-            let series =
-                prices.for_hub(hub).unwrap_or_else(|| panic!("no price series for hub {hub:?}"));
-            let price_range = series.range();
-            assert!(
-                price_range.start.0 <= trace_range.start.0
-                    && price_range.end.0 >= trace_range.end.0,
-                "price series for {hub:?} ({:?}) does not cover the trace ({trace_range:?})",
-                price_range
-            );
-        }
-        Self { clusters, trace, prices, config }
+        assert_eq!(table.hubs(), clusters.hub_ids(), "price table hub order mismatch");
+        assert_eq!(
+            table.delay_hours(),
+            config.reaction_delay_hours,
+            "price table compiled for a different reaction delay"
+        );
+        let needed = step_coverage(trace);
+        let covered = table.range();
+        assert!(
+            covered.start.0 <= needed.start.0 && covered.end.0 >= needed.end.0,
+            "price table ({covered:?}) does not cover the trace ({needed:?})"
+        );
+        Self { clusters, trace, table, config }
     }
 
     /// The configuration.
     pub fn config(&self) -> &SimulationConfig {
         &self.config
+    }
+
+    /// The compiled price table driving this simulation.
+    pub fn price_table(&self) -> &PriceTable {
+        &self.table
     }
 
     /// Run a policy over the whole trace and produce a report.
@@ -134,67 +180,62 @@ impl<'a> Simulation<'a> {
             .map(|c| ClusterPowerModel::new(self.config.energy, c.servers))
             .collect();
 
+        let capacities: Vec<f64> =
+            self.clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).collect();
+
         let mut cost = vec![0.0f64; n_clusters];
         let mut energy_wh = vec![0.0f64; n_clusters];
         let mut hits = vec![0.0f64; n_clusters];
+        let mut overflow_hits = vec![0.0f64; n_clusters];
         let mut load_series: Vec<Vec<f64>> = vec![Vec::with_capacity(n_steps); n_clusters];
         let mut util_stats = vec![OnlineStats::new(); n_clusters];
         let mut distances = DistanceHistogram::default_resolution();
 
         let mut cached_allocation = None;
-        let mut cached_prices: Vec<f64> = vec![0.0; n_clusters];
+        let mut last_alloc_hour = SimHour(u64::MAX);
 
         for (i, step) in self.trace.steps().iter().enumerate() {
             let hour = self.trace.step_hour(i);
 
-            let reallocate =
-                i % self.config.reallocate_every_steps == 0 || cached_allocation.is_none();
+            // Re-route on the configured interval, and additionally whenever
+            // the step crosses an hour boundary: prices change hourly, so a
+            // cached allocation carried across hours would route on the
+            // previous hour's prices.
+            let reallocate = cached_allocation.is_none()
+                || i % self.config.reallocate_every_steps == 0
+                || hour != last_alloc_hour;
             if reallocate {
-                cached_prices = self
-                    .clusters
-                    .hub_ids()
-                    .iter()
-                    .map(|hub| {
-                        self.prices
-                            .for_hub(*hub)
-                            .expect("validated in new()")
-                            .delayed_price_at(hour, self.config.reaction_delay_hours)
-                            .expect("validated coverage in new()")
-                    })
-                    .collect();
+                let delayed_prices = self.table.delayed_at(hour).expect("table covers the trace");
                 let mut ctx = RoutingContext::new(
                     self.clusters,
                     &self.trace.states,
                     &step.us_demand,
-                    &cached_prices,
+                    delayed_prices,
                     hour,
                 );
                 if let Some(caps) = &self.config.bandwidth_caps {
                     ctx = ctx.with_bandwidth_caps(caps.clone());
                 }
                 cached_allocation = Some(policy.allocate(&ctx));
+                last_alloc_hour = hour;
             }
             let allocation = cached_allocation.as_ref().expect("just populated");
 
             // Spot prices used for billing are the *actual* prices of this
             // hour (the delay only affects what the router saw).
-            let billing_prices: Vec<f64> = self
-                .clusters
-                .hub_ids()
-                .iter()
-                .map(|hub| {
-                    self.prices
-                        .for_hub(*hub)
-                        .expect("validated in new()")
-                        .price_at(hour)
-                        .expect("validated coverage in new()")
-                })
-                .collect();
+            let billing_prices = self.table.billing_at(hour).expect("table covers the trace");
 
             let loads = allocation.cluster_loads();
             for c in 0..n_clusters {
                 let cluster = self.clusters.get(c).expect("index in range");
-                let utilization = cluster.utilization(loads[c]).min(1.0);
+                let raw_utilization = cluster.utilization(loads[c]);
+                if raw_utilization > 1.0 {
+                    // Demand beyond capacity: billed as if served at
+                    // capacity (the energy model saturates), but accounted
+                    // so over-subscription is visible in the report.
+                    overflow_hits[c] += (loads[c] - capacities[c]) * STEP_SECONDS as f64;
+                }
+                let utilization = raw_utilization.min(1.0);
                 let watts = power_models[c].power_watts(utilization);
                 let wh = watts * step_hours;
                 energy_wh[c] += wh;
@@ -221,6 +262,7 @@ impl<'a> Simulation<'a> {
                 p95_hits_per_sec: quantiles::percentile(&load_series[c], 95.0).unwrap_or(0.0),
                 peak_hits_per_sec: load_series[c].iter().copied().fold(0.0, f64::max),
                 total_hits: hits[c],
+                overflow_hits: overflow_hits[c],
             })
             .collect::<Vec<_>>();
 
@@ -231,6 +273,8 @@ impl<'a> Simulation<'a> {
             bandwidth_constrained: self.config.bandwidth_caps.is_some(),
             total_cost_dollars: cost.iter().sum(),
             total_energy_mwh: energy_wh.iter().sum::<f64>() / 1.0e6,
+            total_overflow_hits: overflow_hits.iter().sum(),
+            delay_clamped_hours: self.table.clamped_lead_hours(),
             clusters,
             mean_distance_km: distances.mean_km().unwrap_or(0.0),
             p99_distance_km: distances.percentile_km(99.0).unwrap_or(0.0),
@@ -368,6 +412,107 @@ mod tests {
         let a = Simulation::new(&clusters, &trace, &prices, per_step_cfg).run(&mut policy);
         let b = Simulation::new(&clusters, &trace, &prices, hourly_cfg).run(&mut policy);
         assert!((a.total_cost_dollars - b.total_cost_dollars).abs() < 1e-6 * a.total_cost_dollars);
+    }
+
+    #[test]
+    fn oversubscribed_deployment_reports_overflow() {
+        let (clusters, trace, prices) = small_setup();
+        // Shrink the deployment until demand far exceeds total capacity.
+        let tiny = clusters.scaled(1e-6);
+        let sim = Simulation::new(&tiny, &trace, &prices, SimulationConfig::default());
+        let report = sim.run(&mut NearestClusterPolicy::new());
+        assert!(
+            report.total_overflow_hits > 0.0,
+            "demand beyond capacity must be reported, not silently billed as served"
+        );
+        assert!(report.clusters.iter().any(|c| c.overflow_hits > 0.0));
+        let sum: f64 = report.clusters.iter().map(|c| c.overflow_hits).sum();
+        assert!((sum - report.total_overflow_hits).abs() < 1e-6 * sum.max(1.0));
+
+        // A comfortably provisioned run reports none.
+        let roomy = Simulation::new(&clusters, &trace, &prices, SimulationConfig::default());
+        let ok = roomy.run(&mut NearestClusterPolicy::new());
+        assert_eq!(ok.total_overflow_hits, 0.0);
+        assert!(ok.clusters.iter().all(|c| c.overflow_hits == 0.0));
+    }
+
+    #[test]
+    fn delayed_price_clamp_is_surfaced_in_the_report() {
+        let (clusters, trace, prices) = small_setup();
+        // The generated price series cover exactly the trace range, so a
+        // 24-hour delay cannot see real history for the first day: the
+        // report must say so rather than quietly reusing the first sample.
+        let config = SimulationConfig::default().with_reaction_delay(24);
+        let sim = Simulation::new(&clusters, &trace, &prices, config);
+        let report = sim.run(&mut NearestClusterPolicy::new());
+        assert_eq!(report.delay_clamped_hours, 24);
+
+        // With history extending a day before the trace, nothing clamps.
+        let wide_range = HourRange::new(SimHour(trace.start.0 - 24), trace.hour_range().end);
+        let wide = PriceGenerator::nine_cluster_default(7).realtime_hourly(wide_range);
+        let config = SimulationConfig::default().with_reaction_delay(24);
+        let sim = Simulation::new(&clusters, &trace, &wide, config);
+        let report = sim.run(&mut NearestClusterPolicy::new());
+        assert_eq!(report.delay_clamped_hours, 0);
+    }
+
+    #[test]
+    fn reallocation_never_straddles_hour_boundaries() {
+        // An interval that does not divide the 12 steps/hour used to let a
+        // cached allocation cross into the next hour and route on the
+        // previous hour's prices. Pin the fix: with demand constant within
+        // each hour, a 5-step interval must now match per-step routing
+        // exactly (every allocation inside one hour sees identical inputs).
+        let clusters = ClusterSet::akamai_like_nine();
+        let start = SimHour::from_date(2006, 3, 6);
+        let range = HourRange::new(start, start.plus_hours(48));
+        let long = SyntheticWorkloadConfig::default().generate(HourRange::akamai_24_days());
+        let profile = wattroute_workload::derive::WeeklyProfile::from_trace(&long).unwrap();
+        let trace = profile.replay(range);
+        let prices = PriceGenerator::nine_cluster_default(3).realtime_hourly(range);
+
+        let per_step_cfg = SimulationConfig::default();
+        let ragged_cfg = SimulationConfig::default().with_reallocation_interval(5);
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+        let a = Simulation::new(&clusters, &trace, &prices, per_step_cfg).run(&mut policy);
+        let b = Simulation::new(&clusters, &trace, &prices, ragged_cfg).run(&mut policy);
+        assert!(
+            (a.total_cost_dollars - b.total_cost_dollars).abs() < 1e-9 * a.total_cost_dollars,
+            "allocations must re-trigger on hour change: {} vs {}",
+            a.total_cost_dollars,
+            b.total_cost_dollars
+        );
+    }
+
+    #[test]
+    fn shared_price_table_matches_owned_table() {
+        let (clusters, trace, prices) = small_setup();
+        let config = SimulationConfig::default();
+        let owned = Simulation::new(&clusters, &trace, &prices, config.clone());
+        let table = owned.price_table().clone();
+        let borrowed = Simulation::with_price_table(
+            &clusters,
+            &trace,
+            std::borrow::Cow::Borrowed(&table),
+            config,
+        );
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+        assert_eq!(owned.run(&mut policy), borrowed.run(&mut policy));
+    }
+
+    #[test]
+    #[should_panic(expected = "different reaction delay")]
+    fn mismatched_table_delay_panics() {
+        let (clusters, trace, prices) = small_setup();
+        let base = Simulation::new(&clusters, &trace, &prices, SimulationConfig::default());
+        let table = base.price_table().clone();
+        let other = SimulationConfig::default().with_reaction_delay(5);
+        let _ = Simulation::with_price_table(
+            &clusters,
+            &trace,
+            std::borrow::Cow::Borrowed(&table),
+            other,
+        );
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Parallel scenario sweeps over a shared compiled trace.
+//!
+//! The paper's headline figures (15–20) all sweep the price-conscious
+//! router across a grid of what-ifs — distance thresholds, reaction delays,
+//! elasticity models, bandwidth regimes — and every grid point is a full
+//! trace replay. A [`ScenarioSweep`] runs such a grid as one unit: the
+//! deployment, trace, and per-delay [`PriceTable`]s are compiled once and
+//! shared (immutably) across all runs, and the runs execute on a small pool
+//! of scoped worker threads. Results come back as a [`SweepReport`], which
+//! serializes through the same dependency-free JSON module as individual
+//! [`SimulationReport`]s — CI diffs one against a golden file so engine
+//! refactors cannot silently change results.
+//!
+//! ```
+//! use wattroute::prelude::*;
+//! use wattroute::sweep::ScenarioSweep;
+//!
+//! let start = SimHour::from_date(2008, 12, 19);
+//! let scenario = Scenario::custom_window(7, HourRange::new(start, start.plus_hours(24)));
+//! let mut sweep = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
+//! for threshold in [0.0, 1500.0] {
+//!     sweep.add_point(format!("t{threshold}"), scenario.config.clone(), move || {
+//!         PriceConsciousPolicy::with_distance_threshold(threshold)
+//!     });
+//! }
+//! let report = sweep.run();
+//! assert_eq!(report.runs.len(), 2);
+//! assert!(report.get("t1500").unwrap().total_cost_dollars > 0.0);
+//! ```
+
+use crate::json::{self, JsonValue};
+use crate::report::{ReportDecodeError, SimulationReport};
+use crate::simulation::{step_coverage, Simulation, SimulationConfig};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use wattroute_market::price_table::PriceTable;
+use wattroute_market::types::PriceSet;
+use wattroute_routing::policy::RoutingPolicy;
+use wattroute_workload::trace::Trace;
+use wattroute_workload::ClusterSet;
+
+/// Builds a fresh policy instance for one sweep run. Factories (not policy
+/// instances) are what the grid stores, because runs execute concurrently
+/// and policies are stateful (`allocate` takes `&mut self`).
+pub type PolicyFactory = Box<dyn Fn() -> Box<dyn RoutingPolicy> + Send + Sync>;
+
+/// One grid point: a label, a simulation configuration, and the policy to
+/// run under it.
+pub struct SweepPoint {
+    /// Stable label identifying the point in the [`SweepReport`].
+    pub label: String,
+    /// The configuration for this run.
+    pub config: SimulationConfig,
+    /// Factory for the policy to run.
+    pub policy: PolicyFactory,
+}
+
+/// A grid of simulation runs over one (deployment, trace, prices) triple,
+/// executed on a worker pool with the compiled price tables shared.
+pub struct ScenarioSweep<'a> {
+    clusters: &'a ClusterSet,
+    trace: &'a Trace,
+    prices: &'a PriceSet,
+    points: Vec<SweepPoint>,
+    threads: Option<usize>,
+}
+
+impl<'a> ScenarioSweep<'a> {
+    /// Start an empty sweep over a deployment, trace, and price set.
+    pub fn new(clusters: &'a ClusterSet, trace: &'a Trace, prices: &'a PriceSet) -> Self {
+        Self { clusters, trace, prices, points: Vec::new(), threads: None }
+    }
+
+    /// Pin the worker-pool size (default: available parallelism, capped by
+    /// the number of grid points).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "worker pool needs at least one thread");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Add one grid point.
+    pub fn add_point<F, P>(&mut self, label: impl Into<String>, config: SimulationConfig, policy: F)
+    where
+        F: Fn() -> P + Send + Sync + 'static,
+        P: RoutingPolicy + 'static,
+    {
+        self.points.push(SweepPoint {
+            label: label.into(),
+            config,
+            policy: Box::new(move || Box::new(policy())),
+        });
+    }
+
+    /// Add a pre-boxed grid point (for heterogeneous policy grids).
+    pub fn add_boxed_point(
+        &mut self,
+        label: impl Into<String>,
+        config: SimulationConfig,
+        policy: PolicyFactory,
+    ) {
+        self.points.push(SweepPoint { label: label.into(), config, policy });
+    }
+
+    /// Number of grid points queued.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Compile shared price tables and execute every grid point, in
+    /// parallel, returning reports in grid order.
+    pub fn run(self) -> SweepReport {
+        let range = step_coverage(self.trace);
+
+        // One compiled table per distinct reaction delay, shared by every
+        // run with that delay.
+        let mut tables: BTreeMap<u64, PriceTable> = BTreeMap::new();
+        for point in &self.points {
+            tables.entry(point.config.reaction_delay_hours).or_insert_with(|| {
+                PriceTable::build(
+                    self.prices,
+                    &self.clusters.hub_ids(),
+                    range,
+                    point.config.reaction_delay_hours,
+                )
+            });
+        }
+
+        let workers = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+            .clamp(1, self.points.len().max(1));
+
+        let mut slots: Vec<Option<SweepRun>> = Vec::new();
+        slots.resize_with(self.points.len(), || None);
+        let results = Mutex::new(slots);
+        let next = AtomicUsize::new(0);
+        let points = &self.points;
+        let tables_ref = &tables;
+        let (clusters, trace) = (self.clusters, self.trace);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= points.len() {
+                        break;
+                    }
+                    let point = &points[i];
+                    let table = &tables_ref[&point.config.reaction_delay_hours];
+                    let sim = Simulation::with_price_table(
+                        clusters,
+                        trace,
+                        Cow::Borrowed(table),
+                        point.config.clone(),
+                    );
+                    let mut policy = (point.policy)();
+                    let report = sim.run(policy.as_mut());
+                    let run = SweepRun { label: point.label.clone(), report };
+                    results.lock().expect("no poisoned runs")[i] = Some(run);
+                });
+            }
+        });
+
+        let runs = results
+            .into_inner()
+            .expect("no poisoned runs")
+            .into_iter()
+            .map(|slot| slot.expect("every grid point ran"))
+            .collect();
+        SweepReport { runs }
+    }
+}
+
+/// One completed sweep run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRun {
+    /// The grid point's label.
+    pub label: String,
+    /// The simulation report it produced.
+    pub report: SimulationReport,
+}
+
+/// All runs of a sweep, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// One entry per grid point, in the order the points were added.
+    pub runs: Vec<SweepRun>,
+}
+
+impl SweepReport {
+    /// The report for a labelled grid point, if present.
+    pub fn get(&self, label: &str) -> Option<&SimulationReport> {
+        self.runs.iter().find(|r| r.label == label).map(|r| &r.report)
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([(
+            "runs",
+            JsonValue::Array(
+                self.runs
+                    .iter()
+                    .map(|r| {
+                        json::object([
+                            ("label", JsonValue::String(r.label.clone())),
+                            ("report", r.report.to_json_value()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Deserialize from JSON text produced by [`Self::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, ReportDecodeError> {
+        let v = JsonValue::parse(text)?;
+        let runs = v
+            .get("runs")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ReportDecodeError::new("missing 'runs' array"))?
+            .iter()
+            .map(|entry| {
+                let label = entry
+                    .get("label")
+                    .and_then(JsonValue::as_str)
+                    .ok_or_else(|| ReportDecodeError::new("run missing 'label'"))?
+                    .to_string();
+                let report = SimulationReport::from_json_value(
+                    entry
+                        .get("report")
+                        .ok_or_else(|| ReportDecodeError::new("run missing 'report'"))?,
+                )?;
+                Ok(SweepRun { label, report })
+            })
+            .collect::<Result<Vec<_>, ReportDecodeError>>()?;
+        Ok(Self { runs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use wattroute_market::time::{HourRange, SimHour};
+    use wattroute_routing::baseline::AkamaiLikePolicy;
+    use wattroute_routing::price_conscious::PriceConsciousPolicy;
+
+    fn short_scenario() -> Scenario {
+        let start = SimHour::from_date(2008, 12, 19);
+        Scenario::custom_window(17, HourRange::new(start, start.plus_hours(36)))
+    }
+
+    #[test]
+    fn sweep_matches_sequential_runs_exactly() {
+        let s = short_scenario();
+        let thresholds = [0.0, 1000.0, 2000.0];
+
+        let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
+        sweep.add_point("baseline", s.config.clone(), AkamaiLikePolicy::default);
+        for t in thresholds {
+            sweep.add_point(format!("t{t}"), s.config.clone(), move || {
+                PriceConsciousPolicy::with_distance_threshold(t)
+            });
+        }
+        let report = sweep.run();
+        assert_eq!(report.runs.len(), 4);
+
+        let sequential_baseline = s.run(&mut AkamaiLikePolicy::default());
+        assert_eq!(report.runs[0].report, sequential_baseline);
+        for (i, t) in thresholds.iter().enumerate() {
+            let sequential = s.run(&mut PriceConsciousPolicy::with_distance_threshold(*t));
+            assert_eq!(&report.runs[i + 1].report, &sequential, "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn sweep_shares_tables_across_delays_and_respects_order() {
+        let s = short_scenario();
+        let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices).with_threads(2);
+        for delay in [0u64, 1, 1, 6] {
+            sweep.add_point(
+                format!("d{delay}-{}", sweep.len()),
+                s.config.clone().with_reaction_delay(delay),
+                || PriceConsciousPolicy::with_distance_threshold(1500.0),
+            );
+        }
+        let report = sweep.run();
+        assert_eq!(report.runs.len(), 4);
+        // Grid order is preserved regardless of which worker finished first.
+        assert!(report.runs[0].label.starts_with("d0"));
+        assert!(report.runs[3].label.starts_with("d6"));
+        // Same-delay runs are byte-identical (shared table, same policy).
+        assert_eq!(report.runs[1].report, report.runs[2].report);
+        // Delay changes routing and therefore cost.
+        assert_ne!(
+            report.runs[0].report.total_cost_dollars,
+            report.runs[3].report.total_cost_dollars
+        );
+    }
+
+    #[test]
+    fn sweep_report_round_trips_through_json() {
+        let s = short_scenario();
+        let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
+        sweep.add_point("only", s.config.clone(), AkamaiLikePolicy::default);
+        let report = sweep.run();
+        let json = report.to_json();
+        let back = SweepReport::from_json(&json).expect("round trip");
+        assert_eq!(report, back);
+        assert!(report.get("only").is_some());
+        assert!(report.get("missing").is_none());
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let s = short_scenario();
+        let sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
+        assert!(sweep.is_empty());
+        let report = sweep.run();
+        assert!(report.runs.is_empty());
+    }
+}

@@ -54,6 +54,7 @@ pub mod demand_response;
 pub mod differential;
 pub mod generator;
 pub mod model;
+pub mod price_table;
 pub mod rng;
 pub mod time;
 pub mod types;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use crate::differential::{Differential, DifferentialStats};
     pub use crate::generator::PriceGenerator;
     pub use crate::model::MarketModel;
+    pub use crate::price_table::PriceTable;
     pub use crate::time::{HourRange, SimHour};
     pub use crate::types::{DollarsPerMwh, MarketKind, PriceSeries, PriceSet};
 }

@@ -1,0 +1,248 @@
+//! Precompiled price lookup tables for the simulation hot path.
+//!
+//! `Simulation::run` needs, for every 5-minute step, the billing price and
+//! the delayed (router-visible) price of every cluster hub. Resolving those
+//! through [`PriceSet::for_hub`] costs a linear scan per hub per step plus a
+//! fresh `Vec` per step. A [`PriceTable`] does that work once per
+//! (price set, hub order, trace range, delay): it materialises two dense
+//! `[hour × hub]` matrices so the engine's inner loop reduces to a slice
+//! index. The table is the unit the scenario-sweep runner shares across
+//! runs that differ only in policy or bandwidth caps.
+
+use crate::time::{HourRange, SimHour};
+use crate::types::{DollarsPerMwh, PriceSet};
+use wattroute_geo::HubId;
+
+/// Dense `[hour × hub]` billing and delayed price matrices covering one
+/// trace range.
+///
+/// Row `h` (for hour `start + h`) holds one price per hub, in the hub order
+/// the table was built with — which the simulator keeps equal to cluster
+/// order, so a row can be used directly as the per-cluster price slice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceTable {
+    hubs: Vec<HubId>,
+    start: SimHour,
+    n_hours: usize,
+    delay_hours: u64,
+    /// Actual prices of each hour: what billing uses.
+    billing: Vec<DollarsPerMwh>,
+    /// Prices as the router sees them: `delay_hours` old, clamped to the
+    /// series start (see [`crate::types::PriceSeries::delayed_price_at`]).
+    delayed: Vec<DollarsPerMwh>,
+    /// How many leading hours of `delayed` were clamped to the first
+    /// available sample because the series does not extend `delay_hours`
+    /// before the range (see [`Self::clamped_lead_hours`]).
+    clamped_lead_hours: u64,
+}
+
+impl PriceTable {
+    /// Build a table for `hubs` (in the given order) over `range`, with the
+    /// router's reaction delay baked into the delayed matrix.
+    ///
+    /// # Panics
+    /// Panics if any hub has no series in `prices` or its series does not
+    /// cover `range` — the same configuration errors `Simulation::new`
+    /// rejects.
+    pub fn build(prices: &PriceSet, hubs: &[HubId], range: HourRange, delay_hours: u64) -> Self {
+        let n_hours = range.len_hours() as usize;
+        let n_hubs = hubs.len();
+        let mut billing = Vec::with_capacity(n_hours * n_hubs);
+        let mut delayed = Vec::with_capacity(n_hours * n_hubs);
+        let mut clamped_lead_hours = 0u64;
+        let series: Vec<&crate::types::PriceSeries> = hubs
+            .iter()
+            .map(|hub| {
+                let s = prices
+                    .for_hub(*hub)
+                    .unwrap_or_else(|| panic!("no price series for hub {hub:?}"));
+                let price_range = s.range();
+                assert!(
+                    price_range.start.0 <= range.start.0 && price_range.end.0 >= range.end.0,
+                    "price series for {hub:?} ({price_range:?}) does not cover the trace ({range:?})"
+                );
+                if range.start.0 < price_range.start.0 + delay_hours {
+                    clamped_lead_hours = clamped_lead_hours
+                        .max((price_range.start.0 + delay_hours).min(range.end.0) - range.start.0);
+                }
+                s
+            })
+            .collect();
+        for h in 0..n_hours {
+            let hour = SimHour(range.start.0 + h as u64);
+            for s in &series {
+                billing.push(s.price_at(hour).expect("coverage validated above"));
+                delayed
+                    .push(s.delayed_price_at(hour, delay_hours).expect("coverage validated above"));
+            }
+        }
+        Self {
+            hubs: hubs.to_vec(),
+            start: range.start,
+            n_hours,
+            delay_hours,
+            billing,
+            delayed,
+            clamped_lead_hours,
+        }
+    }
+
+    /// The hub order of every row.
+    pub fn hubs(&self) -> &[HubId] {
+        &self.hubs
+    }
+
+    /// The hour range covered.
+    pub fn range(&self) -> HourRange {
+        HourRange::new(self.start, self.start.plus_hours(self.n_hours as u64))
+    }
+
+    /// The reaction delay baked into the delayed matrix.
+    pub fn delay_hours(&self) -> u64 {
+        self.delay_hours
+    }
+
+    /// Number of leading hours of the range whose *delayed* price falls
+    /// before the series start and is therefore clamped to the first sample.
+    /// A run whose price data begin exactly at the trace start sees
+    /// `min(delay_hours, range hours)` clamped hours; callers that need
+    /// faithful delayed prices from the first step should supply series
+    /// extending `delay_hours` earlier.
+    pub fn clamped_lead_hours(&self) -> u64 {
+        self.clamped_lead_hours
+    }
+
+    fn row<'a>(&self, matrix: &'a [DollarsPerMwh], hour: SimHour) -> Option<&'a [DollarsPerMwh]> {
+        if hour.0 < self.start.0 {
+            return None;
+        }
+        let h = (hour.0 - self.start.0) as usize;
+        if h >= self.n_hours {
+            return None;
+        }
+        let lo = h * self.hubs.len();
+        Some(&matrix[lo..lo + self.hubs.len()])
+    }
+
+    /// Per-hub billing (actual) prices for an hour inside the range.
+    pub fn billing_at(&self, hour: SimHour) -> Option<&[DollarsPerMwh]> {
+        self.row(&self.billing, hour)
+    }
+
+    /// Per-hub delayed (router-visible) prices for an hour inside the range.
+    pub fn delayed_at(&self, hour: SimHour) -> Option<&[DollarsPerMwh]> {
+        self.row(&self.delayed, hour)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::PriceGenerator;
+    use crate::types::{MarketKind, PriceSeries};
+
+    fn two_hub_set(start: SimHour, hours: u64) -> (PriceSet, Vec<HubId>) {
+        let hubs = vec![HubId::BostonMa, HubId::ChicagoIl];
+        let series = hubs
+            .iter()
+            .enumerate()
+            .map(|(i, hub)| {
+                let prices = (0..hours).map(|h| 40.0 + h as f64 + 100.0 * i as f64).collect();
+                PriceSeries::new(*hub, MarketKind::RealTimeHourly, start, prices)
+            })
+            .collect();
+        (PriceSet::new(series), hubs)
+    }
+
+    #[test]
+    fn rows_agree_exactly_with_series_lookups() {
+        let range = HourRange::new(SimHour(100), SimHour(130));
+        let (set, hubs) = two_hub_set(SimHour(100), 30);
+        let table = PriceTable::build(&set, &hubs, range, 3);
+        for h in range.start.0..range.end.0 {
+            let hour = SimHour(h);
+            let billing = table.billing_at(hour).unwrap();
+            let delayed = table.delayed_at(hour).unwrap();
+            for (i, hub) in hubs.iter().enumerate() {
+                let series = set.for_hub(*hub).unwrap();
+                assert_eq!(billing[i], series.price_at(hour).unwrap());
+                assert_eq!(delayed[i], series.delayed_price_at(hour, 3).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_hours_return_none() {
+        let range = HourRange::new(SimHour(10), SimHour(20));
+        let (set, hubs) = two_hub_set(SimHour(10), 10);
+        let table = PriceTable::build(&set, &hubs, range, 0);
+        assert!(table.billing_at(SimHour(9)).is_none());
+        assert!(table.billing_at(SimHour(20)).is_none());
+        assert!(table.delayed_at(SimHour(25)).is_none());
+        assert_eq!(table.range(), range);
+        assert_eq!(table.hubs(), &hubs[..]);
+    }
+
+    #[test]
+    fn delayed_rows_use_history_when_the_series_extends_earlier() {
+        // Series start 24 hours before the table range: no clamping.
+        let (set, hubs) = two_hub_set(SimHour(0), 72);
+        let range = HourRange::new(SimHour(24), SimHour(48));
+        let table = PriceTable::build(&set, &hubs, range, 24);
+        assert_eq!(table.clamped_lead_hours(), 0);
+        // Delayed price at the very first hour is the series' first sample,
+        // reached through real history rather than clamping.
+        assert_eq!(table.delayed_at(SimHour(24)).unwrap()[0], 40.0);
+        assert_eq!(table.delayed_at(SimHour(47)).unwrap()[0], 40.0 + 23.0);
+    }
+
+    #[test]
+    fn exactly_covering_series_reports_clamped_lead_hours() {
+        let range = HourRange::new(SimHour(0), SimHour(48));
+        let (set, hubs) = two_hub_set(SimHour(0), 48);
+        let table = PriceTable::build(&set, &hubs, range, 24);
+        assert_eq!(table.clamped_lead_hours(), 24);
+        // The whole clamped lead reads the first sample.
+        assert_eq!(table.delayed_at(SimHour(0)).unwrap()[0], 40.0);
+        assert_eq!(table.delayed_at(SimHour(23)).unwrap()[0], 40.0);
+        // The first unclamped hour sees true history.
+        assert_eq!(table.delayed_at(SimHour(24)).unwrap()[0], 40.0);
+        assert_eq!(table.delayed_at(SimHour(25)).unwrap()[0], 41.0);
+        // A delay longer than the range clamps every hour of the range.
+        let all = PriceTable::build(&set, &hubs, range, 1000);
+        assert_eq!(all.clamped_lead_hours(), 48);
+    }
+
+    #[test]
+    fn generated_set_round_trips() {
+        let start = SimHour::from_date(2008, 12, 19);
+        let range = HourRange::new(start, start.plus_hours(48));
+        let set = PriceGenerator::nine_cluster_default(7).realtime_hourly(range);
+        let hubs = set.hubs();
+        let table = PriceTable::build(&set, &hubs, range, 1);
+        for h in range.start.0..range.end.0 {
+            let hour = SimHour(h);
+            let billing = table.billing_at(hour).unwrap();
+            for (i, hub) in hubs.iter().enumerate() {
+                assert_eq!(billing[i], set.for_hub(*hub).unwrap().price_at(hour).unwrap());
+            }
+        }
+        assert_eq!(table.clamped_lead_hours(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no price series")]
+    fn missing_hub_panics() {
+        let range = HourRange::new(SimHour(0), SimHour(10));
+        let (set, _) = two_hub_set(SimHour(0), 10);
+        let _ = PriceTable::build(&set, &[HubId::AustinTx], range, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover")]
+    fn short_series_panics() {
+        let range = HourRange::new(SimHour(0), SimHour(20));
+        let (set, hubs) = two_hub_set(SimHour(0), 10);
+        let _ = PriceTable::build(&set, &hubs, range, 0);
+    }
+}

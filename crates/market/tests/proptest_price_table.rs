@@ -1,0 +1,77 @@
+//! Property-based tests pinning the compiled [`PriceTable`] to the
+//! reference per-series lookups: for arbitrary series, ranges, and delays,
+//! every table cell must agree exactly (bit-for-bit) with
+//! `PriceSeries::price_at` / `delayed_price_at`.
+
+use proptest::prelude::*;
+use wattroute_geo::HubId;
+use wattroute_market::price_table::PriceTable;
+use wattroute_market::time::{HourRange, SimHour};
+use wattroute_market::types::{MarketKind, PriceSeries, PriceSet};
+
+const HUBS: [HubId; 4] = [HubId::BostonMa, HubId::ChicagoIl, HubId::AustinTx, HubId::PaloAltoCa];
+
+fn hub_prices() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // One price row per hub; rows are trimmed to a common length below.
+    prop::collection::vec(
+        prop::collection::vec(-50.0f64..900.0, 24..200),
+        HUBS.len()..HUBS.len() + 1,
+    )
+}
+
+proptest! {
+    #[test]
+    fn table_cells_agree_exactly_with_series_lookups(
+        rows in hub_prices(),
+        series_start in 0u64..500,
+        lead in 0u64..48,
+        delay in 0u64..60,
+    ) {
+        let hours = rows.iter().map(Vec::len).min().unwrap() as u64;
+        let set = PriceSet::new(
+            HUBS.iter()
+                .zip(&rows)
+                .map(|(hub, row)| {
+                    PriceSeries::new(
+                        *hub,
+                        MarketKind::RealTimeHourly,
+                        SimHour(series_start),
+                        row[..hours as usize].to_vec(),
+                    )
+                })
+                .collect(),
+        );
+        // A sub-range of the series, offset so clamping sometimes occurs
+        // (lead < delay) and sometimes not.
+        let lead = lead.min(hours.saturating_sub(1));
+        let range = HourRange::new(
+            SimHour(series_start + lead),
+            SimHour(series_start + hours),
+        );
+        let table = PriceTable::build(&set, &HUBS, range, delay);
+
+        for h in range.start.0..range.end.0 {
+            let hour = SimHour(h);
+            let billing = table.billing_at(hour).unwrap();
+            let delayed = table.delayed_at(hour).unwrap();
+            for (i, hub) in HUBS.iter().enumerate() {
+                let series = set.for_hub(*hub).unwrap();
+                prop_assert_eq!(billing[i], series.price_at(hour).unwrap());
+                prop_assert_eq!(delayed[i], series.delayed_price_at(hour, delay).unwrap());
+            }
+        }
+
+        // The clamped-lead accounting matches first principles: hours of
+        // the range whose delayed lookup lands before the series start.
+        let expected_clamped = (series_start + delay)
+            .saturating_sub(range.start.0)
+            .min(range.len_hours());
+        prop_assert_eq!(table.clamped_lead_hours(), expected_clamped);
+
+        // Outside the range both lookups are None.
+        prop_assert!(table.billing_at(SimHour(range.end.0)).is_none());
+        if range.start.0 > 0 {
+            prop_assert!(table.delayed_at(SimHour(range.start.0 - 1)).is_none());
+        }
+    }
+}

@@ -17,7 +17,7 @@ use crate::allocation::Allocation;
 use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
 use serde::{Deserialize, Serialize};
 use wattroute_geo::distance::RankedHub;
-use wattroute_geo::{distance, hubs, UsState};
+use wattroute_geo::{distance, hubs, HubId, UsState};
 use wattroute_market::differential::DEFAULT_PRICE_THRESHOLD;
 
 /// Configuration of the price-conscious optimizer.
@@ -38,17 +38,74 @@ impl Default for PriceConsciousConfig {
     }
 }
 
+/// Distance-dependent candidate structure for one client state, computed
+/// once per (deployment, state list, distance threshold) and reused across
+/// reallocations. Prices change every routing decision; geography does not.
+#[derive(Debug, Clone)]
+struct StateCandidates {
+    /// Clusters within the distance threshold (or the paper's nearest +
+    /// 50 km fallback set), sorted by ascending distance.
+    candidates: Vec<RankedHub>,
+    /// The remaining clusters, sorted by ascending distance — the
+    /// last-resort overflow tail appended after the priced candidates.
+    tail: Vec<usize>,
+}
+
+/// The per-(deployment, config) compilation of [`PriceConsciousPolicy`]'s
+/// geometric work: candidate sets and overflow tails for every client state
+/// of the routing context. Rebuilt whenever the deployment's hub list, the
+/// context's state list, or the distance threshold it was compiled for
+/// changes (the threshold is mutable through the public `config` field).
+#[derive(Debug, Clone)]
+struct CompiledPreferences {
+    hub_ids: Vec<HubId>,
+    states: Vec<UsState>,
+    distance_threshold_km: f64,
+    per_state: Vec<StateCandidates>,
+}
+
+impl CompiledPreferences {
+    fn build(ctx: &RoutingContext<'_>, distance_threshold_km: f64) -> Self {
+        let hub_ids = ctx.clusters.hub_ids().to_vec();
+        let hub_refs: Vec<&wattroute_geo::Hub> = hub_ids.iter().map(|id| hubs::hub(*id)).collect();
+        let per_state = ctx
+            .states
+            .iter()
+            .map(|&state| {
+                let candidates =
+                    distance::hubs_within_threshold(state, &hub_refs, distance_threshold_km);
+                let mut tail: Vec<RankedHub> = (0..hub_refs.len())
+                    .filter(|i| !candidates.iter().any(|(c, _)| c == i))
+                    .map(|i| (i, distance::state_to_hub_km(state, hub_refs[i])))
+                    .collect();
+                tail.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+                StateCandidates { candidates, tail: tail.into_iter().map(|(i, _)| i).collect() }
+            })
+            .collect();
+        Self { hub_ids, states: ctx.states.to_vec(), distance_threshold_km, per_state }
+    }
+
+    fn matches(&self, ctx: &RoutingContext<'_>, distance_threshold_km: f64) -> bool {
+        self.distance_threshold_km == distance_threshold_km
+            && self.hub_ids == ctx.clusters.hub_ids()
+            && self.states == ctx.states
+    }
+}
+
 /// The distance-constrained electricity price optimizer.
 #[derive(Debug, Clone, Default)]
 pub struct PriceConsciousPolicy {
     /// Tunable parameters.
     pub config: PriceConsciousConfig,
+    /// Lazily compiled per-state candidate structure for the deployment and
+    /// state list last routed over.
+    compiled: Option<CompiledPreferences>,
 }
 
 impl PriceConsciousPolicy {
     /// Create a policy with an explicit configuration.
     pub fn new(config: PriceConsciousConfig) -> Self {
-        Self { config }
+        Self { config, compiled: None }
     }
 
     /// Create a policy with the given distance threshold and the default
@@ -66,44 +123,37 @@ impl PriceConsciousPolicy {
     /// distance threshold (with the paper's nearest + 50 km fallback),
     /// sorted by price with sub-threshold differences broken by distance,
     /// followed by the remaining clusters by distance (so capacity overflow
-    /// degrades gracefully rather than arbitrarily).
-    fn preference_order(&self, ctx: &RoutingContext<'_>, state: UsState) -> Vec<usize> {
-        let hub_refs: Vec<&wattroute_geo::Hub> =
-            ctx.clusters.hub_ids().iter().map(|id| hubs::hub(*id)).collect();
-
-        // Candidates within the threshold (or the fallback set).
-        let candidates =
-            distance::hubs_within_threshold(state, &hub_refs, self.config.distance_threshold_km);
-
+    /// degrades gracefully rather than arbitrarily). The distance-dependent
+    /// parts come precomputed in `entry`; only the price-dependent ranking
+    /// happens per reallocation.
+    fn preference_order(&self, prices: &[f64], entry: &StateCandidates) -> Vec<usize> {
         // Split candidates into those whose price is within the price
         // threshold of the cheapest candidate ("as good as the cheapest";
         // among these the nearest wins, because sub-threshold differentials
         // are ignored) and the remainder, ordered by price then distance.
         // Doing it in two stages, rather than with a price-or-distance
         // comparator, keeps the ordering a total order.
-        let cheapest = candidates.iter().map(|(i, _)| ctx.prices[*i]).fold(f64::INFINITY, f64::min);
-        let (mut cheap_set, mut rest): (Vec<RankedHub>, Vec<RankedHub>) = candidates
+        let cheapest =
+            entry.candidates.iter().map(|(i, _)| prices[*i]).fold(f64::INFINITY, f64::min);
+        let (cheap_set, mut rest): (Vec<RankedHub>, Vec<RankedHub>) = entry
+            .candidates
             .iter()
             .copied()
-            .partition(|(i, _)| ctx.prices[*i] <= cheapest + self.config.price_threshold);
-        cheap_set.sort_by(|(_, da), (_, db)| da.partial_cmp(db).expect("finite distances"));
+            .partition(|(i, _)| prices[*i] <= cheapest + self.config.price_threshold);
+        // `candidates` is pre-sorted by distance, so `cheap_set` (a
+        // stable partition of it) already is too.
         rest.sort_by(|(ia, da), (ib, db)| {
-            ctx.prices[*ia]
-                .partial_cmp(&ctx.prices[*ib])
+            prices[*ia]
+                .partial_cmp(&prices[*ib])
                 .expect("finite prices")
                 .then(da.partial_cmp(db).expect("finite distances"))
         });
 
-        let mut order: Vec<usize> = cheap_set.iter().chain(rest.iter()).map(|(i, _)| *i).collect();
-
-        // Append the out-of-threshold clusters by distance as a last resort
-        // for overflow.
-        let mut rest: Vec<RankedHub> = (0..ctx.clusters.len())
-            .filter(|i| !order.contains(i))
-            .map(|i| (i, distance::state_to_hub_km(state, hub_refs[i])))
-            .collect();
-        rest.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
-        order.extend(rest.into_iter().map(|(i, _)| i));
+        let mut order: Vec<usize> = Vec::with_capacity(entry.candidates.len() + entry.tail.len());
+        order.extend(cheap_set.iter().chain(rest.iter()).map(|(i, _)| *i));
+        // The out-of-threshold clusters, by distance, as a last resort for
+        // overflow.
+        order.extend_from_slice(&entry.tail);
         order
     }
 }
@@ -114,7 +164,14 @@ impl RoutingPolicy for PriceConsciousPolicy {
     }
 
     fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
-        assign_by_preference(ctx, |_, state| self.preference_order(ctx, state))
+        let threshold = self.config.distance_threshold_km;
+        if !self.compiled.as_ref().is_some_and(|c| c.matches(ctx, threshold)) {
+            self.compiled = Some(CompiledPreferences::build(ctx, threshold));
+        }
+        let compiled = self.compiled.as_ref().expect("compiled above");
+        assign_by_preference(ctx, |state_idx, _| {
+            self.preference_order(ctx.prices, &compiled.per_state[state_idx])
+        })
     }
 }
 
@@ -261,6 +318,25 @@ mod tests {
         let mut policy = PriceConsciousPolicy::with_distance_threshold(1100.0);
         let a = policy.allocate(&c);
         assert!(a.serves_demand(&demand, 1e-9));
+    }
+
+    #[test]
+    fn mutating_the_threshold_recompiles_candidates() {
+        // `config` is a public field; a changed threshold must invalidate
+        // the compiled candidate sets, not silently reuse them.
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let mut prices = nine_prices(80.0);
+        let austin = clusters.index_of_hub(HubId::AustinTx).unwrap();
+        prices[austin] = 20.0;
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(0.0);
+        let near = policy.allocate(&c);
+        assert_eq!(near.matrix()[austin][0], 0.0, "0 km threshold routes to the nearest cluster");
+        policy.config.distance_threshold_km = 50_000.0;
+        let far = policy.allocate(&c);
+        assert_eq!(far.matrix()[austin][0], 1000.0, "the new threshold must take effect");
     }
 
     #[test]

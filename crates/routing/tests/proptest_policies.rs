@@ -1,0 +1,160 @@
+//! Property-based tests for the price-conscious optimizer's allocation
+//! invariants: for arbitrary prices, demands, thresholds, and bandwidth
+//! regimes, a feasible step (total demand within the deployment's effective
+//! ceilings) is always served in full without overrunning any ceiling.
+
+use proptest::prelude::*;
+use wattroute_geo::UsState;
+use wattroute_market::time::SimHour;
+use wattroute_routing::policy::{RoutingContext, RoutingPolicy};
+use wattroute_routing::price_conscious::PriceConsciousPolicy;
+use wattroute_workload::ClusterSet;
+
+const N_CLUSTERS: usize = 9;
+
+fn states() -> Vec<UsState> {
+    UsState::all().collect()
+}
+
+/// Per-cluster prices in a realistic $/MWh band (negative prices included —
+/// RTOs do clear below zero).
+fn prices() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-20.0f64..500.0, N_CLUSTERS..N_CLUSTERS + 1)
+}
+
+/// Raw per-state demand weights, later scaled to a feasible total.
+fn demand_weights() -> impl Strategy<Value = Vec<f64>> {
+    let n = states().len();
+    prop::collection::vec(0.0f64..1.0, n..n + 1)
+}
+
+/// Scale raw weights so total demand is `fill` of the given total ceiling.
+fn scale_demand(weights: &[f64], ceiling_total: f64, fill: f64) -> Vec<f64> {
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 {
+        return vec![0.0; weights.len()];
+    }
+    let scale = ceiling_total * fill / sum;
+    weights.iter().map(|w| w * scale).collect()
+}
+
+proptest! {
+    #[test]
+    fn feasible_demand_is_fully_served_within_capacity(
+        weights in demand_weights(),
+        price_vec in prices(),
+        threshold in 0.0f64..6000.0,
+        fill in 0.05f64..0.95,
+    ) {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = states();
+        let total_cap: f64 =
+            clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).sum();
+        let demand = scale_demand(&weights, total_cap, fill);
+
+        let ctx = RoutingContext::new(&clusters, &states, &demand, &price_vec, SimHour(0));
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(threshold);
+        let allocation = policy.allocate(&ctx);
+
+        prop_assert!(
+            allocation.serves_demand(&demand, 1e-6),
+            "threshold {threshold}: allocation must serve all feasible demand"
+        );
+        let loads = allocation.cluster_loads();
+        for (c, load) in loads.iter().enumerate() {
+            let cap = clusters.get(c).unwrap().capacity_hits_per_sec();
+            prop_assert!(
+                *load <= cap * (1.0 + 1e-9) + 1e-6,
+                "cluster {c} overloaded: {load} > {cap}"
+            );
+        }
+    }
+
+    #[test]
+    fn feasible_demand_respects_bandwidth_caps(
+        weights in demand_weights(),
+        price_vec in prices(),
+        threshold in 0.0f64..6000.0,
+        cap_fracs in prop::collection::vec(0.3f64..1.2, N_CLUSTERS..N_CLUSTERS + 1),
+        fill in 0.05f64..0.9,
+    ) {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = states();
+        let bw_caps: Vec<f64> = clusters
+            .clusters()
+            .iter()
+            .zip(&cap_fracs)
+            .map(|(c, frac)| c.capacity_hits_per_sec() * frac)
+            .collect();
+        // The effective ceiling per cluster is min(capacity, bandwidth cap).
+        let effective: Vec<f64> = clusters
+            .clusters()
+            .iter()
+            .zip(&bw_caps)
+            .map(|(c, bw)| c.capacity_hits_per_sec().min(*bw))
+            .collect();
+        let demand = scale_demand(&weights, effective.iter().sum(), fill);
+
+        let ctx = RoutingContext::new(&clusters, &states, &demand, &price_vec, SimHour(0))
+            .with_bandwidth_caps(bw_caps);
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(threshold);
+        let allocation = policy.allocate(&ctx);
+
+        prop_assert!(allocation.serves_demand(&demand, 1e-6));
+        let loads = allocation.cluster_loads();
+        for (c, load) in loads.iter().enumerate() {
+            prop_assert!(
+                *load <= effective[c] * (1.0 + 1e-9) + 1e-6,
+                "cluster {c} exceeds its effective (capacity ∧ 95/5) ceiling: {load} > {}",
+                effective[c]
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_demand_is_still_fully_served(
+        weights in demand_weights(),
+        price_vec in prices(),
+        threshold in 0.0f64..6000.0,
+        overfill in 1.1f64..5.0,
+    ) {
+        // The paper treats capacity as a soft planning constraint: requests
+        // must land somewhere even when the deployment is over-subscribed
+        // (the simulator's overflow accounting makes that visible).
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = states();
+        let total_cap: f64 =
+            clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).sum();
+        let demand = scale_demand(&weights, total_cap, overfill);
+
+        let ctx = RoutingContext::new(&clusters, &states, &demand, &price_vec, SimHour(0));
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(threshold);
+        let allocation = policy.allocate(&ctx);
+        prop_assert!(allocation.serves_demand(&demand, 1e-6));
+    }
+
+    #[test]
+    fn repeat_allocations_with_compiled_candidates_are_deterministic(
+        weights in demand_weights(),
+        price_vec in prices(),
+        threshold in 0.0f64..6000.0,
+    ) {
+        // The policy compiles per-(deployment, state list) candidate
+        // structures on first use; a fresh policy must produce the same
+        // allocation as a warmed one.
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = states();
+        let total_cap: f64 =
+            clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).sum();
+        let demand = scale_demand(&weights, total_cap, 0.5);
+        let ctx = RoutingContext::new(&clusters, &states, &demand, &price_vec, SimHour(0));
+
+        let mut warmed = PriceConsciousPolicy::with_distance_threshold(threshold);
+        let first = warmed.allocate(&ctx);
+        let second = warmed.allocate(&ctx);
+        let mut fresh = PriceConsciousPolicy::with_distance_threshold(threshold);
+        let cold = fresh.allocate(&ctx);
+        prop_assert_eq!(&first, &second);
+        prop_assert_eq!(&first, &cold);
+    }
+}
