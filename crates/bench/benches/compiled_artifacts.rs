@@ -1,0 +1,115 @@
+//! Criterion benchmark: the sweep artifact cache versus per-run
+//! compilation.
+//!
+//! Two groups:
+//!
+//! * `artifact_compile` isolates the compilation itself over the paper's
+//!   full price horizon: building one self-contained `PriceTable` per
+//!   delay (the pre-split behaviour — each rebuilds the billing matrix)
+//!   versus one shared `BillingMatrix` plus thin per-delay views, and
+//!   recompiling `CompiledPreferences` per run versus once. This is the
+//!   cost that the `CompiledArtifacts` cache removes from every
+//!   multi-delay / multi-run grid.
+//! * `compiled_artifacts` runs a five-delay Figure-20-style grid end to
+//!   end, per-run compile versus the sweep engine, both single-threaded.
+//!   Simulation dominates here; the difference is the compile overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use wattroute::prelude::*;
+use wattroute::sweep::ScenarioSweep;
+use wattroute_market::generator::PriceGenerator;
+use wattroute_market::price_table::{BillingMatrix, PriceTable};
+use wattroute_market::time::SimHour;
+use wattroute_routing::price_conscious::CompiledPreferences;
+use wattroute_workload::ClusterSet;
+
+const DELAYS: [u64; 5] = [0, 1, 2, 4, 8];
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("artifact_compile");
+    group.sample_size(10);
+
+    // The paper's full 39-month horizon: the billing matrix is what a
+    // fig20-style sweep used to rebuild (and store) once per delay.
+    let range = HourRange::paper_39_months();
+    let clusters = ClusterSet::akamai_like_nine();
+    let hubs = clusters.hub_ids();
+    let prices = PriceGenerator::nine_cluster_default(1).realtime_hourly(range);
+
+    group.bench_function("five_delay_tables_per_run_compile", |b| {
+        b.iter(|| {
+            DELAYS.iter().map(|&d| PriceTable::build(&prices, &hubs, range, d)).collect::<Vec<_>>()
+        });
+    });
+
+    group.bench_function("five_delay_tables_shared_billing", |b| {
+        b.iter(|| {
+            let billing = Arc::new(BillingMatrix::build(&prices, &hubs, range));
+            DELAYS
+                .iter()
+                .map(|&d| PriceTable::delayed_view(billing.clone(), &prices, d))
+                .collect::<Vec<_>>()
+        });
+    });
+
+    let states: Vec<wattroute_geo::UsState> = wattroute_geo::UsState::all().collect();
+    let wide = ClusterSet::even_29_hub(500);
+    group.bench_function("ten_run_preferences_per_run_compile", |b| {
+        b.iter(|| (0..10).map(|_| CompiledPreferences::build(&wide, &states)).collect::<Vec<_>>());
+    });
+    group.bench_function("ten_run_preferences_shared", |b| {
+        b.iter(|| {
+            let shared = Arc::new(CompiledPreferences::build(&wide, &states));
+            (0..10).map(|_| shared.clone()).collect::<Vec<_>>()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiled_artifacts");
+    group.sample_size(10);
+
+    let start = SimHour::from_date(2008, 12, 19);
+    let week = HourRange::new(start, start.plus_hours(7 * 24));
+    let scenario =
+        Scenario::custom_window(1, week).with_energy(EnergyModelParams::optimistic_future());
+
+    group.bench_function("five_delay_fig20_per_run_compile", |b| {
+        b.iter(|| {
+            DELAYS
+                .iter()
+                .map(|&d| {
+                    let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+                    scenario.run_with_config(
+                        &mut policy,
+                        scenario.config.clone().with_reaction_delay(d),
+                    )
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+
+    group.bench_function("five_delay_fig20_shared_artifacts", |b| {
+        b.iter(|| {
+            let mut sweep =
+                ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices)
+                    .with_threads(1);
+            for (i, &d) in DELAYS.iter().enumerate() {
+                sweep.add_point(
+                    format!("d:{i}"),
+                    scenario.config.clone().with_reaction_delay(d),
+                    || PriceConsciousPolicy::with_distance_threshold(1500.0),
+                );
+            }
+            sweep.run()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_grid);
+criterion_main!(benches);

@@ -1,6 +1,11 @@
 //! Figure 19: per-cluster cost change for the long-horizon simulation at
 //! several distance thresholds ((0% idle, 1.1 PUE), following 95/5).
+//!
+//! The four constrained optimizer runs execute as one parallel
+//! [`ScenarioSweep`] grid sharing a single compiled billing matrix and
+//! ranked preference geometry.
 
+use wattroute::sweep::ScenarioSweep;
 use wattroute_bench::{banner, fmt, print_table, scenario_long};
 use wattroute_energy::model::EnergyModelParams;
 use wattroute_routing::prelude::*;
@@ -12,15 +17,23 @@ fn main() {
     let caps: Vec<f64> = baseline.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
 
     let thresholds = [500.0, 1000.0, 1500.0, 2000.0];
-    let mut per_threshold = Vec::new();
-    for &t in &thresholds {
-        let mut policy = PriceConsciousPolicy::with_distance_threshold(t);
-        let report = scenario.run_with_config(
-            &mut policy,
+    let mut sweep = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
+    for (i, &t) in thresholds.iter().enumerate() {
+        sweep.add_point(
+            format!("follow:{i}"),
             scenario.config.clone().with_bandwidth_caps(caps.clone()),
+            move || PriceConsciousPolicy::with_distance_threshold(t),
         );
-        per_threshold.push(report.per_cluster_cost_change_vs(&baseline));
     }
+    let report = sweep.run();
+    let per_threshold: Vec<_> = (0..thresholds.len())
+        .map(|i| {
+            report
+                .get(&format!("follow:{i}"))
+                .expect("point ran")
+                .per_cluster_cost_change_vs(&baseline)
+        })
+        .collect();
 
     let labels = baseline.cluster_labels();
     let rows: Vec<Vec<String>> = labels

@@ -1,8 +1,10 @@
 //! Golden-file smoke test for the sweep engine: a small, fully
-//! deterministic three-point Figure-17-style grid whose `SweepReport` JSON
-//! is checked into `crates/bench/golden/sweep_smoke.json`. CI runs this
-//! with `--check`; any engine refactor that changes a simulated number
-//! fails the diff instead of silently shifting results.
+//! deterministic Figure-17-style grid — three thresholds × two bandwidth
+//! regimes plus one multi-deployment point routing a five-cluster eastern
+//! subset — whose `SweepReport` JSON is checked into
+//! `crates/bench/golden/sweep_smoke.json`. CI runs this with `--check`;
+//! any engine refactor that changes a simulated number fails the diff
+//! instead of silently shifting results.
 //!
 //! Without arguments the binary prints the JSON to stdout (pipe it to the
 //! golden file to re-bless after an *intentional* behaviour change).
@@ -54,6 +56,19 @@ fn smoke_report() -> SweepReport {
     let baseline = scenario.baseline_report();
     let caps: Vec<f64> = baseline.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
 
+    // A second deployment exercises the multi-deployment grid path: the
+    // eastern five of the nine clusters, routed over the same trace and
+    // prices.
+    let east = wattroute_workload::ClusterSet::new(
+        scenario
+            .clusters
+            .clusters()
+            .iter()
+            .filter(|c| matches!(c.label.as_str(), "MA" | "NY" | "VA" | "NJ" | "IL"))
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+
     let mut sweep = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
     sweep.add_point("baseline", scenario.config.clone(), AkamaiLikePolicy::default);
     for (i, &threshold) in THRESHOLDS.iter().enumerate() {
@@ -66,6 +81,10 @@ fn smoke_report() -> SweepReport {
             move || PriceConsciousPolicy::with_distance_threshold(threshold),
         );
     }
+    let east_id = sweep.add_deployment("east-five", &east);
+    sweep.add_point_on(east_id, "east:relaxed", scenario.config.clone(), || {
+        PriceConsciousPolicy::with_distance_threshold(1100.0)
+    });
     sweep.run()
 }
 

@@ -15,11 +15,14 @@
 //! noise shrinks in full mode.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use wattroute::prelude::*;
 use wattroute::report::SimulationReport;
 use wattroute_energy::model::EnergyModelParams;
 use wattroute_market::time::{HourRange, SimHour};
+use wattroute_market::types::PriceSet;
+use wattroute_workload::trace::Trace;
 
 /// Whether `--full` was passed on the command line.
 pub fn full_mode() -> bool {
@@ -233,6 +236,72 @@ pub fn standard_thresholds() -> Vec<f64> {
     vec![0.0, 250.0, 500.0, 750.0, 1000.0, 1250.0, 1500.0, 1750.0, 2000.0, 2500.0]
 }
 
+/// One row of a deployment-dimension sweep: how much price-conscious
+/// routing saves when the clusters sit *here* rather than there.
+#[derive(Debug, Clone)]
+pub struct DeploymentRow {
+    /// Deployment label.
+    pub label: String,
+    /// Number of clusters in the deployment.
+    pub clusters: usize,
+    /// The deployment's Akamai-like baseline cost in dollars.
+    pub baseline_cost_dollars: f64,
+    /// Savings (%) of the price-conscious optimizer over that baseline.
+    pub savings_percent: f64,
+    /// Demand-weighted mean client–server distance of the optimized run, km.
+    pub mean_distance_km: f64,
+    /// Demand-weighted 99th-percentile distance of the optimized run, km.
+    pub p99_distance_km: f64,
+}
+
+/// Sweep the *deployment* dimension (the paper's Figures 15–19 intuition
+/// that savings depend on where the clusters are): for every candidate
+/// cluster set, run the Akamai-like baseline and the price-conscious
+/// optimizer at one distance threshold, as a single multi-deployment
+/// [`ScenarioSweep`] grid. The engine compiles one billing matrix and one
+/// ranked preference geometry per distinct hub list — capacity-rebalanced
+/// variants of one deployment share everything but their runs.
+///
+/// The trace is per-client-state and therefore deployment-independent;
+/// `prices` must cover every hub any deployment uses.
+pub fn deployment_savings_sweep(
+    deployments: &[(String, ClusterSet)],
+    trace: &Trace,
+    prices: &PriceSet,
+    config: &SimulationConfig,
+    distance_threshold_km: f64,
+) -> Vec<DeploymentRow> {
+    assert!(!deployments.is_empty(), "need at least one deployment");
+    // Deployment 0 (the implicit "default") carries no points; every
+    // candidate is registered under its own label. Artifacts compile
+    // lazily, so the unused slot costs nothing.
+    let mut sweep = ScenarioSweep::new(&deployments[0].1, trace, prices);
+    for (i, (label, clusters)) in deployments.iter().enumerate() {
+        let id = sweep.add_deployment(label.clone(), clusters);
+        sweep.add_point_on(id, format!("base:{i}"), config.clone(), AkamaiLikePolicy::default);
+        sweep.add_point_on(id, format!("pc:{i}"), config.clone(), move || {
+            PriceConsciousPolicy::with_distance_threshold(distance_threshold_km)
+        });
+    }
+    let report = sweep.run();
+    deployments
+        .iter()
+        .enumerate()
+        .map(|(i, (label, clusters))| {
+            let baseline = report.get(&format!("base:{i}")).expect("point ran");
+            let optimized = report.get(&format!("pc:{i}")).expect("point ran");
+            DeploymentRow {
+                label: label.clone(),
+                clusters: clusters.len(),
+                baseline_cost_dollars: baseline.total_cost_dollars,
+                savings_percent: optimized.savings_percent_vs(baseline),
+                mean_distance_km: optimized.mean_distance_km,
+                p99_distance_km: optimized.p99_distance_km,
+            }
+        })
+        .collect()
+}
+
 /// Reaction-delay sweep (Figure 20): percentage cost increase relative to
 /// an immediate reaction, for a given energy model and distance threshold.
 ///
@@ -302,5 +371,26 @@ mod tests {
         let delays = reaction_delay_sweep(&scenario, 1500.0, &[0, 3]);
         assert_eq!(delays.len(), 2);
         assert!((delays[0].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deployment_sweep_produces_one_row_per_deployment() {
+        let start = SimHour::from_date(2008, 12, 19);
+        let scenario = Scenario::custom_window(3, HourRange::new(start, start.plus_hours(24)))
+            .with_energy(EnergyModelParams::optimistic_future());
+        let nine = scenario.clusters.clone();
+        let rebalanced = nine.scaled(0.8);
+        let rows = deployment_savings_sweep(
+            &[("nine".into(), nine), ("rebalanced".into(), rebalanced)],
+            &scenario.trace,
+            &scenario.prices,
+            &scenario.config,
+            1500.0,
+        );
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].label, "nine");
+        assert_eq!(rows[0].clusters, 9);
+        assert!(rows.iter().all(|r| r.baseline_cost_dollars > 0.0));
+        assert!(rows.iter().all(|r| r.mean_distance_km >= 0.0));
     }
 }

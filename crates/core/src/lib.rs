@@ -19,12 +19,15 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`market`](wattroute_market) | calibrated wholesale price simulator, differentials, demand response |
-//! | [`workload`](wattroute_workload) | Akamai-like CDN traces, 95/5 percentiles, capacity |
-//! | [`energy`](wattroute_energy) | cluster power model, fleet cost estimates, router energy |
-//! | [`routing`](wattroute_routing) | price-conscious optimizer, baselines, carbon/joint extensions |
-//! | [`geo`](wattroute_geo) | hubs, RTOs, census populations, distances |
-//! | [`stats`](wattroute_stats) | statistics kernels |
+//! | [`market`] | calibrated wholesale price simulator, differentials, demand response |
+//! | [`workload`] | Akamai-like CDN traces, 95/5 percentiles, capacity |
+//! | [`energy`] | cluster power model, fleet cost estimates, router energy |
+//! | [`routing`] | price-conscious optimizer, baselines, carbon/joint extensions |
+//! | [`geo`] | hubs, RTOs, census populations, distances |
+//! | [`stats`] | statistics kernels |
+//!
+//! See `docs/engine.md` for the compile-then-run engine design and
+//! `docs/paper_fidelity.md` for the paper-section-by-section fidelity map.
 //!
 //! # Quickstart
 //!
@@ -53,6 +56,12 @@ pub mod report;
 pub mod scenario;
 pub mod simulation;
 pub mod sweep;
+
+/// Compiles and runs every Rust code block in the workspace README as a
+/// doc-test, so the documented quickstart cannot drift from the real API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../README.md")]
+pub struct ReadmeDoctest;
 
 pub use wattroute_energy as energy;
 pub use wattroute_geo as geo;

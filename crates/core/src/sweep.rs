@@ -1,15 +1,33 @@
-//! Parallel scenario sweeps over a shared compiled trace.
+//! Parallel scenario sweeps over shared compiled artifacts.
 //!
 //! The paper's headline figures (15–20) all sweep the price-conscious
 //! router across a grid of what-ifs — distance thresholds, reaction delays,
-//! elasticity models, bandwidth regimes — and every grid point is a full
-//! trace replay. A [`ScenarioSweep`] runs such a grid as one unit: the
-//! deployment, trace, and per-delay [`PriceTable`]s are compiled once and
-//! shared (immutably) across all runs, and the runs execute on a small pool
-//! of scoped worker threads. Results come back as a [`SweepReport`], which
-//! serializes through the same dependency-free JSON module as individual
-//! [`SimulationReport`]s — CI diffs one against a golden file so engine
-//! refactors cannot silently change results.
+//! elasticity models, bandwidth regimes, and (Figures 15–19) *where the
+//! clusters are*. Every grid point is a full trace replay, so a
+//! [`ScenarioSweep`] runs such a grid as one unit: everything that is
+//! constant per (deployment, trace, prices) is compiled exactly once into a
+//! [`CompiledArtifacts`] cache — one [`BillingMatrix`] and one
+//! [`CompiledPreferences`] per distinct deployment, one per-delay
+//! [`PriceTable`] view per (deployment, reaction delay) — and shared
+//! immutably across a small pool of scoped worker threads.
+//!
+//! Grids may vary the **deployment** as well as the configuration and
+//! policy: register alternative cluster sets with
+//! [`ScenarioSweep::add_deployment`] and place points on them with
+//! [`ScenarioSweep::add_point_on`]. All deployments are routed over the
+//! same trace and price set (the trace is per-client-state, so it is
+//! deployment-independent; the price set must cover every hub any
+//! deployment uses).
+//!
+//! Results come back either as a buffered [`SweepReport`] from
+//! [`ScenarioSweep::run`], or incrementally through
+//! [`ScenarioSweep::run_streaming`], which invokes a callback with each
+//! [`SweepResult`] as workers finish — in completion order, not grid order
+//! — so very large grids can be consumed cell-by-cell without holding every
+//! report in memory. The report serializes through the same
+//! dependency-free JSON module as individual [`SimulationReport`]s — CI
+//! diffs one against a golden file so engine refactors cannot silently
+//! change results.
 //!
 //! ```
 //! use wattroute::prelude::*;
@@ -34,10 +52,11 @@ use crate::simulation::{step_coverage, Simulation, SimulationConfig};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use wattroute_market::price_table::PriceTable;
+use std::sync::{mpsc, Arc};
+use wattroute_market::price_table::{BillingMatrix, PriceTable};
 use wattroute_market::types::PriceSet;
 use wattroute_routing::policy::RoutingPolicy;
+use wattroute_routing::price_conscious::CompiledPreferences;
 use wattroute_workload::trace::Trace;
 use wattroute_workload::ClusterSet;
 
@@ -46,21 +65,146 @@ use wattroute_workload::ClusterSet;
 /// and policies are stateful (`allocate` takes `&mut self`).
 pub type PolicyFactory = Box<dyn Fn() -> Box<dyn RoutingPolicy> + Send + Sync>;
 
-/// One grid point: a label, a simulation configuration, and the policy to
-/// run under it.
+/// The label every implicit (single-deployment) sweep uses for its
+/// deployment.
+pub const DEFAULT_DEPLOYMENT: &str = "default";
+
+/// One deployment registered with a sweep: a label and the cluster set it
+/// names.
+pub struct Deployment<'a> {
+    /// Stable label identifying the deployment in run results.
+    pub label: String,
+    /// The cluster set routed over.
+    pub clusters: &'a ClusterSet,
+}
+
+/// One grid point: a label, the deployment it routes over, a simulation
+/// configuration, and the policy to run under it.
 pub struct SweepPoint {
     /// Stable label identifying the point in the [`SweepReport`].
     pub label: String,
+    /// Index of the deployment (see [`ScenarioSweep::add_deployment`]) this
+    /// point routes over.
+    pub deployment: usize,
     /// The configuration for this run.
     pub config: SimulationConfig,
     /// Factory for the policy to run.
     pub policy: PolicyFactory,
 }
 
-/// A grid of simulation runs over one (deployment, trace, prices) triple,
-/// executed on a worker pool with the compiled price tables shared.
+/// Everything a sweep compiles once and shares read-only across its worker
+/// threads:
+///
+/// * one [`BillingMatrix`] per distinct deployment hub list (delay- and
+///   policy-independent);
+/// * one [`CompiledPreferences`] per distinct deployment hub list (the
+///   price-conscious router's ranked-distance geometry — state-list
+///   dependent, but a sweep has a single trace and therefore a single
+///   state list);
+/// * one [`PriceTable`] per (deployment hub list, reaction delay): a thin
+///   delayed-price view over the shared billing matrix.
+///
+/// Deployments whose hub lists are equal (for example, capacity-rescaled
+/// variants of one deployment) share all three. Before this cache existed
+/// every run compiled its own preferences and every distinct delay stored
+/// its own copy of the billing matrix.
+pub struct CompiledArtifacts {
+    /// Deployment index → artifact slot (deployments with equal hub lists
+    /// share a slot). `None` for deployments no grid point references.
+    slot_of: Vec<Option<usize>>,
+    billing: Vec<Arc<BillingMatrix>>,
+    preferences: Vec<Arc<CompiledPreferences>>,
+    tables: BTreeMap<(usize, u64), PriceTable>,
+}
+
+impl CompiledArtifacts {
+    /// Compile the artifacts a grid needs: `cells` lists the
+    /// (deployment index, reaction delay) of every grid point. Each
+    /// artifact is compiled at most once however many cells reference it.
+    pub fn compile(
+        deployments: &[Deployment<'_>],
+        trace: &Trace,
+        prices: &PriceSet,
+        cells: &[(usize, u64)],
+    ) -> Self {
+        let range = step_coverage(trace);
+        let mut artifacts = Self {
+            slot_of: vec![None; deployments.len()],
+            billing: Vec::new(),
+            preferences: Vec::new(),
+            tables: BTreeMap::new(),
+        };
+        for &(deployment, delay_hours) in cells {
+            let clusters = deployments[deployment].clusters;
+            let slot = match artifacts.slot_of[deployment] {
+                Some(slot) => slot,
+                None => {
+                    let hub_ids = clusters.hub_ids();
+                    let slot =
+                        artifacts.billing.iter().position(|b| b.hubs() == hub_ids).unwrap_or_else(
+                            || {
+                                artifacts
+                                    .billing
+                                    .push(Arc::new(BillingMatrix::build(prices, &hub_ids, range)));
+                                artifacts.preferences.push(Arc::new(CompiledPreferences::build(
+                                    clusters,
+                                    &trace.states,
+                                )));
+                                artifacts.billing.len() - 1
+                            },
+                        );
+                    artifacts.slot_of[deployment] = Some(slot);
+                    slot
+                }
+            };
+            artifacts.tables.entry((slot, delay_hours)).or_insert_with(|| {
+                PriceTable::delayed_view(artifacts.billing[slot].clone(), prices, delay_hours)
+            });
+        }
+        artifacts
+    }
+
+    /// The compiled price table for a (deployment, reaction delay) cell.
+    ///
+    /// # Panics
+    /// Panics if the cell was not in the grid the artifacts were compiled
+    /// for.
+    pub fn table(&self, deployment: usize, delay_hours: u64) -> &PriceTable {
+        let slot = self.slot_of[deployment].expect("deployment has a compiled slot");
+        self.tables.get(&(slot, delay_hours)).expect("cell was compiled")
+    }
+
+    /// The shared ranked-distance geometry for a deployment.
+    ///
+    /// # Panics
+    /// Panics if no grid point referenced the deployment.
+    pub fn preferences(&self, deployment: usize) -> &Arc<CompiledPreferences> {
+        &self.preferences[self.slot_of[deployment].expect("deployment has a compiled slot")]
+    }
+
+    /// Number of billing matrices compiled (== number of distinct
+    /// referenced hub lists).
+    pub fn billing_matrices(&self) -> usize {
+        self.billing.len()
+    }
+
+    /// Number of ranked-distance geometries compiled.
+    pub fn compiled_preferences(&self) -> usize {
+        self.preferences.len()
+    }
+
+    /// Number of per-delay price-table views compiled (== number of
+    /// distinct (hub list, delay) pairs).
+    pub fn delayed_views(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// A grid of simulation runs over one trace and price set (and one or more
+/// deployments), executed on a worker pool with all compiled artifacts
+/// shared.
 pub struct ScenarioSweep<'a> {
-    clusters: &'a ClusterSet,
+    deployments: Vec<Deployment<'a>>,
     trace: &'a Trace,
     prices: &'a PriceSet,
     points: Vec<SweepPoint>,
@@ -68,9 +212,18 @@ pub struct ScenarioSweep<'a> {
 }
 
 impl<'a> ScenarioSweep<'a> {
-    /// Start an empty sweep over a deployment, trace, and price set.
+    /// Start an empty sweep over a deployment, trace, and price set. The
+    /// given cluster set becomes deployment `0`, labelled
+    /// [`DEFAULT_DEPLOYMENT`]; register alternatives with
+    /// [`Self::add_deployment`].
     pub fn new(clusters: &'a ClusterSet, trace: &'a Trace, prices: &'a PriceSet) -> Self {
-        Self { clusters, trace, prices, points: Vec::new(), threads: None }
+        Self {
+            deployments: vec![Deployment { label: DEFAULT_DEPLOYMENT.into(), clusters }],
+            trace,
+            prices,
+            points: Vec::new(),
+            threads: None,
+        }
     }
 
     /// Pin the worker-pool size (default: available parallelism, capped by
@@ -81,27 +234,73 @@ impl<'a> ScenarioSweep<'a> {
         self
     }
 
-    /// Add one grid point.
+    /// Register an alternative deployment and return its index for
+    /// [`Self::add_point_on`]. The price set must cover every hub the
+    /// deployment uses (validated when the sweep runs).
+    pub fn add_deployment(&mut self, label: impl Into<String>, clusters: &'a ClusterSet) -> usize {
+        self.deployments.push(Deployment { label: label.into(), clusters });
+        self.deployments.len() - 1
+    }
+
+    /// Number of deployments registered (including the default).
+    pub fn num_deployments(&self) -> usize {
+        self.deployments.len()
+    }
+
+    /// Add one grid point on the default deployment.
     pub fn add_point<F, P>(&mut self, label: impl Into<String>, config: SimulationConfig, policy: F)
     where
         F: Fn() -> P + Send + Sync + 'static,
         P: RoutingPolicy + 'static,
     {
-        self.points.push(SweepPoint {
-            label: label.into(),
-            config,
-            policy: Box::new(move || Box::new(policy())),
-        });
+        self.add_point_on(0, label, config, policy);
     }
 
-    /// Add a pre-boxed grid point (for heterogeneous policy grids).
+    /// Add one grid point on a registered deployment.
+    ///
+    /// # Panics
+    /// Panics if `deployment` is not a registered deployment index.
+    pub fn add_point_on<F, P>(
+        &mut self,
+        deployment: usize,
+        label: impl Into<String>,
+        config: SimulationConfig,
+        policy: F,
+    ) where
+        F: Fn() -> P + Send + Sync + 'static,
+        P: RoutingPolicy + 'static,
+    {
+        self.add_boxed_point_on(deployment, label, config, Box::new(move || Box::new(policy())));
+    }
+
+    /// Add a pre-boxed grid point on the default deployment (for
+    /// heterogeneous policy grids).
     pub fn add_boxed_point(
         &mut self,
         label: impl Into<String>,
         config: SimulationConfig,
         policy: PolicyFactory,
     ) {
-        self.points.push(SweepPoint { label: label.into(), config, policy });
+        self.add_boxed_point_on(0, label, config, policy);
+    }
+
+    /// Add a pre-boxed grid point on a registered deployment.
+    ///
+    /// # Panics
+    /// Panics if `deployment` is not a registered deployment index.
+    pub fn add_boxed_point_on(
+        &mut self,
+        deployment: usize,
+        label: impl Into<String>,
+        config: SimulationConfig,
+        policy: PolicyFactory,
+    ) {
+        assert!(
+            deployment < self.deployments.len(),
+            "deployment index {deployment} is not registered (have {})",
+            self.deployments.len()
+        );
+        self.points.push(SweepPoint { label: label.into(), deployment, config, policy });
     }
 
     /// Number of grid points queued.
@@ -114,69 +313,104 @@ impl<'a> ScenarioSweep<'a> {
         self.points.is_empty()
     }
 
-    /// Compile shared price tables and execute every grid point, in
+    /// Compile the shared artifacts and execute every grid point, in
     /// parallel, returning reports in grid order.
     pub fn run(self) -> SweepReport {
-        let range = step_coverage(self.trace);
+        let mut slots: Vec<Option<SweepRun>> = Vec::new();
+        slots.resize_with(self.points.len(), || None);
+        self.run_streaming(|result| {
+            let SweepResult { index, label, deployment, report } = result;
+            slots[index] = Some(SweepRun { label, deployment, report });
+        });
+        let runs = slots.into_iter().map(|slot| slot.expect("every grid point ran")).collect();
+        SweepReport { runs }
+    }
 
-        // One compiled table per distinct reaction delay, shared by every
-        // run with that delay.
-        let mut tables: BTreeMap<u64, PriceTable> = BTreeMap::new();
-        for point in &self.points {
-            tables.entry(point.config.reaction_delay_hours).or_insert_with(|| {
-                PriceTable::build(
-                    self.prices,
-                    &self.clusters.hub_ids(),
-                    range,
-                    point.config.reaction_delay_hours,
-                )
-            });
-        }
+    /// Compile the shared artifacts and execute every grid point in
+    /// parallel, delivering each cell's [`SweepResult`] to `on_result` as
+    /// soon as its worker finishes — in completion order, not grid order.
+    ///
+    /// Unlike [`Self::run`], nothing accumulates: delivery goes through a
+    /// bounded channel holding at most one completed result per worker, so
+    /// a grid of a million cells keeps a handful of reports in flight plus
+    /// whatever the callback retains. The callback runs on the calling
+    /// thread, so it may borrow surrounding state mutably; a callback
+    /// slower than the simulations back-pressures the workers rather than
+    /// buffering results without limit.
+    pub fn run_streaming<F>(self, mut on_result: F)
+    where
+        F: FnMut(SweepResult),
+    {
+        let cells: Vec<(usize, u64)> =
+            self.points.iter().map(|p| (p.deployment, p.config.reaction_delay_hours)).collect();
+        let artifacts =
+            CompiledArtifacts::compile(&self.deployments, self.trace, self.prices, &cells);
 
         let workers = self
             .threads
             .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
             .clamp(1, self.points.len().max(1));
 
-        let mut slots: Vec<Option<SweepRun>> = Vec::new();
-        slots.resize_with(self.points.len(), || None);
-        let results = Mutex::new(slots);
-        let next = AtomicUsize::new(0);
+        let counter = AtomicUsize::new(0);
+        let next = &counter;
         let points = &self.points;
-        let tables_ref = &tables;
-        let (clusters, trace) = (self.clusters, self.trace);
+        let deployments = &self.deployments;
+        let artifacts_ref = &artifacts;
+        let trace = self.trace;
+        let (tx, rx) = mpsc::sync_channel::<SweepResult>(workers);
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= points.len() {
                         break;
                     }
                     let point = &points[i];
-                    let table = &tables_ref[&point.config.reaction_delay_hours];
+                    let deployment = &deployments[point.deployment];
+                    let table =
+                        artifacts_ref.table(point.deployment, point.config.reaction_delay_hours);
                     let sim = Simulation::with_price_table(
-                        clusters,
+                        deployment.clusters,
                         trace,
                         Cow::Borrowed(table),
                         point.config.clone(),
                     );
                     let mut policy = (point.policy)();
+                    policy.attach_preferences(artifacts_ref.preferences(point.deployment));
                     let report = sim.run(policy.as_mut());
-                    let run = SweepRun { label: point.label.clone(), report };
-                    results.lock().expect("no poisoned runs")[i] = Some(run);
+                    let result = SweepResult {
+                        index: i,
+                        label: point.label.clone(),
+                        deployment: deployment.label.clone(),
+                        report,
+                    };
+                    if tx.send(result).is_err() {
+                        break;
+                    }
                 });
             }
+            drop(tx);
+            for result in rx {
+                on_result(result);
+            }
         });
-
-        let runs = results
-            .into_inner()
-            .expect("no poisoned runs")
-            .into_iter()
-            .map(|slot| slot.expect("every grid point ran"))
-            .collect();
-        SweepReport { runs }
     }
+}
+
+/// One completed sweep cell as delivered by
+/// [`ScenarioSweep::run_streaming`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Position of the cell in grid order (the order points were added).
+    pub index: usize,
+    /// The grid point's label.
+    pub label: String,
+    /// Label of the deployment the cell routed over.
+    pub deployment: String,
+    /// The simulation report it produced.
+    pub report: SimulationReport,
 }
 
 /// One completed sweep run.
@@ -184,6 +418,8 @@ impl<'a> ScenarioSweep<'a> {
 pub struct SweepRun {
     /// The grid point's label.
     pub label: String,
+    /// Label of the deployment the run routed over.
+    pub deployment: String,
     /// The simulation report it produced.
     pub report: SimulationReport,
 }
@@ -201,6 +437,13 @@ impl SweepReport {
         self.runs.iter().find(|r| r.label == label).map(|r| &r.report)
     }
 
+    /// The report for a (deployment label, point label) pair, if present —
+    /// the lookup to use when a multi-deployment grid reuses point labels
+    /// across deployments.
+    pub fn get_on(&self, deployment: &str, label: &str) -> Option<&SimulationReport> {
+        self.runs.iter().find(|r| r.deployment == deployment && r.label == label).map(|r| &r.report)
+    }
+
     /// Serialize to a compact JSON string.
     pub fn to_json(&self) -> String {
         self.to_json_value().to_string()
@@ -216,6 +459,7 @@ impl SweepReport {
                     .map(|r| {
                         json::object([
                             ("label", JsonValue::String(r.label.clone())),
+                            ("deployment", JsonValue::String(r.deployment.clone())),
                             ("report", r.report.to_json_value()),
                         ])
                     })
@@ -238,12 +482,19 @@ impl SweepReport {
                     .and_then(JsonValue::as_str)
                     .ok_or_else(|| ReportDecodeError::new("run missing 'label'"))?
                     .to_string();
+                // Absent in pre-multi-deployment reports; default rather
+                // than reject so old golden files stay readable.
+                let deployment = entry
+                    .get("deployment")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or(DEFAULT_DEPLOYMENT)
+                    .to_string();
                 let report = SimulationReport::from_json_value(
                     entry
                         .get("report")
                         .ok_or_else(|| ReportDecodeError::new("run missing 'report'"))?,
                 )?;
-                Ok(SweepRun { label, report })
+                Ok(SweepRun { label, deployment, report })
             })
             .collect::<Result<Vec<_>, ReportDecodeError>>()?;
         Ok(Self { runs })
@@ -263,6 +514,17 @@ mod tests {
         Scenario::custom_window(17, HourRange::new(start, start.plus_hours(36)))
     }
 
+    /// A five-cluster east-coast subset of the nine-cluster deployment.
+    fn east_coast(of: &ClusterSet) -> ClusterSet {
+        ClusterSet::new(
+            of.clusters()
+                .iter()
+                .filter(|c| matches!(c.label.as_str(), "MA" | "NY" | "VA" | "NJ" | "IL"))
+                .cloned()
+                .collect(),
+        )
+    }
+
     #[test]
     fn sweep_matches_sequential_runs_exactly() {
         let s = short_scenario();
@@ -277,6 +539,7 @@ mod tests {
         }
         let report = sweep.run();
         assert_eq!(report.runs.len(), 4);
+        assert!(report.runs.iter().all(|r| r.deployment == DEFAULT_DEPLOYMENT));
 
         let sequential_baseline = s.run(&mut AkamaiLikePolicy::default());
         assert_eq!(report.runs[0].report, sequential_baseline);
@@ -312,6 +575,110 @@ mod tests {
     }
 
     #[test]
+    fn multi_deployment_grid_matches_per_deployment_sequential_runs() {
+        let s = short_scenario();
+        let east = east_coast(&s.clusters);
+        let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices).with_threads(2);
+        let east_id = sweep.add_deployment("east", &east);
+        for (dep, label) in [(0usize, "nine"), (east_id, "east")] {
+            sweep.add_point_on(dep, format!("{label}:pc"), s.config.clone(), || {
+                PriceConsciousPolicy::with_distance_threshold(1500.0)
+            });
+            sweep.add_point_on(dep, format!("{label}:base"), s.config.clone(), || {
+                AkamaiLikePolicy::default()
+            });
+        }
+        let report = sweep.run();
+        assert_eq!(report.runs.len(), 4);
+        assert_eq!(report.runs[0].deployment, DEFAULT_DEPLOYMENT);
+        assert_eq!(report.runs[2].deployment, "east");
+        assert!(report.get_on("east", "east:pc").is_some());
+        assert!(report.get_on("east", "nine:pc").is_none());
+
+        // Each cell is bit-identical to a sequential Simulation over its own
+        // deployment (per-run compile, no sharing).
+        for (clusters, label) in [(&s.clusters, "nine"), (&east, "east")] {
+            let sim = Simulation::new(clusters, &s.trace, &s.prices, s.config.clone());
+            let pc = sim.run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
+            let base = sim.run(&mut AkamaiLikePolicy::default());
+            assert_eq!(report.get(&format!("{label}:pc")), Some(&pc));
+            assert_eq!(report.get(&format!("{label}:base")), Some(&base));
+        }
+
+        // Fewer, more distant clusters cannot serve traffic more cheaply
+        // with the same policy and elasticity while obeying capacity.
+        assert_ne!(
+            report.get("nine:base").unwrap().total_cost_dollars,
+            report.get("east:base").unwrap().total_cost_dollars,
+        );
+    }
+
+    #[test]
+    fn streaming_yields_exactly_the_cells_of_run_in_some_order() {
+        fn build<'a>(s: &'a Scenario, east: &'a ClusterSet) -> ScenarioSweep<'a> {
+            let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices).with_threads(3);
+            let east_id = sweep.add_deployment("east", east);
+            for (i, delay) in [0u64, 2, 2, 5].into_iter().enumerate() {
+                let dep = if i % 2 == 0 { 0 } else { east_id };
+                sweep.add_point_on(
+                    dep,
+                    format!("cell{i}"),
+                    s.config.clone().with_reaction_delay(delay),
+                    || PriceConsciousPolicy::with_distance_threshold(1200.0),
+                );
+            }
+            sweep
+        }
+        let s = short_scenario();
+        let east = east_coast(&s.clusters);
+
+        let buffered = build(&s, &east).run();
+
+        let mut streamed: Vec<SweepResult> = Vec::new();
+        build(&s, &east).run_streaming(|r| streamed.push(r));
+        assert_eq!(streamed.len(), buffered.runs.len());
+        // Every index arrives exactly once, and each cell carries exactly
+        // the run that the buffered API reports at that index.
+        streamed.sort_by_key(|r| r.index);
+        for (i, (got, want)) in streamed.iter().zip(buffered.runs.iter()).enumerate() {
+            assert_eq!(got.index, i);
+            assert_eq!(got.label, want.label);
+            assert_eq!(got.deployment, want.deployment);
+            assert_eq!(got.report, want.report);
+        }
+    }
+
+    #[test]
+    fn artifacts_compile_once_per_deployment_and_delay() {
+        let s = short_scenario();
+        let east = east_coast(&s.clusters);
+        let scaled = s.clusters.scaled(0.5); // same hub list as the default
+        let deployments = [
+            Deployment { label: "nine".into(), clusters: &s.clusters },
+            Deployment { label: "east".into(), clusters: &east },
+            Deployment { label: "scaled".into(), clusters: &scaled },
+        ];
+        // 3 deployments × 2 delays, every cell listed twice over.
+        let mut cells = Vec::new();
+        for dep in 0..3 {
+            for delay in [0u64, 3] {
+                cells.push((dep, delay));
+                cells.push((dep, delay));
+            }
+        }
+        let artifacts = CompiledArtifacts::compile(&deployments, &s.trace, &s.prices, &cells);
+        // "nine" and "scaled" share a hub list, so two distinct hub lists.
+        assert_eq!(artifacts.billing_matrices(), 2);
+        assert_eq!(artifacts.compiled_preferences(), 2);
+        assert_eq!(artifacts.delayed_views(), 2 * 2);
+        // Shared slots hand back the same Arc.
+        assert!(Arc::ptr_eq(artifacts.preferences(0), artifacts.preferences(2)));
+        assert!(!Arc::ptr_eq(artifacts.preferences(0), artifacts.preferences(1)));
+        assert!(std::ptr::eq(artifacts.table(0, 3), artifacts.table(2, 3)));
+        assert_eq!(artifacts.table(1, 0).hubs(), &east.hub_ids()[..]);
+    }
+
+    #[test]
     fn sweep_report_round_trips_through_json() {
         let s = short_scenario();
         let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
@@ -322,6 +689,19 @@ mod tests {
         assert_eq!(report, back);
         assert!(report.get("only").is_some());
         assert!(report.get("missing").is_none());
+        assert_eq!(back.runs[0].deployment, DEFAULT_DEPLOYMENT);
+    }
+
+    #[test]
+    fn legacy_json_without_deployment_labels_still_parses() {
+        let s = short_scenario();
+        let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
+        sweep.add_point("only", s.config.clone(), AkamaiLikePolicy::default);
+        let report = sweep.run();
+        // Strip the deployment key, as a pre-multi-deployment report would be.
+        let stripped = report.to_json().replace("\"deployment\":\"default\",", "");
+        let back = SweepReport::from_json(&stripped).expect("legacy JSON parses");
+        assert_eq!(back, report);
     }
 
     #[test]
@@ -331,5 +711,13 @@ mod tests {
         assert!(sweep.is_empty());
         let report = sweep.run();
         assert!(report.runs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_deployment_index_is_rejected() {
+        let s = short_scenario();
+        let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
+        sweep.add_point_on(3, "bad", s.config.clone(), AkamaiLikePolicy::default);
     }
 }

@@ -1,0 +1,83 @@
+//! Compile-count instrumentation test for the sweep artifact cache.
+//!
+//! This file intentionally holds a single `#[test]` so it runs as the only
+//! code in its process: the build counters on [`BillingMatrix`],
+//! [`PriceTable`] and [`CompiledPreferences`] are process-global, and any
+//! concurrently running test that compiles price tables would make exact
+//! assertions racy. Keep it that way — add further compile-count
+//! scenarios inside this one test, not as siblings.
+
+use wattroute::prelude::*;
+use wattroute::sweep::ScenarioSweep;
+use wattroute_market::price_table::{BillingMatrix, PriceTable};
+use wattroute_market::time::SimHour;
+use wattroute_routing::price_conscious::CompiledPreferences;
+use wattroute_workload::ClusterSet;
+
+/// A grid varying two deployments × two reaction delays × two policies
+/// (eight runs) must compile each deployment's billing matrix and ranked
+/// preference geometry exactly once, and one delayed view per
+/// (deployment, delay) — runs themselves compile nothing.
+#[test]
+fn two_deployments_times_two_delays_compile_each_artifact_once() {
+    let start = SimHour::from_date(2008, 12, 19);
+    let scenario = Scenario::custom_window(23, HourRange::new(start, start.plus_hours(36)));
+    let east = ClusterSet::new(
+        scenario
+            .clusters
+            .clusters()
+            .iter()
+            .filter(|c| matches!(c.label.as_str(), "MA" | "NY" | "VA" | "NJ"))
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+
+    let mut sweep =
+        ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices).with_threads(2);
+    let east_id = sweep.add_deployment("east", &east);
+    for dep in [0, east_id] {
+        for delay in [0u64, 4] {
+            let config = scenario.config.clone().with_reaction_delay(delay);
+            sweep.add_point_on(dep, format!("pc:{dep}:{delay}"), config.clone(), || {
+                PriceConsciousPolicy::with_distance_threshold(1500.0)
+            });
+            sweep.add_point_on(
+                dep,
+                format!("base:{dep}:{delay}"),
+                config,
+                AkamaiLikePolicy::default,
+            );
+        }
+    }
+    assert_eq!(sweep.len(), 8);
+
+    let billing_before = BillingMatrix::build_count();
+    let views_before = PriceTable::view_count();
+    let prefs_before = CompiledPreferences::build_count();
+
+    let report = sweep.run();
+
+    assert_eq!(report.runs.len(), 8);
+    assert_eq!(
+        BillingMatrix::build_count() - billing_before,
+        2,
+        "one billing matrix per deployment, shared across delays and runs"
+    );
+    assert_eq!(
+        PriceTable::view_count() - views_before,
+        4,
+        "one delayed view per (deployment, delay)"
+    );
+    assert_eq!(
+        CompiledPreferences::build_count() - prefs_before,
+        2,
+        "one ranked preference geometry per deployment, shared across all runs"
+    );
+
+    // The shared artifacts must not have changed results: spot-check one
+    // cell against a fresh, per-run-compiled sequential simulation.
+    let config = scenario.config.clone().with_reaction_delay(4);
+    let sequential = Simulation::new(&east, &scenario.trace, &scenario.prices, config)
+        .run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
+    assert_eq!(report.get(&format!("pc:{east_id}:4")), Some(&sequential));
+}

@@ -3,88 +3,72 @@
 //! `Simulation::run` needs, for every 5-minute step, the billing price and
 //! the delayed (router-visible) price of every cluster hub. Resolving those
 //! through [`PriceSet::for_hub`] costs a linear scan per hub per step plus a
-//! fresh `Vec` per step. A [`PriceTable`] does that work once per
-//! (price set, hub order, trace range, delay): it materialises two dense
-//! `[hour × hub]` matrices so the engine's inner loop reduces to a slice
-//! index. The table is the unit the scenario-sweep runner shares across
-//! runs that differ only in policy or bandwidth caps.
+//! fresh `Vec` per step. The compiled form does that work once and splits it
+//! into two layers so sweeps can share the expensive half:
+//!
+//! * a [`BillingMatrix`] — the dense `[hour × hub]` matrix of *actual*
+//!   prices, which depends only on (price set, hub order, trace range). It
+//!   is delay-independent, so a reaction-delay sweep (Figure 20) needs
+//!   exactly one, shared behind an [`Arc`];
+//! * a [`PriceTable`] — a thin per-delay view pairing a shared billing
+//!   matrix with the one matrix that *does* depend on the reaction delay:
+//!   the delayed prices the router sees.
+//!
+//! The table is the unit the scenario-sweep runner shares across runs that
+//! differ only in policy or bandwidth caps; the billing matrix is the unit
+//! it shares across runs that differ in reaction delay.
 
 use crate::time::{HourRange, SimHour};
 use crate::types::{DollarsPerMwh, PriceSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use wattroute_geo::HubId;
 
-/// Dense `[hour × hub]` billing and delayed price matrices covering one
+/// Number of [`BillingMatrix::build`] calls in this process — compile-count
+/// instrumentation used by tests to assert that sweeps share one billing
+/// matrix per (deployment, range) instead of recompiling per run.
+static BILLING_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of delayed-view constructions ([`PriceTable::delayed_view`] or
+/// [`PriceTable::build`]) in this process; see [`PriceTable::view_count`].
+static DELAYED_VIEW_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Dense `[hour × hub]` matrix of *actual* (billing) prices covering one
 /// trace range.
 ///
 /// Row `h` (for hour `start + h`) holds one price per hub, in the hub order
-/// the table was built with — which the simulator keeps equal to cluster
+/// the matrix was built with — which the simulator keeps equal to cluster
 /// order, so a row can be used directly as the per-cluster price slice.
+/// The matrix is independent of the router's reaction delay; per-delay
+/// [`PriceTable`] views share one matrix behind an [`Arc`].
 #[derive(Debug, Clone, PartialEq)]
-pub struct PriceTable {
+pub struct BillingMatrix {
     hubs: Vec<HubId>,
     start: SimHour,
     n_hours: usize,
-    delay_hours: u64,
-    /// Actual prices of each hour: what billing uses.
-    billing: Vec<DollarsPerMwh>,
-    /// Prices as the router sees them: `delay_hours` old, clamped to the
-    /// series start (see [`crate::types::PriceSeries::delayed_price_at`]).
-    delayed: Vec<DollarsPerMwh>,
-    /// How many leading hours of `delayed` were clamped to the first
-    /// available sample because the series does not extend `delay_hours`
-    /// before the range (see [`Self::clamped_lead_hours`]).
-    clamped_lead_hours: u64,
+    prices: Vec<DollarsPerMwh>,
 }
 
-impl PriceTable {
-    /// Build a table for `hubs` (in the given order) over `range`, with the
-    /// router's reaction delay baked into the delayed matrix.
+impl BillingMatrix {
+    /// Build the billing matrix for `hubs` (in the given order) over
+    /// `range`.
     ///
     /// # Panics
     /// Panics if any hub has no series in `prices` or its series does not
     /// cover `range` — the same configuration errors `Simulation::new`
     /// rejects.
-    pub fn build(prices: &PriceSet, hubs: &[HubId], range: HourRange, delay_hours: u64) -> Self {
+    pub fn build(prices: &PriceSet, hubs: &[HubId], range: HourRange) -> Self {
+        BILLING_BUILDS.fetch_add(1, Ordering::Relaxed);
         let n_hours = range.len_hours() as usize;
-        let n_hubs = hubs.len();
-        let mut billing = Vec::with_capacity(n_hours * n_hubs);
-        let mut delayed = Vec::with_capacity(n_hours * n_hubs);
-        let mut clamped_lead_hours = 0u64;
-        let series: Vec<&crate::types::PriceSeries> = hubs
-            .iter()
-            .map(|hub| {
-                let s = prices
-                    .for_hub(*hub)
-                    .unwrap_or_else(|| panic!("no price series for hub {hub:?}"));
-                let price_range = s.range();
-                assert!(
-                    price_range.start.0 <= range.start.0 && price_range.end.0 >= range.end.0,
-                    "price series for {hub:?} ({price_range:?}) does not cover the trace ({range:?})"
-                );
-                if range.start.0 < price_range.start.0 + delay_hours {
-                    clamped_lead_hours = clamped_lead_hours
-                        .max((price_range.start.0 + delay_hours).min(range.end.0) - range.start.0);
-                }
-                s
-            })
-            .collect();
+        let series = resolve_series(prices, hubs, range);
+        let mut matrix = Vec::with_capacity(n_hours * hubs.len());
         for h in 0..n_hours {
             let hour = SimHour(range.start.0 + h as u64);
             for s in &series {
-                billing.push(s.price_at(hour).expect("coverage validated above"));
-                delayed
-                    .push(s.delayed_price_at(hour, delay_hours).expect("coverage validated above"));
+                matrix.push(s.price_at(hour).expect("coverage validated above"));
             }
         }
-        Self {
-            hubs: hubs.to_vec(),
-            start: range.start,
-            n_hours,
-            delay_hours,
-            billing,
-            delayed,
-            clamped_lead_hours,
-        }
+        Self { hubs: hubs.to_vec(), start: range.start, n_hours, prices: matrix }
     }
 
     /// The hub order of every row.
@@ -95,6 +79,158 @@ impl PriceTable {
     /// The hour range covered.
     pub fn range(&self) -> HourRange {
         HourRange::new(self.start, self.start.plus_hours(self.n_hours as u64))
+    }
+
+    /// Per-hub billing (actual) prices for an hour inside the range.
+    pub fn at(&self, hour: SimHour) -> Option<&[DollarsPerMwh]> {
+        row(&self.prices, self.start, self.n_hours, self.hubs.len(), hour)
+    }
+
+    /// Total number of [`BillingMatrix::build`] calls in this process.
+    ///
+    /// Instrumentation for tests asserting that a sweep compiles each
+    /// billing matrix exactly once; meaningless as an absolute number when
+    /// other code runs concurrently — measure deltas in a dedicated
+    /// process (an integration-test binary of its own).
+    pub fn build_count() -> usize {
+        BILLING_BUILDS.load(Ordering::Relaxed)
+    }
+}
+
+/// Resolve and validate one price series per hub, in hub order.
+fn resolve_series<'a>(
+    prices: &'a PriceSet,
+    hubs: &[HubId],
+    range: HourRange,
+) -> Vec<&'a crate::types::PriceSeries> {
+    hubs.iter()
+        .map(|hub| {
+            let s =
+                prices.for_hub(*hub).unwrap_or_else(|| panic!("no price series for hub {hub:?}"));
+            let price_range = s.range();
+            assert!(
+                price_range.start.0 <= range.start.0 && price_range.end.0 >= range.end.0,
+                "price series for {hub:?} ({price_range:?}) does not cover the trace ({range:?})"
+            );
+            s
+        })
+        .collect()
+}
+
+/// Shared row-slicing for the two matrix layouts.
+fn row(
+    matrix: &[DollarsPerMwh],
+    start: SimHour,
+    n_hours: usize,
+    n_hubs: usize,
+    hour: SimHour,
+) -> Option<&[DollarsPerMwh]> {
+    if hour.0 < start.0 {
+        return None;
+    }
+    let h = (hour.0 - start.0) as usize;
+    if h >= n_hours {
+        return None;
+    }
+    let lo = h * n_hubs;
+    Some(&matrix[lo..lo + n_hubs])
+}
+
+/// A per-delay view over a shared [`BillingMatrix`]: the billing prices
+/// plus the dense `[hour × hub]` matrix of *delayed* (router-visible)
+/// prices for one reaction delay.
+///
+/// Cloning a `PriceTable` clones only the delayed matrix; the billing half
+/// stays shared. Tables built from the same billing matrix at different
+/// delays — the shape of a Figure-20 reaction-delay sweep — therefore store
+/// the billing prices once instead of once per distinct delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceTable {
+    billing: Arc<BillingMatrix>,
+    delay_hours: u64,
+    /// Prices as the router sees them: `delay_hours` old, clamped to the
+    /// series start (see [`crate::types::PriceSeries::delayed_price_at`]).
+    delayed: Vec<DollarsPerMwh>,
+    /// How many leading hours of `delayed` were clamped to the first
+    /// available sample because the series does not extend `delay_hours`
+    /// before the range (see [`Self::clamped_lead_hours`]).
+    clamped_lead_hours: u64,
+}
+
+impl PriceTable {
+    /// Build a self-contained table for `hubs` (in the given order) over
+    /// `range`, with the router's reaction delay baked into the delayed
+    /// matrix. Compiles a fresh [`BillingMatrix`]; use
+    /// [`Self::delayed_view`] to share one across several delays.
+    ///
+    /// # Panics
+    /// Panics if any hub has no series in `prices` or its series does not
+    /// cover `range` — the same configuration errors `Simulation::new`
+    /// rejects.
+    pub fn build(prices: &PriceSet, hubs: &[HubId], range: HourRange, delay_hours: u64) -> Self {
+        Self::delayed_view(Arc::new(BillingMatrix::build(prices, hubs, range)), prices, delay_hours)
+    }
+
+    /// Build a per-delay view over an already-compiled billing matrix. Only
+    /// the delayed matrix is computed; the billing matrix is shared as-is.
+    ///
+    /// `prices` must be the same price set the matrix was compiled from
+    /// (the delayed prices are read from the series, not the matrix,
+    /// because a delay may reach before the range start) — pairing a
+    /// matrix with a different set would bill one history while routing on
+    /// another. A first-row spot check panics on obvious mismatches.
+    ///
+    /// # Panics
+    /// Panics if any hub of the billing matrix has no series in `prices`,
+    /// its series does not cover the matrix's range, or the series' prices
+    /// disagree with the matrix's first row.
+    pub fn delayed_view(billing: Arc<BillingMatrix>, prices: &PriceSet, delay_hours: u64) -> Self {
+        DELAYED_VIEW_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let range = billing.range();
+        let n_hours = billing.n_hours;
+        let series = resolve_series(prices, &billing.hubs, range);
+        if let Some(first_row) = billing.at(range.start) {
+            for ((s, &cell), hub) in series.iter().zip(first_row).zip(&billing.hubs) {
+                assert_eq!(
+                    s.price_at(range.start),
+                    Some(cell),
+                    "price series for {hub:?} disagrees with the billing matrix — \
+                     the view must be built from the same price set as the matrix"
+                );
+            }
+        }
+        let mut clamped_lead_hours = 0u64;
+        for s in &series {
+            let price_range = s.range();
+            if range.start.0 < price_range.start.0 + delay_hours {
+                clamped_lead_hours = clamped_lead_hours
+                    .max((price_range.start.0 + delay_hours).min(range.end.0) - range.start.0);
+            }
+        }
+        let mut delayed = Vec::with_capacity(n_hours * billing.hubs.len());
+        for h in 0..n_hours {
+            let hour = SimHour(range.start.0 + h as u64);
+            for s in &series {
+                delayed
+                    .push(s.delayed_price_at(hour, delay_hours).expect("coverage validated above"));
+            }
+        }
+        Self { billing, delay_hours, delayed, clamped_lead_hours }
+    }
+
+    /// The shared billing matrix backing this view.
+    pub fn billing_matrix(&self) -> &Arc<BillingMatrix> {
+        &self.billing
+    }
+
+    /// The hub order of every row.
+    pub fn hubs(&self) -> &[HubId] {
+        &self.billing.hubs
+    }
+
+    /// The hour range covered.
+    pub fn range(&self) -> HourRange {
+        self.billing.range()
     }
 
     /// The reaction delay baked into the delayed matrix.
@@ -112,26 +248,21 @@ impl PriceTable {
         self.clamped_lead_hours
     }
 
-    fn row<'a>(&self, matrix: &'a [DollarsPerMwh], hour: SimHour) -> Option<&'a [DollarsPerMwh]> {
-        if hour.0 < self.start.0 {
-            return None;
-        }
-        let h = (hour.0 - self.start.0) as usize;
-        if h >= self.n_hours {
-            return None;
-        }
-        let lo = h * self.hubs.len();
-        Some(&matrix[lo..lo + self.hubs.len()])
-    }
-
     /// Per-hub billing (actual) prices for an hour inside the range.
     pub fn billing_at(&self, hour: SimHour) -> Option<&[DollarsPerMwh]> {
-        self.row(&self.billing, hour)
+        self.billing.at(hour)
     }
 
     /// Per-hub delayed (router-visible) prices for an hour inside the range.
     pub fn delayed_at(&self, hour: SimHour) -> Option<&[DollarsPerMwh]> {
-        self.row(&self.delayed, hour)
+        row(&self.delayed, self.billing.start, self.billing.n_hours, self.billing.hubs.len(), hour)
+    }
+
+    /// Total number of delayed-view constructions in this process (every
+    /// [`Self::build`] or [`Self::delayed_view`] call). Instrumentation for
+    /// compile-count tests; see [`BillingMatrix::build_count`] for caveats.
+    pub fn view_count() -> usize {
+        DELAYED_VIEW_BUILDS.load(Ordering::Relaxed)
     }
 }
 
@@ -184,6 +315,27 @@ mod tests {
     }
 
     #[test]
+    fn delayed_views_share_one_billing_matrix() {
+        let range = HourRange::new(SimHour(0), SimHour(48));
+        let (set, hubs) = two_hub_set(SimHour(0), 48);
+        let billing = Arc::new(BillingMatrix::build(&set, &hubs, range));
+        let views: Vec<PriceTable> = [0u64, 1, 6, 24]
+            .iter()
+            .map(|&d| PriceTable::delayed_view(billing.clone(), &set, d))
+            .collect();
+        // Every view points at the same allocation, not a copy.
+        for v in &views {
+            assert!(Arc::ptr_eq(v.billing_matrix(), &billing));
+            assert_eq!(v.billing_at(SimHour(5)), billing.at(SimHour(5)));
+        }
+        // And each view matches the self-contained build bit-for-bit.
+        for (v, &d) in views.iter().zip([0u64, 1, 6, 24].iter()) {
+            let standalone = PriceTable::build(&set, &hubs, range, d);
+            assert_eq!(v, &standalone);
+        }
+    }
+
+    #[test]
     fn delayed_rows_use_history_when_the_series_extends_earlier() {
         // Series start 24 hours before the table range: no clamping.
         let (set, hubs) = two_hub_set(SimHour(0), 72);
@@ -228,6 +380,39 @@ mod tests {
             }
         }
         assert_eq!(table.clamped_lead_hours(), 1);
+    }
+
+    #[test]
+    fn build_counters_increase_monotonically() {
+        let range = HourRange::new(SimHour(0), SimHour(10));
+        let (set, hubs) = two_hub_set(SimHour(0), 10);
+        let b0 = BillingMatrix::build_count();
+        let v0 = PriceTable::view_count();
+        let billing = Arc::new(BillingMatrix::build(&set, &hubs, range));
+        let _ = PriceTable::delayed_view(billing, &set, 2);
+        // Other tests run concurrently in this process, so only lower bounds
+        // are meaningful here; the exact-count assertions live in a
+        // single-test integration binary.
+        assert!(BillingMatrix::build_count() > b0);
+        assert!(PriceTable::view_count() > v0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with the billing matrix")]
+    fn delayed_view_from_a_different_price_set_panics() {
+        let range = HourRange::new(SimHour(0), SimHour(10));
+        let (set_a, hubs) = two_hub_set(SimHour(0), 10);
+        // Same hubs and coverage, different history.
+        let set_b = PriceSet::new(
+            hubs.iter()
+                .map(|hub| {
+                    let prices = (0..10).map(|h| 900.0 + h as f64).collect();
+                    PriceSeries::new(*hub, MarketKind::RealTimeHourly, SimHour(0), prices)
+                })
+                .collect(),
+        );
+        let billing = Arc::new(BillingMatrix::build(&set_a, &hubs, range));
+        let _ = PriceTable::delayed_view(billing, &set_b, 1);
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod prelude {
     pub use crate::baseline::{AkamaiLikePolicy, NearestClusterPolicy, StaticCheapestPolicy};
     pub use crate::extensions::{CarbonAwarePolicy, JointCostPolicy};
     pub use crate::policy::{RoutingContext, RoutingPolicy};
-    pub use crate::price_conscious::PriceConsciousPolicy;
+    pub use crate::price_conscious::{CompiledPreferences, PriceConsciousPolicy};
 }
 
 pub use prelude::*;

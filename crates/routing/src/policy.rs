@@ -9,6 +9,8 @@
 //! [`assign_by_preference`].
 
 use crate::allocation::Allocation;
+use crate::price_conscious::CompiledPreferences;
+use std::sync::Arc;
 use wattroute_geo::UsState;
 use wattroute_market::time::SimHour;
 use wattroute_workload::ClusterSet;
@@ -81,6 +83,18 @@ pub trait RoutingPolicy {
 
     /// Allocate one step's demand to clusters.
     fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation;
+
+    /// Offer the policy shared, pre-compiled ranked-distance geometry for
+    /// the deployment and state list it is about to route (see
+    /// [`CompiledPreferences`]). Policies that do not use the geometry
+    /// ignore the offer — the default implementation is a no-op — so
+    /// callers (the scenario-sweep runner) can make it unconditionally.
+    /// Accepting the offer must never change results, only avoid
+    /// recompiles: implementations fall back to a self-compile when the
+    /// attached geometry does not match a context they are handed.
+    fn attach_preferences(&mut self, prefs: &Arc<CompiledPreferences>) {
+        let _ = prefs;
+    }
 }
 
 /// Assign demand to clusters by per-state preference lists.

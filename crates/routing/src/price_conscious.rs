@@ -16,9 +16,12 @@
 use crate::allocation::Allocation;
 use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use wattroute_geo::distance::RankedHub;
 use wattroute_geo::{distance, hubs, HubId, UsState};
 use wattroute_market::differential::DEFAULT_PRICE_THRESHOLD;
+use wattroute_workload::ClusterSet;
 
 /// Configuration of the price-conscious optimizer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,8 +41,8 @@ impl Default for PriceConsciousConfig {
     }
 }
 
-/// Distance-dependent candidate structure for one client state, computed
-/// once per (deployment, state list, distance threshold) and reused across
+/// Distance-dependent candidate structure for one client state, derived
+/// once per (compiled geometry, distance threshold) and reused across
 /// reallocations. Prices change every routing decision; geography does not.
 #[derive(Debug, Clone)]
 struct StateCandidates {
@@ -51,45 +54,104 @@ struct StateCandidates {
     tail: Vec<usize>,
 }
 
-/// The per-(deployment, config) compilation of [`PriceConsciousPolicy`]'s
-/// geometric work: candidate sets and overflow tails for every client state
-/// of the routing context. Rebuilt whenever the deployment's hub list, the
-/// context's state list, or the distance threshold it was compiled for
-/// changes (the threshold is mutable through the public `config` field).
+/// Number of [`CompiledPreferences::build`] calls in this process —
+/// compile-count instrumentation used by tests to assert that sweeps share
+/// one compiled geometry per (deployment, state list) instead of letting
+/// every run recompile its own. Only deltas measured in a dedicated
+/// process (a single-test integration binary) are meaningful.
+static PREFERENCE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+
+/// The expensive, threshold-*independent* half of the price-conscious
+/// optimizer's geometry: for every client state, all clusters ranked by
+/// ascending population-weighted distance.
+///
+/// Depends only on the deployment's hub list and the client state list —
+/// not on the distance threshold and not on prices — so one compilation can
+/// be shared read-only (behind an [`Arc`]) by every run of a scenario sweep
+/// that routes the same deployment over the same trace, whatever their
+/// thresholds, delays, or bandwidth caps. Per-threshold candidate splits
+/// and per-step price rankings are derived from it cheaply (no distance
+/// computation, no sorting).
 #[derive(Debug, Clone)]
-struct CompiledPreferences {
+pub struct CompiledPreferences {
     hub_ids: Vec<HubId>,
     states: Vec<UsState>,
-    distance_threshold_km: f64,
-    per_state: Vec<StateCandidates>,
+    /// Per state: every cluster index with its distance, ascending.
+    ranked: Vec<Vec<RankedHub>>,
 }
 
 impl CompiledPreferences {
-    fn build(ctx: &RoutingContext<'_>, distance_threshold_km: f64) -> Self {
-        let hub_ids = ctx.clusters.hub_ids().to_vec();
+    /// Compile the ranked-distance geometry for a deployment and client
+    /// state list.
+    pub fn build(clusters: &ClusterSet, states: &[UsState]) -> Self {
+        PREFERENCE_BUILDS.fetch_add(1, Ordering::Relaxed);
+        let hub_ids = clusters.hub_ids();
         let hub_refs: Vec<&wattroute_geo::Hub> = hub_ids.iter().map(|id| hubs::hub(*id)).collect();
-        let per_state = ctx
-            .states
+        let ranked = states
             .iter()
-            .map(|&state| {
-                let candidates =
-                    distance::hubs_within_threshold(state, &hub_refs, distance_threshold_km);
-                let mut tail: Vec<RankedHub> = (0..hub_refs.len())
-                    .filter(|i| !candidates.iter().any(|(c, _)| c == i))
-                    .map(|i| (i, distance::state_to_hub_km(state, hub_refs[i])))
-                    .collect();
-                tail.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
-                StateCandidates { candidates, tail: tail.into_iter().map(|(i, _)| i).collect() }
-            })
+            .map(|&state| distance::hubs_within_threshold(state, &hub_refs, f64::INFINITY))
             .collect();
-        Self { hub_ids, states: ctx.states.to_vec(), distance_threshold_km, per_state }
+        Self { hub_ids, states: states.to_vec(), ranked }
     }
 
-    fn matches(&self, ctx: &RoutingContext<'_>, distance_threshold_km: f64) -> bool {
-        self.distance_threshold_km == distance_threshold_km
-            && self.hub_ids == ctx.clusters.hub_ids()
-            && self.states == ctx.states
+    /// Whether this compilation was built for the context's deployment hub
+    /// list and state list.
+    pub fn matches(&self, ctx: &RoutingContext<'_>) -> bool {
+        self.hub_ids == ctx.clusters.hub_ids() && self.states == ctx.states
     }
+
+    /// The hub list this geometry was compiled for, in cluster order.
+    pub fn hub_ids(&self) -> &[HubId] {
+        &self.hub_ids
+    }
+
+    /// The client state list this geometry was compiled for.
+    pub fn states(&self) -> &[UsState] {
+        &self.states
+    }
+
+    /// Total number of [`CompiledPreferences::build`] calls in this
+    /// process. Instrumentation for compile-count tests; only deltas
+    /// measured in a dedicated process (a single-test integration binary)
+    /// are meaningful, since any concurrently running code may compile too.
+    pub fn build_count() -> usize {
+        PREFERENCE_BUILDS.load(Ordering::Relaxed)
+    }
+
+    /// Derive the per-threshold candidate/tail split from the ranked
+    /// geometry: candidates are the clusters within `threshold_km` (with
+    /// the paper's nearest + 50 km fallback when none are), the tail is
+    /// every other cluster, both in ascending-distance order.
+    fn threshold_split(&self, threshold_km: f64) -> Vec<StateCandidates> {
+        self.ranked
+            .iter()
+            .map(|ranked| {
+                let within: Vec<RankedHub> =
+                    ranked.iter().copied().filter(|(_, d)| *d <= threshold_km).collect();
+                let candidates = if !within.is_empty() || ranked.is_empty() {
+                    within
+                } else {
+                    // Fallback: nearest cluster plus any within 50 km of it.
+                    let nearest = ranked[0].1;
+                    ranked.iter().copied().filter(|(_, d)| *d <= nearest + 50.0).collect()
+                };
+                let tail = ranked
+                    .iter()
+                    .filter(|(i, _)| !candidates.iter().any(|(c, _)| c == i))
+                    .map(|(i, _)| *i)
+                    .collect();
+                StateCandidates { candidates, tail }
+            })
+            .collect()
+    }
+}
+
+/// A [`CompiledPreferences`] specialised to one distance threshold — the
+/// cheap, per-policy half of the compilation.
+#[derive(Debug, Clone)]
+struct ThresholdSplit {
+    distance_threshold_km: f64,
+    per_state: Vec<StateCandidates>,
 }
 
 /// The distance-constrained electricity price optimizer.
@@ -97,15 +159,23 @@ impl CompiledPreferences {
 pub struct PriceConsciousPolicy {
     /// Tunable parameters.
     pub config: PriceConsciousConfig,
-    /// Lazily compiled per-state candidate structure for the deployment and
-    /// state list last routed over.
-    compiled: Option<CompiledPreferences>,
+    /// Compiled ranked-distance geometry for the deployment and state list
+    /// last routed over — either attached by a sweep (shared) or compiled
+    /// lazily by this instance.
+    compiled: Option<Arc<CompiledPreferences>>,
+    /// Candidate/tail split derived from `compiled` for the current
+    /// distance threshold.
+    split: Option<ThresholdSplit>,
+    /// How many times *this instance* compiled its own geometry (attached
+    /// shared geometry does not count). Instrumentation for tests proving
+    /// that shared preferences eliminate per-run recompiles.
+    own_geometry_builds: usize,
 }
 
 impl PriceConsciousPolicy {
     /// Create a policy with an explicit configuration.
     pub fn new(config: PriceConsciousConfig) -> Self {
-        Self { config, compiled: None }
+        Self { config, compiled: None, split: None, own_geometry_builds: 0 }
     }
 
     /// Create a policy with the given distance threshold and the default
@@ -117,6 +187,28 @@ impl PriceConsciousPolicy {
     /// "Optimal price" variant: no effective distance constraint.
     pub fn unconstrained_distance() -> Self {
         Self::with_distance_threshold(50_000.0)
+    }
+
+    /// Attach shared, pre-compiled ranked-distance geometry (typically from
+    /// a scenario sweep's artifact cache). The policy routes with it as
+    /// long as it matches the contexts it is handed; a mismatching context
+    /// falls back to a lazy self-compile, so attaching can never change
+    /// results — only avoid recompiles.
+    pub fn with_shared_preferences(mut self, prefs: Arc<CompiledPreferences>) -> Self {
+        self.attach_shared_preferences(&prefs);
+        self
+    }
+
+    /// In-place form of [`Self::with_shared_preferences`].
+    pub fn attach_shared_preferences(&mut self, prefs: &Arc<CompiledPreferences>) {
+        self.compiled = Some(prefs.clone());
+        self.split = None;
+    }
+
+    /// How many times this instance compiled its own geometry (a run fed
+    /// shared preferences that match its contexts reports `0`).
+    pub fn own_geometry_builds(&self) -> usize {
+        self.own_geometry_builds
     }
 
     /// Preference order for one client state: candidate clusters within the
@@ -164,14 +256,27 @@ impl RoutingPolicy for PriceConsciousPolicy {
     }
 
     fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
-        let threshold = self.config.distance_threshold_km;
-        if !self.compiled.as_ref().is_some_and(|c| c.matches(ctx, threshold)) {
-            self.compiled = Some(CompiledPreferences::build(ctx, threshold));
+        if !self.compiled.as_ref().is_some_and(|c| c.matches(ctx)) {
+            self.compiled = Some(Arc::new(CompiledPreferences::build(ctx.clusters, ctx.states)));
+            self.split = None;
+            self.own_geometry_builds += 1;
         }
-        let compiled = self.compiled.as_ref().expect("compiled above");
+        let threshold = self.config.distance_threshold_km;
+        if !self.split.as_ref().is_some_and(|s| s.distance_threshold_km == threshold) {
+            let compiled = self.compiled.as_ref().expect("compiled above");
+            self.split = Some(ThresholdSplit {
+                distance_threshold_km: threshold,
+                per_state: compiled.threshold_split(threshold),
+            });
+        }
+        let split = self.split.as_ref().expect("derived above");
         assign_by_preference(ctx, |state_idx, _| {
-            self.preference_order(ctx.prices, &compiled.per_state[state_idx])
+            self.preference_order(ctx.prices, &split.per_state[state_idx])
         })
+    }
+
+    fn attach_preferences(&mut self, prefs: &Arc<CompiledPreferences>) {
+        self.attach_shared_preferences(prefs);
     }
 }
 
@@ -344,5 +449,66 @@ mod tests {
         let cfg = PriceConsciousConfig::default();
         assert_eq!(cfg.price_threshold, 5.0);
         assert_eq!(cfg.distance_threshold_km, 1500.0);
+    }
+
+    #[test]
+    fn shared_preferences_allocate_identically_without_recompiling() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states: Vec<UsState> = UsState::all().collect();
+        let demand: Vec<f64> = (0..states.len()).map(|i| 100.0 + 37.0 * i as f64).collect();
+        let prices: Vec<f64> = (0..9).map(|i| 30.0 + 11.0 * i as f64).collect();
+        let shared = Arc::new(CompiledPreferences::build(&clusters, &states));
+
+        for threshold in [0.0, 800.0, 1500.0, 50_000.0] {
+            let c = ctx(&clusters, &states, &demand, &prices);
+            let mut own = PriceConsciousPolicy::with_distance_threshold(threshold);
+            let mut borrowed = PriceConsciousPolicy::with_distance_threshold(threshold)
+                .with_shared_preferences(shared.clone());
+            let a = own.allocate(&c);
+            let b = borrowed.allocate(&c);
+            assert_eq!(a.matrix(), b.matrix(), "threshold {threshold}");
+            assert_eq!(own.own_geometry_builds(), 1);
+            assert_eq!(borrowed.own_geometry_builds(), 0, "shared geometry must be reused");
+        }
+    }
+
+    #[test]
+    fn mismatching_shared_preferences_fall_back_to_self_compile() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let other =
+            ClusterSet::new(clusters.clusters().iter().take(3).cloned().collect::<Vec<_>>());
+        let states = [UsState::MA];
+        let demand = [1000.0];
+        let prices = nine_prices(50.0);
+        // Geometry compiled for a *different* deployment.
+        let wrong = Arc::new(CompiledPreferences::build(&other, &states));
+        assert_eq!(wrong.hub_ids().len(), 3);
+        assert_eq!(wrong.states(), &states[..]);
+
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let mut policy =
+            PriceConsciousPolicy::with_distance_threshold(1500.0).with_shared_preferences(wrong);
+        let a = policy.allocate(&c);
+        assert_eq!(policy.own_geometry_builds(), 1, "mismatch must trigger a self-compile");
+        let mut fresh = PriceConsciousPolicy::with_distance_threshold(1500.0);
+        assert_eq!(a.matrix(), fresh.allocate(&c).matrix());
+    }
+
+    #[test]
+    fn attach_preferences_trait_hook_reaches_the_policy() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::NY];
+        let demand = [2000.0];
+        let prices = nine_prices(60.0);
+        let shared = Arc::new(CompiledPreferences::build(&clusters, &states));
+        let mut policy: Box<dyn RoutingPolicy> =
+            Box::new(PriceConsciousPolicy::with_distance_threshold(1000.0));
+        policy.attach_preferences(&shared);
+        let c = ctx(&clusters, &states, &demand, &prices);
+        let _ = policy.allocate(&c);
+        // And the default no-op implementation is callable on any policy.
+        let mut baseline: Box<dyn RoutingPolicy> =
+            Box::new(crate::baseline::NearestClusterPolicy::new());
+        baseline.attach_preferences(&shared);
     }
 }

@@ -3,7 +3,8 @@
 //! The simulation engine accumulates per-cluster cost, utilization and
 //! client–server distance over hundreds of thousands of 5-minute steps;
 //! [`OnlineStats`] (Welford's algorithm) lets it do so without storing every
-//! sample, and [`OnlineExtrema`] tracks minima/maxima alongside.
+//! sample, tracking minima and maxima alongside, and [`SampleReservoir`]
+//! keeps a bounded uniform sample when the full distribution is needed.
 
 use serde::{Deserialize, Serialize};
 

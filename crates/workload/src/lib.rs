@@ -15,7 +15,7 @@
 //!   population-proportional state demand, local-time diurnal and weekly
 //!   cycles, a turn-of-year dip, noise and flash crowds, scaled to the
 //!   ~2 M hits/s global peak shown in Figure 14;
-//! * [`derive`] — the paper's own procedure (§6.1) for extending the 24-day
+//! * [`mod@derive`] — the paper's own procedure (§6.1) for extending the 24-day
 //!   trace to arbitrary horizons by averaging per (state, hour-of-week);
 //! * [`bandwidth`] — 95/5 percentile computation and capacity estimation.
 //!
