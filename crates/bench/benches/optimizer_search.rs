@@ -1,0 +1,65 @@
+//! Criterion benchmark: optimizer evaluation throughput and what the
+//! persistent artifact cache buys a placement search.
+//!
+//! * `evaluate_24_neighbors_warm_cache` measures the optimizer's hot
+//!   path — one greedy iteration's worth of candidates (24 single-quantum
+//!   shifts over one hub list) batch-evaluated against an already-warm
+//!   [`CompiledArtifacts`] cache. Evaluations/second = 24 / sample time.
+//! * `evaluate_24_neighbors_cold_cache` runs the identical batch with a
+//!   fresh evaluator per iteration, so every sample pays the one-off billing
+//!   matrix + preference compile the cache normally amortises away.
+//!
+//! After the timed runs the bench prints the warm evaluator's cache
+//! statistics (hit rate approaches 100% as iterations accumulate — only
+//! the very first batch compiles).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wattroute::prelude::*;
+use wattroute_energy::model::EnergyModelParams;
+use wattroute_market::time::SimHour;
+use wattroute_optimizer::{price_conscious_factory, SearchSpace, SweepEvaluator};
+use wattroute_workload::ClusterSet;
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_search");
+    group.sample_size(10);
+
+    let start = SimHour::from_date(2008, 12, 19);
+    let scenario = Scenario::custom_window(3, HourRange::new(start, start.plus_hours(48)))
+        .with_energy(EnergyModelParams::optimistic_future());
+    let config = scenario.config.clone().with_overflow(OverflowMode::Reject);
+    let policy = price_conscious_factory(1500.0);
+
+    let (space, incumbent) = SearchSpace::from_deployment(&scenario.clusters, 1600);
+    // One greedy iteration's neighbourhood, truncated to a fixed batch.
+    let mut neighbors = space.shift_neighbors(&incumbent, 1);
+    neighbors.truncate(24);
+    let batch: Vec<ClusterSet> = neighbors.iter().map(|s| space.materialize(s)).collect();
+
+    let mut warm = SweepEvaluator::new(&scenario.trace, &scenario.prices, config.clone());
+    warm.evaluate(&batch, &policy); // prime the cache
+    group.bench_function("evaluate_24_neighbors_warm_cache", |b| {
+        b.iter(|| warm.evaluate(&batch, &policy));
+    });
+
+    group.bench_function("evaluate_24_neighbors_cold_cache", |b| {
+        b.iter(|| {
+            let mut cold = SweepEvaluator::new(&scenario.trace, &scenario.prices, config.clone());
+            cold.evaluate(&batch, &policy)
+        });
+    });
+
+    group.finish();
+
+    let stats = warm.artifacts();
+    println!(
+        "optimizer_search: warm evaluator ran {} evaluations over {} compiled hub list(s); \
+         cache hit rate {:.1}%",
+        warm.evaluations(),
+        stats.billing_matrices(),
+        stats.hit_rate().unwrap_or(0.0) * 100.0
+    );
+}
+
+criterion_group!(benches, bench_evaluator);
+criterion_main!(benches);

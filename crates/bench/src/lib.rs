@@ -22,6 +22,7 @@ use wattroute::report::SimulationReport;
 use wattroute_energy::model::EnergyModelParams;
 use wattroute_market::time::{HourRange, SimHour};
 use wattroute_market::types::PriceSet;
+use wattroute_optimizer::{policy_factory, price_conscious_factory, SweepEvaluator};
 use wattroute_workload::trace::Trace;
 
 /// Whether `--full` was passed on the command line.
@@ -257,10 +258,14 @@ pub struct DeploymentRow {
 /// Sweep the *deployment* dimension (the paper's Figures 15–19 intuition
 /// that savings depend on where the clusters are): for every candidate
 /// cluster set, run the Akamai-like baseline and the price-conscious
-/// optimizer at one distance threshold, as a single multi-deployment
-/// [`ScenarioSweep`] grid. The engine compiles one billing matrix and one
-/// ranked preference geometry per distinct hub list — capacity-rebalanced
-/// variants of one deployment share everything but their runs.
+/// optimizer at one distance threshold, through the deployment
+/// optimizer's [`SweepEvaluator`] — the same batch evaluator the
+/// placement search uses. Both policy batches share one persistent
+/// [`CompiledArtifacts`](wattroute::sweep::CompiledArtifacts) cache, so
+/// each distinct hub list compiles its billing matrix and ranked
+/// preference geometry exactly once across the whole grid —
+/// capacity-rebalanced variants of one deployment share everything but
+/// their runs.
 ///
 /// The trace is per-client-state and therefore deployment-independent;
 /// `prices` must cover every hub any deployment uses.
@@ -272,24 +277,25 @@ pub fn deployment_savings_sweep(
     distance_threshold_km: f64,
 ) -> Vec<DeploymentRow> {
     assert!(!deployments.is_empty(), "need at least one deployment");
-    // Deployment 0 (the implicit "default") carries no points; every
-    // candidate is registered under its own label. Artifacts compile
-    // lazily, so the unused slot costs nothing.
-    let mut sweep = ScenarioSweep::new(&deployments[0].1, trace, prices);
-    for (i, (label, clusters)) in deployments.iter().enumerate() {
-        let id = sweep.add_deployment(label.clone(), clusters);
-        sweep.add_point_on(id, format!("base:{i}"), config.clone(), AkamaiLikePolicy::default);
-        sweep.add_point_on(id, format!("pc:{i}"), config.clone(), move || {
-            PriceConsciousPolicy::with_distance_threshold(distance_threshold_km)
-        });
-    }
-    let report = sweep.run();
+    let sets: Vec<ClusterSet> = deployments.iter().map(|(_, c)| c.clone()).collect();
+    let mut evaluator = SweepEvaluator::new(trace, prices, config.clone());
+    // One combined sweep: every (deployment, policy) cell runs on one
+    // worker pool, sharing the compiled artifacts.
+    let mut rows = evaluator.evaluate_grid(
+        &sets,
+        &[
+            policy_factory(AkamaiLikePolicy::default),
+            price_conscious_factory(distance_threshold_km),
+        ],
+    );
+    let optimized = rows.pop().expect("two policy rows");
+    let baselines = rows.pop().expect("two policy rows");
     deployments
         .iter()
         .enumerate()
         .map(|(i, (label, clusters))| {
-            let baseline = report.get(&format!("base:{i}")).expect("point ran");
-            let optimized = report.get(&format!("pc:{i}")).expect("point ran");
+            let baseline = &baselines[i];
+            let optimized = &optimized[i];
             DeploymentRow {
                 label: label.clone(),
                 clusters: clusters.len(),

@@ -139,6 +139,12 @@ impl fmt::Display for JsonValue {
 
 /// Build a [`JsonValue::Object`] from `(key, value)` pairs.
 pub fn object<const N: usize>(fields: [(&str, JsonValue); N]) -> JsonValue {
+    object_iter(fields)
+}
+
+/// Build a [`JsonValue::Object`] from a dynamically sized collection of
+/// fields (the fixed-arity [`object`] covers the common literal case).
+pub fn object_iter<'a>(fields: impl IntoIterator<Item = (&'a str, JsonValue)>) -> JsonValue {
     JsonValue::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 

@@ -1,0 +1,176 @@
+//! JSONL persistence for streamed sweep and optimizer results.
+//!
+//! A [`SweepReport`](crate::sweep::SweepReport) holds every run in memory,
+//! which is exactly wrong for the grids
+//! [`ScenarioSweep::run_streaming`](crate::sweep::ScenarioSweep) exists
+//! for. [`SweepJsonlWriter`] is the matching sink: one compact JSON object
+//! per line per completed cell, appended as workers finish, so a
+//! million-cell grid (or an optimizer search that evaluates thousands of
+//! candidates) persists incrementally with a handful of reports in flight.
+//! Lines arrive in completion order; each carries its grid `index`, so
+//! [`parse_sweep_jsonl`] can restore grid order after the fact.
+//!
+//! ```no_run
+//! use wattroute::jsonl::SweepJsonlWriter;
+//! use wattroute::prelude::*;
+//! use wattroute::sweep::ScenarioSweep;
+//!
+//! # let scenario = Scenario::akamai_24_day(1);
+//! let mut sweep = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
+//! sweep.add_point("baseline", scenario.config.clone(), AkamaiLikePolicy::default);
+//! let mut sink = SweepJsonlWriter::create("sweep.jsonl").unwrap();
+//! sweep.run_streaming(|cell| sink.write(&cell).unwrap());
+//! sink.finish().unwrap();
+//! ```
+
+use crate::report::ReportDecodeError;
+use crate::sweep::SweepResult;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::json::JsonValue;
+
+/// An append-one-line-per-cell sink for streamed [`SweepResult`]s.
+pub struct SweepJsonlWriter<W: Write> {
+    out: W,
+    lines: usize,
+}
+
+impl SweepJsonlWriter<BufWriter<File>> {
+    /// Create (truncating) a JSONL file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> SweepJsonlWriter<W> {
+    /// Wrap any writer (a file, a `Vec<u8>`, a socket).
+    pub fn new(out: W) -> Self {
+        Self { out, lines: 0 }
+    }
+
+    /// Append one cell as a single JSON line.
+    pub fn write(&mut self, result: &SweepResult) -> io::Result<()> {
+        writeln!(self.out, "{}", result.to_json_value())?;
+        self.lines += 1;
+        Ok(())
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// Flush and hand back the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Parse JSONL text produced by [`SweepJsonlWriter`] back into cells, in
+/// file (completion) order. Blank lines are skipped, so a trailing newline
+/// is fine; any malformed line is an error, not a silent drop.
+pub fn parse_sweep_jsonl(text: &str) -> Result<Vec<SweepResult>, ReportDecodeError> {
+    text.lines()
+        .filter(|line| !line.trim().is_empty())
+        .map(|line| SweepResult::from_json_value(&JsonValue::parse(line)?))
+        .collect()
+}
+
+/// Read and parse a JSONL file produced by [`SweepJsonlWriter`].
+pub fn read_sweep_jsonl(path: impl AsRef<Path>) -> Result<Vec<SweepResult>, ReportDecodeError> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| ReportDecodeError::new(format!("cannot read {:?}: {e}", path.as_ref())))?;
+    parse_sweep_jsonl(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use crate::sweep::ScenarioSweep;
+    use wattroute_market::time::{HourRange, SimHour};
+    use wattroute_routing::baseline::AkamaiLikePolicy;
+    use wattroute_routing::price_conscious::PriceConsciousPolicy;
+
+    fn short_scenario() -> Scenario {
+        let start = SimHour::from_date(2008, 12, 19);
+        Scenario::custom_window(29, HourRange::new(start, start.plus_hours(24)))
+    }
+
+    fn build(s: &Scenario) -> ScenarioSweep<'_> {
+        let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices).with_threads(2);
+        sweep.add_point("base", s.config.clone(), AkamaiLikePolicy::default);
+        for t in [0.0, 1500.0] {
+            sweep.add_point(format!("t{t}"), s.config.clone(), move || {
+                PriceConsciousPolicy::with_distance_threshold(t)
+            });
+        }
+        sweep
+    }
+
+    #[test]
+    fn streamed_cells_round_trip_through_a_jsonl_buffer() {
+        let s = short_scenario();
+        let reference = build(&s).run();
+
+        let mut sink = SweepJsonlWriter::new(Vec::<u8>::new());
+        build(&s).run_streaming(|cell| sink.write(&cell).expect("write"));
+        assert_eq!(sink.lines(), reference.runs.len());
+        let bytes = sink.finish().expect("flush");
+
+        let mut cells = parse_sweep_jsonl(std::str::from_utf8(&bytes).unwrap()).expect("parse");
+        // Lines are in completion order; indices restore grid order and
+        // every cell matches the buffered report bit-for-bit.
+        cells.sort_by_key(|c| c.index);
+        assert_eq!(cells.len(), reference.runs.len());
+        for (cell, run) in cells.iter().zip(&reference.runs) {
+            assert_eq!(cell.label, run.label);
+            assert_eq!(cell.deployment, run.deployment);
+            assert_eq!(cell.report, run.report);
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_blank_line_tolerance() {
+        let s = short_scenario();
+        let path =
+            std::env::temp_dir().join(format!("wattroute_jsonl_{}.jsonl", std::process::id()));
+        let mut sink = SweepJsonlWriter::create(&path).expect("create");
+        build(&s).run_streaming(|cell| sink.write(&cell).expect("write"));
+        sink.finish().expect("flush");
+
+        let cells = read_sweep_jsonl(&path).expect("read back");
+        assert_eq!(cells.len(), 3);
+
+        // A trailing blank line (hand-edited or concatenated files) is fine.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push('\n');
+        assert_eq!(parse_sweep_jsonl(&text).unwrap().len(), 3);
+
+        // A corrupt line is an error, not a silent drop.
+        text.push_str("{not json\n");
+        assert!(parse_sweep_jsonl(&text).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn non_integer_indices_are_rejected() {
+        let s = short_scenario();
+        let mut sink = SweepJsonlWriter::new(Vec::<u8>::new());
+        build(&s).run_streaming(|cell| sink.write(&cell).expect("write"));
+        let text = String::from_utf8(sink.finish().unwrap()).unwrap();
+        // A hand-edited index must fail loudly, not saturate or truncate
+        // into some other cell's slot.
+        for bad in ["-1", "3.7", "1e99"] {
+            let broken = text.replacen("\"index\":0", &format!("\"index\":{bad}"), 1);
+            assert_ne!(broken, text, "fixture should contain index 0");
+            assert!(
+                parse_sweep_jsonl(&broken).is_err(),
+                "index {bad} must be rejected, not coerced"
+            );
+        }
+    }
+}

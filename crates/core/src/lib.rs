@@ -52,6 +52,8 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod jsonl;
+pub mod objective;
 pub mod report;
 pub mod scenario;
 pub mod simulation;
@@ -73,9 +75,10 @@ pub use wattroute_workload as workload;
 /// Convenient re-exports of the most commonly used items across the
 /// workspace.
 pub mod prelude {
+    pub use crate::objective::{Objective, ObjectiveTerms};
     pub use crate::report::{PolicyComparison, SimulationReport};
     pub use crate::scenario::Scenario;
-    pub use crate::simulation::{Simulation, SimulationConfig};
+    pub use crate::simulation::{OverflowMode, Simulation, SimulationConfig};
     pub use crate::sweep::{ScenarioSweep, SweepReport};
     pub use wattroute_energy::model::EnergyModelParams;
     pub use wattroute_geo::{HubId, Rto, UsState};

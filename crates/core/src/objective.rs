@@ -1,0 +1,253 @@
+//! Cost-vs-QoS objectives for deployment search.
+//!
+//! The deployment optimizer (`crates/optimizer`) needs a single scalar to
+//! minimize, but "good placement" is not just the electricity bill: a
+//! deployment that parks all its capacity at the cheapest hub saves money
+//! by turning traffic away and serving the rest from far away. Following
+//! the cost-vs-QoS framing of the dynamic-pricing literature, an
+//! [`Objective`] scores a [`SimulationReport`] as
+//!
+//! ```text
+//! total = energy_cost
+//!       + sla_penalty_per_mhit      × (rejected + overflow hits, in M)
+//!       + distance_penalty_per_mhit × served Mhits × km beyond the free radius
+//! ```
+//!
+//! The SLA term consumes the engine's explicit over-capacity accounting —
+//! [`rejected_hits`](crate::report::ClusterReport::rejected_hits) under
+//! [`OverflowMode::Reject`](crate::simulation::OverflowMode) or
+//! `overflow_hits` under the default billing mode — so under-provisioned
+//! candidates price their unserved demand instead of looking cheap. The
+//! distance term prices the performance cost of chasing cheap power with
+//! long routes (the paper's §6.2 distance-threshold discussion, made a
+//! soft penalty). Every term is in dollars, so [`ObjectiveTerms::total`]
+//! is directly comparable to a report's `total_cost_dollars`.
+
+use crate::json::{self, JsonValue};
+use crate::report::{ReportDecodeError, SimulationReport};
+
+/// Weights turning a [`SimulationReport`] into a scalar objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    /// Dollars charged per million hits of unserved (rejected or
+    /// overflowed) demand.
+    pub sla_penalty_per_mhit: f64,
+    /// Dollars charged per million served hits, per kilometre of
+    /// demand-weighted mean client–server distance beyond
+    /// [`Self::free_distance_km`].
+    pub distance_penalty_per_mhit_km: f64,
+    /// Mean distance (km) under which the distance term charges nothing.
+    pub free_distance_km: f64,
+}
+
+impl Objective {
+    /// Pure electricity cost: no SLA or distance terms. With this
+    /// objective the optimizer reproduces the paper's "cheapest placement"
+    /// reading of §6.3.
+    pub fn energy_only() -> Self {
+        Self { sla_penalty_per_mhit: 0.0, distance_penalty_per_mhit_km: 0.0, free_distance_km: 0.0 }
+    }
+
+    /// A balanced default: unserved demand is charged well above the
+    /// revenue any hit could plausibly generate (so capacity-starving a
+    /// deployment never pays), and distance stays free inside the paper's
+    /// preferred 1500 km radius.
+    pub fn default_qos() -> Self {
+        Self {
+            sla_penalty_per_mhit: 50.0,
+            distance_penalty_per_mhit_km: 0.0,
+            free_distance_km: 1500.0,
+        }
+    }
+
+    /// Set the SLA penalty in dollars per million unserved hits.
+    pub fn with_sla_penalty_per_mhit(mut self, dollars: f64) -> Self {
+        assert!(dollars >= 0.0, "penalties must be non-negative");
+        self.sla_penalty_per_mhit = dollars;
+        self
+    }
+
+    /// Set the distance penalty in dollars per million served hits per km
+    /// of mean distance beyond the free radius.
+    pub fn with_distance_penalty_per_mhit_km(
+        mut self,
+        dollars: f64,
+        free_distance_km: f64,
+    ) -> Self {
+        assert!(dollars >= 0.0, "penalties must be non-negative");
+        assert!(free_distance_km >= 0.0, "free radius must be non-negative");
+        self.distance_penalty_per_mhit_km = dollars;
+        self.free_distance_km = free_distance_km;
+        self
+    }
+
+    /// Score one report.
+    pub fn score(&self, report: &SimulationReport) -> ObjectiveTerms {
+        // Exactly one of the two buckets is nonzero per run (the engine
+        // routes over-capacity demand into one or the other depending on
+        // the overflow mode); summing handles both without mode plumbing.
+        let unserved_mhits = (report.total_rejected_hits + report.total_overflow_hits) / 1.0e6;
+        // Under BillAtCapacity `total_hits` still includes the overflow;
+        // subtract it so the distance term weights genuinely served
+        // traffic and both overflow modes rank candidates consistently
+        // (under Reject the engine already excluded rejected hits).
+        let served_mhits: f64 = (report.clusters.iter().map(|c| c.total_hits).sum::<f64>()
+            - report.total_overflow_hits)
+            / 1.0e6;
+        let excess_km = (report.mean_distance_km - self.free_distance_km).max(0.0);
+        ObjectiveTerms {
+            energy_cost_dollars: report.total_cost_dollars,
+            sla_penalty_dollars: self.sla_penalty_per_mhit * unserved_mhits,
+            distance_penalty_dollars: self.distance_penalty_per_mhit_km * served_mhits * excess_km,
+        }
+    }
+}
+
+impl Default for Objective {
+    fn default() -> Self {
+        Self::default_qos()
+    }
+}
+
+/// The per-term breakdown of one scored report (all dollars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveTerms {
+    /// The report's electricity cost.
+    pub energy_cost_dollars: f64,
+    /// Penalty on unserved (rejected or overflowed) demand.
+    pub sla_penalty_dollars: f64,
+    /// Penalty on demand-weighted mean distance beyond the free radius.
+    pub distance_penalty_dollars: f64,
+}
+
+impl ObjectiveTerms {
+    /// The scalar the optimizer minimizes.
+    pub fn total(&self) -> f64 {
+        self.energy_cost_dollars + self.sla_penalty_dollars + self.distance_penalty_dollars
+    }
+
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            ("energy_cost_dollars", JsonValue::Number(self.energy_cost_dollars)),
+            ("sla_penalty_dollars", JsonValue::Number(self.sla_penalty_dollars)),
+            ("distance_penalty_dollars", JsonValue::Number(self.distance_penalty_dollars)),
+            ("total_dollars", JsonValue::Number(self.total())),
+        ])
+    }
+
+    /// Decode from a JSON value produced by [`Self::to_json_value`] (the
+    /// redundant `total_dollars` field is ignored).
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, ReportDecodeError> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| ReportDecodeError::new(format!("missing number '{key}'")))
+        };
+        Ok(Self {
+            energy_cost_dollars: num("energy_cost_dollars")?,
+            sla_penalty_dollars: num("sla_penalty_dollars")?,
+            distance_penalty_dollars: num("distance_penalty_dollars")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{ClusterReport, DistanceHistogram};
+
+    fn report(
+        cost: f64,
+        overflow: f64,
+        rejected: f64,
+        mean_km: f64,
+        hits: f64,
+    ) -> SimulationReport {
+        SimulationReport {
+            policy: "test".into(),
+            steps: 1,
+            reaction_delay_hours: 0,
+            bandwidth_constrained: false,
+            total_cost_dollars: cost,
+            total_energy_mwh: 1.0,
+            total_overflow_hits: overflow,
+            total_rejected_hits: rejected,
+            delay_clamped_hours: 0,
+            clusters: vec![ClusterReport {
+                label: "X".into(),
+                cost_dollars: cost,
+                energy_mwh: 1.0,
+                mean_utilization: 0.3,
+                p95_hits_per_sec: 0.0,
+                peak_hits_per_sec: 0.0,
+                total_hits: hits,
+                overflow_hits: overflow,
+                rejected_hits: rejected,
+            }],
+            mean_distance_km: mean_km,
+            p99_distance_km: mean_km * 2.0,
+            distances: DistanceHistogram::default_resolution(),
+        }
+    }
+
+    #[test]
+    fn energy_only_is_just_the_bill() {
+        let r = report(1234.0, 5.0e6, 0.0, 4000.0, 1.0e9);
+        let terms = Objective::energy_only().score(&r);
+        assert_eq!(terms.total(), 1234.0);
+        assert_eq!(terms.sla_penalty_dollars, 0.0);
+        assert_eq!(terms.distance_penalty_dollars, 0.0);
+    }
+
+    #[test]
+    fn sla_penalty_prices_both_overflow_and_rejections() {
+        let objective = Objective::energy_only().with_sla_penalty_per_mhit(10.0);
+        let overflowing = report(100.0, 3.0e6, 0.0, 100.0, 1.0e9);
+        let rejecting = report(100.0, 0.0, 3.0e6, 100.0, 1.0e9);
+        for r in [overflowing, rejecting] {
+            let terms = objective.score(&r);
+            assert!((terms.sla_penalty_dollars - 30.0).abs() < 1e-12);
+            assert!((terms.total() - 130.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn distance_penalty_charges_only_beyond_the_free_radius() {
+        let objective = Objective::energy_only().with_distance_penalty_per_mhit_km(0.01, 1000.0);
+        let near = objective.score(&report(100.0, 0.0, 0.0, 900.0, 2.0e9));
+        assert_eq!(near.distance_penalty_dollars, 0.0);
+        let far = objective.score(&report(100.0, 0.0, 0.0, 1300.0, 2.0e9));
+        // 2000 Mhits × 300 km × $0.01 = $6000.
+        assert!((far.distance_penalty_dollars - 6000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_overflow_modes_score_identically() {
+        // The same physical situation — 2.0e9 hits served, 3.0e6 turned
+        // away — reported under each mode: BillAtCapacity includes the
+        // overflow in total_hits, Reject excludes it. The objective must
+        // not care which accounting the run used.
+        let objective = Objective::energy_only()
+            .with_sla_penalty_per_mhit(10.0)
+            .with_distance_penalty_per_mhit_km(0.01, 1000.0);
+        let billed = objective.score(&report(100.0, 3.0e6, 0.0, 1300.0, 2.0e9 + 3.0e6));
+        let rejecting = objective.score(&report(100.0, 0.0, 3.0e6, 1300.0, 2.0e9));
+        assert_eq!(billed, rejecting);
+        assert!((billed.sla_penalty_dollars - 30.0).abs() < 1e-9);
+        // 2000 Mhits genuinely served × 300 km × $0.01 = $6000.
+        assert!((billed.distance_penalty_dollars - 6000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn terms_round_trip_through_json() {
+        let terms = ObjectiveTerms {
+            energy_cost_dollars: 12.5,
+            sla_penalty_dollars: 3.25,
+            distance_penalty_dollars: 0.125,
+        };
+        let v = terms.to_json_value();
+        assert_eq!(v.get("total_dollars").and_then(JsonValue::as_f64), Some(terms.total()));
+        assert_eq!(ObjectiveTerms::from_json_value(&v).unwrap(), terms);
+    }
+}

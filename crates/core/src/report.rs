@@ -181,18 +181,31 @@ pub struct ClusterReport {
     pub peak_hits_per_sec: f64,
     /// Total hits served over the run.
     pub total_hits: f64,
-    /// Hits assigned beyond the cluster's capacity, summed over all steps
-    /// where the cluster was over-subscribed. The engine bills such demand
-    /// as if served at capacity (the energy model saturates), so a nonzero
-    /// value means the cost figures understate what serving everything
-    /// would really take.
+    /// Hits assigned beyond the cluster's capacity under
+    /// [`OverflowMode::BillAtCapacity`](crate::simulation::OverflowMode),
+    /// summed over all steps where the cluster was over-subscribed. The
+    /// engine bills such demand as if served at capacity (the energy model
+    /// saturates), so a nonzero value means the cost figures understate
+    /// what serving everything would really take. Always zero under
+    /// `OverflowMode::Reject`, where the same demand lands in
+    /// [`Self::rejected_hits`] instead.
     pub overflow_hits: f64,
+    /// Hits assigned beyond the cluster's capacity under
+    /// [`OverflowMode::Reject`](crate::simulation::OverflowMode): turned
+    /// away rather than billed at capacity, and excluded from
+    /// [`Self::total_hits`]. Always zero under the default
+    /// `OverflowMode::BillAtCapacity`. The JSON encoding omits the field
+    /// when it is zero, so default-mode reports are byte-identical to
+    /// pre-rejection reports.
+    pub rejected_hits: f64,
 }
 
 impl ClusterReport {
-    /// Encode as a JSON value.
+    /// Encode as a JSON value. `rejected_hits` is emitted only when
+    /// nonzero, so default-mode reports serialize exactly as they did
+    /// before rejection accounting existed (golden files stay valid).
     pub fn to_json_value(&self) -> JsonValue {
-        json::object([
+        let mut fields = vec![
             ("label", JsonValue::String(self.label.clone())),
             ("cost_dollars", JsonValue::Number(self.cost_dollars)),
             ("energy_mwh", JsonValue::Number(self.energy_mwh)),
@@ -201,7 +214,11 @@ impl ClusterReport {
             ("peak_hits_per_sec", JsonValue::Number(self.peak_hits_per_sec)),
             ("total_hits", JsonValue::Number(self.total_hits)),
             ("overflow_hits", JsonValue::Number(self.overflow_hits)),
-        ])
+        ];
+        if self.rejected_hits != 0.0 {
+            fields.push(("rejected_hits", JsonValue::Number(self.rejected_hits)));
+        }
+        json::object_iter(fields)
     }
 
     /// Decode from a JSON value produced by [`Self::to_json_value`].
@@ -215,6 +232,8 @@ impl ClusterReport {
             peak_hits_per_sec: f64_field(v, "peak_hits_per_sec")?,
             total_hits: f64_field(v, "total_hits")?,
             overflow_hits: f64_field(v, "overflow_hits")?,
+            // Absent in pre-rejection reports and in default-mode reports.
+            rejected_hits: v.get("rejected_hits").and_then(JsonValue::as_f64).unwrap_or(0.0),
         })
     }
 }
@@ -239,6 +258,12 @@ pub struct SimulationReport {
     /// Nonzero means the deployment was over-subscribed at some point and
     /// the cost totals silently assume capacity-saturated service.
     pub total_overflow_hits: f64,
+    /// Total hits turned away across the whole run (the sum of every
+    /// cluster's [`ClusterReport::rejected_hits`]). Nonzero only under
+    /// [`OverflowMode::Reject`](crate::simulation::OverflowMode); like the
+    /// per-cluster field, the JSON encoding omits it when zero so
+    /// default-mode reports are unchanged on disk.
+    pub total_rejected_hits: f64,
     /// Hours at the start of the run whose *delayed* (router-visible) price
     /// fell before the price series began and was clamped to the first
     /// sample. Runs whose price data start exactly at the trace start see
@@ -261,9 +286,10 @@ impl SimulationReport {
         self.to_json_value().to_string()
     }
 
-    /// Encode as a JSON value.
+    /// Encode as a JSON value. Like [`ClusterReport::to_json_value`], the
+    /// `total_rejected_hits` field is emitted only when nonzero.
     pub fn to_json_value(&self) -> JsonValue {
-        json::object([
+        let mut fields = vec![
             ("policy", JsonValue::String(self.policy.clone())),
             ("steps", JsonValue::Number(self.steps as f64)),
             ("reaction_delay_hours", JsonValue::Number(self.reaction_delay_hours as f64)),
@@ -279,7 +305,11 @@ impl SimulationReport {
             ("mean_distance_km", JsonValue::Number(self.mean_distance_km)),
             ("p99_distance_km", JsonValue::Number(self.p99_distance_km)),
             ("distances", self.distances.to_json_value()),
-        ])
+        ];
+        if self.total_rejected_hits != 0.0 {
+            fields.push(("total_rejected_hits", JsonValue::Number(self.total_rejected_hits)));
+        }
+        json::object_iter(fields)
     }
 
     /// Deserialize from JSON text produced by [`Self::to_json`].
@@ -303,6 +333,10 @@ impl SimulationReport {
             total_cost_dollars: f64_field(v, "total_cost_dollars")?,
             total_energy_mwh: f64_field(v, "total_energy_mwh")?,
             total_overflow_hits: f64_field(v, "total_overflow_hits")?,
+            total_rejected_hits: v
+                .get("total_rejected_hits")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
             delay_clamped_hours: f64_field(v, "delay_clamped_hours")? as u64,
             clusters,
             mean_distance_km: f64_field(v, "mean_distance_km")?,
@@ -415,6 +449,7 @@ mod tests {
                 peak_hits_per_sec: 1200.0,
                 total_hits: 1.0e9,
                 overflow_hits: 0.0,
+                rejected_hits: 0.0,
             })
             .collect::<Vec<_>>();
         SimulationReport {
@@ -425,6 +460,7 @@ mod tests {
             total_cost_dollars: costs.iter().sum(),
             total_energy_mwh: costs.iter().sum::<f64>() / 60.0,
             total_overflow_hits: 0.0,
+            total_rejected_hits: 0.0,
             delay_clamped_hours: 1,
             clusters,
             mean_distance_km: 500.0,
@@ -471,6 +507,27 @@ mod tests {
         assert_eq!(rows[0].0, "base");
         assert!((rows[1].2 - 20.0).abs() < 1e-9);
         assert!((cmp.best_savings_percent().unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejected_hits_are_omitted_when_zero_and_round_trip_when_not() {
+        // Zero rejections (the default mode): the JSON must not mention the
+        // field at all, so pre-rejection goldens stay byte-identical.
+        let clean = dummy_report("x", &[10.0, 20.0]);
+        let clean_json = clean.to_json();
+        assert!(!clean_json.contains("rejected"), "zero rejections must not appear in JSON");
+        assert_eq!(SimulationReport::from_json(&clean_json).unwrap(), clean);
+
+        // Nonzero rejections survive a round trip.
+        let mut rejecting = dummy_report("y", &[10.0, 20.0]);
+        rejecting.clusters[1].rejected_hits = 5.0e6;
+        rejecting.total_rejected_hits = 5.0e6;
+        let json = rejecting.to_json();
+        assert!(json.contains("\"rejected_hits\":5000000"));
+        assert!(json.contains("\"total_rejected_hits\":5000000"));
+        let back = SimulationReport::from_json(&json).unwrap();
+        assert_eq!(back, rejecting);
+        assert_eq!(back.clusters[0].rejected_hits, 0.0);
     }
 
     #[test]

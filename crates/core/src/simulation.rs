@@ -20,6 +20,29 @@ use wattroute_stats::{quantiles, OnlineStats};
 use wattroute_workload::trace::{Trace, STEPS_PER_HOUR, STEP_SECONDS};
 use wattroute_workload::ClusterSet;
 
+/// What happens to demand routed beyond a cluster's capacity.
+///
+/// The paper treats capacity as a soft planning constraint and never
+/// models turned-away requests; [`OverflowMode::BillAtCapacity`] reproduces
+/// that behaviour exactly. [`OverflowMode::Reject`] models the service
+/// degradation explicitly: over-capacity demand is counted as
+/// [`rejected_hits`](crate::report::ClusterReport::rejected_hits) and
+/// excluded from served totals, so a cost-vs-QoS objective (see
+/// [`crate::objective`]) can trade electricity savings against turned-away
+/// traffic. Energy and dollars are identical in both modes — the power
+/// model saturates at capacity either way; only the hit accounting moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowMode {
+    /// Demand beyond capacity is billed as if served at capacity and
+    /// surfaced as `overflow_hits` (the original behaviour, and the
+    /// default — results are bit-for-bit unchanged).
+    #[default]
+    BillAtCapacity,
+    /// Demand beyond capacity is turned away: counted as `rejected_hits`,
+    /// excluded from `total_hits`, and `overflow_hits` stays zero.
+    Reject,
+}
+
 /// Static configuration of a simulation run (everything except the policy).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimulationConfig {
@@ -42,6 +65,8 @@ pub struct SimulationConfig {
     /// prices are never reused — intervals that do not divide twelve behave
     /// as "at most this often within the hour".
     pub reallocate_every_steps: usize,
+    /// What happens to demand routed beyond a cluster's capacity.
+    pub overflow: OverflowMode,
 }
 
 impl Default for SimulationConfig {
@@ -51,6 +76,7 @@ impl Default for SimulationConfig {
             reaction_delay_hours: 1,
             bandwidth_caps: None,
             reallocate_every_steps: 1,
+            overflow: OverflowMode::default(),
         }
     }
 }
@@ -78,6 +104,12 @@ impl SimulationConfig {
     pub fn with_reallocation_interval(mut self, steps: usize) -> Self {
         assert!(steps >= 1, "reallocation interval must be at least one step");
         self.reallocate_every_steps = steps;
+        self
+    }
+
+    /// Set the overflow mode (what happens to over-capacity demand).
+    pub fn with_overflow(mut self, overflow: OverflowMode) -> Self {
+        self.overflow = overflow;
         self
     }
 }
@@ -187,6 +219,7 @@ impl<'a> Simulation<'a> {
         let mut energy_wh = vec![0.0f64; n_clusters];
         let mut hits = vec![0.0f64; n_clusters];
         let mut overflow_hits = vec![0.0f64; n_clusters];
+        let mut rejected_hits = vec![0.0f64; n_clusters];
         let mut load_series: Vec<Vec<f64>> = vec![Vec::with_capacity(n_steps); n_clusters];
         let mut util_stats = vec![OnlineStats::new(); n_clusters];
         let mut distances = DistanceHistogram::default_resolution();
@@ -229,18 +262,28 @@ impl<'a> Simulation<'a> {
             for c in 0..n_clusters {
                 let cluster = self.clusters.get(c).expect("index in range");
                 let raw_utilization = cluster.utilization(loads[c]);
+                let mut served = loads[c];
                 if raw_utilization > 1.0 {
-                    // Demand beyond capacity: billed as if served at
-                    // capacity (the energy model saturates), but accounted
-                    // so over-subscription is visible in the report.
-                    overflow_hits[c] += (loads[c] - capacities[c]) * STEP_SECONDS as f64;
+                    // Demand beyond capacity. The energy model saturates in
+                    // both modes; the accounting differs: billed as served
+                    // at capacity (overflow), or turned away (rejected).
+                    let over = loads[c] - capacities[c];
+                    match self.config.overflow {
+                        OverflowMode::BillAtCapacity => {
+                            overflow_hits[c] += over * STEP_SECONDS as f64;
+                        }
+                        OverflowMode::Reject => {
+                            rejected_hits[c] += over * STEP_SECONDS as f64;
+                            served = capacities[c];
+                        }
+                    }
                 }
                 let utilization = raw_utilization.min(1.0);
                 let watts = power_models[c].power_watts(utilization);
                 let wh = watts * step_hours;
                 energy_wh[c] += wh;
                 cost[c] += energy_cost_dollars(wh, billing_prices[c]);
-                hits[c] += loads[c] * STEP_SECONDS as f64;
+                hits[c] += served * STEP_SECONDS as f64;
                 util_stats[c].push(utilization);
                 load_series[c].push(loads[c]);
             }
@@ -263,6 +306,7 @@ impl<'a> Simulation<'a> {
                 peak_hits_per_sec: load_series[c].iter().copied().fold(0.0, f64::max),
                 total_hits: hits[c],
                 overflow_hits: overflow_hits[c],
+                rejected_hits: rejected_hits[c],
             })
             .collect::<Vec<_>>();
 
@@ -274,6 +318,7 @@ impl<'a> Simulation<'a> {
             total_cost_dollars: cost.iter().sum(),
             total_energy_mwh: energy_wh.iter().sum::<f64>() / 1.0e6,
             total_overflow_hits: overflow_hits.iter().sum(),
+            total_rejected_hits: rejected_hits.iter().sum(),
             delay_clamped_hours: self.table.clamped_lead_hours(),
             clusters,
             mean_distance_km: distances.mean_km().unwrap_or(0.0),
@@ -434,6 +479,48 @@ mod tests {
         let ok = roomy.run(&mut NearestClusterPolicy::new());
         assert_eq!(ok.total_overflow_hits, 0.0);
         assert!(ok.clusters.iter().all(|c| c.overflow_hits == 0.0));
+    }
+
+    #[test]
+    fn reject_mode_counts_rejections_and_leaves_cost_untouched() {
+        let (clusters, trace, prices) = small_setup();
+        let tiny = clusters.scaled(1e-6); // hopelessly over-subscribed
+        let billed_cfg = SimulationConfig::default();
+        let reject_cfg = SimulationConfig::default().with_overflow(OverflowMode::Reject);
+
+        let billed = Simulation::new(&tiny, &trace, &prices, billed_cfg)
+            .run(&mut NearestClusterPolicy::new());
+        let rejected = Simulation::new(&tiny, &trace, &prices, reject_cfg)
+            .run(&mut NearestClusterPolicy::new());
+
+        // The same over-capacity demand lands in exactly one bucket per mode.
+        assert!(billed.total_overflow_hits > 0.0);
+        assert_eq!(billed.total_rejected_hits, 0.0);
+        assert_eq!(rejected.total_overflow_hits, 0.0);
+        assert!(
+            (rejected.total_rejected_hits - billed.total_overflow_hits).abs()
+                < 1e-9 * billed.total_overflow_hits,
+            "rejected demand must equal what BillAtCapacity calls overflow"
+        );
+        // Served hits shrink by exactly the rejected amount; money and
+        // energy are identical (the power model saturates either way).
+        let billed_hits: f64 = billed.clusters.iter().map(|c| c.total_hits).sum();
+        let served_hits: f64 = rejected.clusters.iter().map(|c| c.total_hits).sum();
+        assert!(
+            (billed_hits - served_hits - rejected.total_rejected_hits).abs() < 1e-6 * billed_hits
+        );
+        assert_eq!(billed.total_cost_dollars, rejected.total_cost_dollars);
+        assert_eq!(billed.total_energy_mwh, rejected.total_energy_mwh);
+
+        // Per-cluster sums stay consistent.
+        let sum: f64 = rejected.clusters.iter().map(|c| c.rejected_hits).sum();
+        assert!((sum - rejected.total_rejected_hits).abs() < 1e-6 * sum.max(1.0));
+
+        // A comfortably provisioned run rejects nothing in either mode.
+        let roomy_cfg = SimulationConfig::default().with_overflow(OverflowMode::Reject);
+        let ok = Simulation::new(&clusters, &trace, &prices, roomy_cfg)
+            .run(&mut NearestClusterPolicy::new());
+        assert_eq!(ok.total_rejected_hits, 0.0);
     }
 
     #[test]

@@ -54,6 +54,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use wattroute_market::price_table::{BillingMatrix, PriceTable};
+use wattroute_market::time::HourRange;
 use wattroute_market::types::PriceSet;
 use wattroute_routing::policy::RoutingPolicy;
 use wattroute_routing::price_conscious::CompiledPreferences;
@@ -108,16 +109,40 @@ pub struct SweepPoint {
 /// variants of one deployment) share all three. Before this cache existed
 /// every run compiled its own preferences and every distinct delay stored
 /// its own copy of the billing matrix.
+///
+/// The cache **persists across sweeps**: [`ScenarioSweep::run_streaming_with`]
+/// takes one by `&mut` and only compiles what an earlier sweep (over the
+/// same trace and price set) has not already compiled. The deployment
+/// optimizer leans on this — every capacity split over one hub list shares
+/// a single billing matrix and preference geometry across *all* search
+/// iterations, and [`Self::hub_list_hits`] / [`Self::hub_list_misses`]
+/// report how often the cache paid off.
+#[derive(Default)]
 pub struct CompiledArtifacts {
-    /// Deployment index → artifact slot (deployments with equal hub lists
-    /// share a slot). `None` for deployments no grid point references.
+    /// Deployment index → artifact slot for the **most recently extended**
+    /// grid (deployments with equal hub lists share a slot). `None` for
+    /// deployments no grid point references.
     slot_of: Vec<Option<usize>>,
     billing: Vec<Arc<BillingMatrix>>,
     preferences: Vec<Arc<CompiledPreferences>>,
     tables: BTreeMap<(usize, u64), PriceTable>,
+    hub_list_hits: usize,
+    hub_list_misses: usize,
+    /// Shape fingerprint of the scenario the cache was first extended
+    /// over: (step-coverage range, client-state count, price-series
+    /// count). Artifacts are keyed by hub list only, so reusing a cache
+    /// across scenarios would silently serve wrong prices/geometry; the
+    /// fingerprint turns the most likely misuses into a panic instead.
+    scenario: Option<(HourRange, usize, usize)>,
 }
 
 impl CompiledArtifacts {
+    /// An empty cache, ready to be handed to
+    /// [`ScenarioSweep::run_streaming_with`] (and kept across sweeps).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Compile the artifacts a grid needs: `cells` lists the
     /// (deployment index, reaction delay) of every grid point. Each
     /// artifact is compiled at most once however many cells reference it.
@@ -127,41 +152,73 @@ impl CompiledArtifacts {
         prices: &PriceSet,
         cells: &[(usize, u64)],
     ) -> Self {
+        let mut artifacts = Self::new();
+        artifacts.extend(deployments, trace, prices, cells);
+        artifacts
+    }
+
+    /// Compile whatever the given grid needs that this cache does not hold
+    /// yet, and re-point the deployment-index mapping at the new grid's
+    /// deployments. Deployments whose hub list was already compiled — by
+    /// this call or any earlier one — reuse the cached artifacts
+    /// (counted in [`Self::hub_list_hits`]).
+    ///
+    /// All grids extending one cache must share the trace's state list and
+    /// the price set, as sweeps over one scenario do; the per-hub-list
+    /// keying is only valid under that invariant.
+    ///
+    /// # Panics
+    /// Panics if the grid's scenario *shape* (trace coverage, state
+    /// count, price-series count) differs from the one the cache was
+    /// first extended over — the cheap, reliable part of the invariant.
+    pub fn extend(
+        &mut self,
+        deployments: &[Deployment<'_>],
+        trace: &Trace,
+        prices: &PriceSet,
+        cells: &[(usize, u64)],
+    ) {
         let range = step_coverage(trace);
-        let mut artifacts = Self {
-            slot_of: vec![None; deployments.len()],
-            billing: Vec::new(),
-            preferences: Vec::new(),
-            tables: BTreeMap::new(),
-        };
+        let fingerprint = (range, trace.states.len(), prices.series.len());
+        match &self.scenario {
+            None => self.scenario = Some(fingerprint),
+            Some(seen) => assert_eq!(
+                *seen, fingerprint,
+                "CompiledArtifacts cache reused across scenarios: caches are keyed by hub \
+                 list and must only be shared by sweeps over one trace and price set"
+            ),
+        }
+        self.slot_of = vec![None; deployments.len()];
         for &(deployment, delay_hours) in cells {
             let clusters = deployments[deployment].clusters;
-            let slot = match artifacts.slot_of[deployment] {
+            let slot = match self.slot_of[deployment] {
                 Some(slot) => slot,
                 None => {
                     let hub_ids = clusters.hub_ids();
-                    let slot =
-                        artifacts.billing.iter().position(|b| b.hubs() == hub_ids).unwrap_or_else(
-                            || {
-                                artifacts
-                                    .billing
-                                    .push(Arc::new(BillingMatrix::build(prices, &hub_ids, range)));
-                                artifacts.preferences.push(Arc::new(CompiledPreferences::build(
-                                    clusters,
-                                    &trace.states,
-                                )));
-                                artifacts.billing.len() - 1
-                            },
-                        );
-                    artifacts.slot_of[deployment] = Some(slot);
+                    let slot = match self.billing.iter().position(|b| b.hubs() == hub_ids) {
+                        Some(slot) => {
+                            self.hub_list_hits += 1;
+                            slot
+                        }
+                        None => {
+                            self.hub_list_misses += 1;
+                            self.billing
+                                .push(Arc::new(BillingMatrix::build(prices, &hub_ids, range)));
+                            self.preferences.push(Arc::new(CompiledPreferences::build(
+                                clusters,
+                                &trace.states,
+                            )));
+                            self.billing.len() - 1
+                        }
+                    };
+                    self.slot_of[deployment] = Some(slot);
                     slot
                 }
             };
-            artifacts.tables.entry((slot, delay_hours)).or_insert_with(|| {
-                PriceTable::delayed_view(artifacts.billing[slot].clone(), prices, delay_hours)
+            self.tables.entry((slot, delay_hours)).or_insert_with(|| {
+                PriceTable::delayed_view(self.billing[slot].clone(), prices, delay_hours)
             });
         }
-        artifacts
     }
 
     /// The compiled price table for a (deployment, reaction delay) cell.
@@ -197,6 +254,25 @@ impl CompiledArtifacts {
     /// distinct (hub list, delay) pairs).
     pub fn delayed_views(&self) -> usize {
         self.tables.len()
+    }
+
+    /// How many deployment resolutions found their hub list already
+    /// compiled — within one grid or by an earlier sweep extending this
+    /// cache.
+    pub fn hub_list_hits(&self) -> usize {
+        self.hub_list_hits
+    }
+
+    /// How many deployment resolutions had to compile a new hub list.
+    pub fn hub_list_misses(&self) -> usize {
+        self.hub_list_misses
+    }
+
+    /// Fraction of deployment resolutions served from cache (`None` before
+    /// anything was resolved).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let lookups = self.hub_list_hits + self.hub_list_misses;
+        (lookups > 0).then(|| self.hub_list_hits as f64 / lookups as f64)
     }
 }
 
@@ -337,14 +413,31 @@ impl<'a> ScenarioSweep<'a> {
     /// thread, so it may borrow surrounding state mutably; a callback
     /// slower than the simulations back-pressures the workers rather than
     /// buffering results without limit.
-    pub fn run_streaming<F>(self, mut on_result: F)
+    pub fn run_streaming<F>(self, on_result: F)
+    where
+        F: FnMut(SweepResult),
+    {
+        let mut artifacts = CompiledArtifacts::new();
+        self.run_streaming_with(&mut artifacts, on_result);
+    }
+
+    /// Like [`Self::run_streaming`], but compiling into (and reusing) a
+    /// caller-owned [`CompiledArtifacts`] cache, so a *sequence* of sweeps
+    /// over one trace and price set — the deployment optimizer's
+    /// evaluation batches, for instance — shares billing matrices,
+    /// preference geometries and delayed views across sweeps. A
+    /// deployment whose hub list any earlier sweep compiled is never
+    /// recompiled.
+    ///
+    /// The cache is keyed by hub list only, so every sweep extending one
+    /// cache must use the same trace and price set.
+    pub fn run_streaming_with<F>(self, artifacts: &mut CompiledArtifacts, mut on_result: F)
     where
         F: FnMut(SweepResult),
     {
         let cells: Vec<(usize, u64)> =
             self.points.iter().map(|p| (p.deployment, p.config.reaction_delay_hours)).collect();
-        let artifacts =
-            CompiledArtifacts::compile(&self.deployments, self.trace, self.prices, &cells);
+        artifacts.extend(&self.deployments, self.trace, self.prices, &cells);
 
         let workers = self
             .threads
@@ -355,7 +448,7 @@ impl<'a> ScenarioSweep<'a> {
         let next = &counter;
         let points = &self.points;
         let deployments = &self.deployments;
-        let artifacts_ref = &artifacts;
+        let artifacts_ref: &CompiledArtifacts = artifacts;
         let trace = self.trace;
         let (tx, rx) = mpsc::sync_channel::<SweepResult>(workers);
 
@@ -411,6 +504,47 @@ pub struct SweepResult {
     pub deployment: String,
     /// The simulation report it produced.
     pub report: SimulationReport,
+}
+
+impl SweepResult {
+    /// Encode as a JSON value (one self-contained object per cell — the
+    /// line format of [`crate::jsonl`]).
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            ("index", JsonValue::Number(self.index as f64)),
+            ("label", JsonValue::String(self.label.clone())),
+            ("deployment", JsonValue::String(self.deployment.clone())),
+            ("report", self.report.to_json_value()),
+        ])
+    }
+
+    /// Decode from a JSON value produced by [`Self::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, ReportDecodeError> {
+        let index = v
+            .get("index")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| ReportDecodeError::new("cell missing 'index'"))?;
+        // 2^53 bounds what an f64 can hold exactly (and any sane grid).
+        if !(index.is_finite() && index >= 0.0 && index.fract() == 0.0 && index <= 9.0e15) {
+            return Err(ReportDecodeError::new(format!(
+                "cell 'index' is not a non-negative integer: {index}"
+            )));
+        }
+        let label = v
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| ReportDecodeError::new("cell missing 'label'"))?
+            .to_string();
+        let deployment = v
+            .get("deployment")
+            .and_then(JsonValue::as_str)
+            .unwrap_or(DEFAULT_DEPLOYMENT)
+            .to_string();
+        let report = SimulationReport::from_json_value(
+            v.get("report").ok_or_else(|| ReportDecodeError::new("cell missing 'report'"))?,
+        )?;
+        Ok(Self { index: index as usize, label, deployment, report })
+    }
 }
 
 /// One completed sweep run.
@@ -676,6 +810,82 @@ mod tests {
         assert!(!Arc::ptr_eq(artifacts.preferences(0), artifacts.preferences(1)));
         assert!(std::ptr::eq(artifacts.table(0, 3), artifacts.table(2, 3)));
         assert_eq!(artifacts.table(1, 0).hubs(), &east.hub_ids()[..]);
+    }
+
+    #[test]
+    fn shared_cache_is_reused_across_sweeps_and_results_are_unchanged() {
+        fn build<'a>(s: &'a Scenario, east: &'a ClusterSet) -> ScenarioSweep<'a> {
+            let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices).with_threads(2);
+            let east_id = sweep.add_deployment("east", east);
+            for (dep, label) in [(0usize, "nine"), (east_id, "east")] {
+                sweep.add_point_on(dep, format!("{label}:pc"), s.config.clone(), || {
+                    PriceConsciousPolicy::with_distance_threshold(1500.0)
+                });
+            }
+            sweep
+        }
+        let s = short_scenario();
+        let east = east_coast(&s.clusters);
+
+        let mut cache = CompiledArtifacts::new();
+        let mut first: Vec<SweepResult> = Vec::new();
+        build(&s, &east).run_streaming_with(&mut cache, |r| first.push(r));
+        assert_eq!(cache.billing_matrices(), 2);
+        assert_eq!(cache.hub_list_misses(), 2);
+        assert_eq!(cache.hub_list_hits(), 0);
+
+        // The second sweep revisits both hub lists: everything is a cache
+        // hit, nothing new is compiled, and results are bit-identical.
+        let mut second: Vec<SweepResult> = Vec::new();
+        build(&s, &east).run_streaming_with(&mut cache, |r| second.push(r));
+        assert_eq!(cache.billing_matrices(), 2);
+        assert_eq!(cache.compiled_preferences(), 2);
+        assert_eq!(cache.delayed_views(), 2);
+        assert_eq!(cache.hub_list_misses(), 2);
+        assert_eq!(cache.hub_list_hits(), 2);
+        assert_eq!(cache.hit_rate(), Some(0.5));
+        first.sort_by_key(|r| r.index);
+        second.sort_by_key(|r| r.index);
+        assert_eq!(first, second);
+
+        // And a fresh-cache streaming run agrees too.
+        let mut fresh: Vec<SweepResult> = Vec::new();
+        build(&s, &east).run_streaming(|r| fresh.push(r));
+        fresh.sort_by_key(|r| r.index);
+        assert_eq!(first, fresh);
+    }
+
+    #[test]
+    #[should_panic(expected = "reused across scenarios")]
+    fn cache_reuse_across_scenarios_is_rejected() {
+        let s = short_scenario();
+        let start = SimHour::from_date(2008, 12, 19);
+        let other = Scenario::custom_window(17, HourRange::new(start, start.plus_hours(48)));
+
+        fn build(s: &Scenario) -> ScenarioSweep<'_> {
+            let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
+            sweep.add_point("pc", s.config.clone(), || {
+                PriceConsciousPolicy::with_distance_threshold(1500.0)
+            });
+            sweep
+        }
+        let mut cache = CompiledArtifacts::new();
+        build(&s).run_streaming_with(&mut cache, |_| {});
+        // A different window (and therefore coverage) must be refused —
+        // the cache would otherwise serve the first scenario's prices.
+        build(&other).run_streaming_with(&mut cache, |_| {});
+    }
+
+    #[test]
+    fn sweep_result_round_trips_through_json() {
+        let s = short_scenario();
+        let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
+        sweep.add_point("only", s.config.clone(), AkamaiLikePolicy::default);
+        let mut results: Vec<SweepResult> = Vec::new();
+        sweep.run_streaming(|r| results.push(r));
+        let cell = &results[0];
+        let back = SweepResult::from_json_value(&cell.to_json_value()).expect("round trip");
+        assert_eq!(&back, cell);
     }
 
     #[test]

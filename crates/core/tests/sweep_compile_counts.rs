@@ -8,7 +8,7 @@
 //! scenarios inside this one test, not as siblings.
 
 use wattroute::prelude::*;
-use wattroute::sweep::ScenarioSweep;
+use wattroute::sweep::{CompiledArtifacts, ScenarioSweep};
 use wattroute_market::price_table::{BillingMatrix, PriceTable};
 use wattroute_market::time::SimHour;
 use wattroute_routing::price_conscious::CompiledPreferences;
@@ -80,4 +80,58 @@ fn two_deployments_times_two_delays_compile_each_artifact_once() {
     let sequential = Simulation::new(&east, &scenario.trace, &scenario.prices, config)
         .run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
     assert_eq!(report.get(&format!("pc:{east_id}:4")), Some(&sequential));
+
+    // Scenario 2: a persistent cache across *sequences* of sweeps (what
+    // the deployment optimizer does per search iteration). The first sweep
+    // compiles both hub lists; a second sweep over the same deployments —
+    // including a capacity-rescaled variant, which shares the nine-cluster
+    // hub list — must compile nothing at all.
+    let scaled = scenario.clusters.scaled(0.5);
+    let build_sweep = |with_scaled: bool| {
+        let mut sweep = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices)
+            .with_threads(2);
+        let east_id = sweep.add_deployment("east", &east);
+        sweep.add_point_on(0, "nine:pc", scenario.config.clone(), || {
+            PriceConsciousPolicy::with_distance_threshold(1500.0)
+        });
+        sweep.add_point_on(east_id, "east:pc", scenario.config.clone(), || {
+            PriceConsciousPolicy::with_distance_threshold(1500.0)
+        });
+        if with_scaled {
+            let scaled_id = sweep.add_deployment("scaled", &scaled);
+            sweep.add_point_on(scaled_id, "scaled:pc", scenario.config.clone(), || {
+                PriceConsciousPolicy::with_distance_threshold(1500.0)
+            });
+        }
+        sweep
+    };
+
+    let billing_before = BillingMatrix::build_count();
+    let views_before = PriceTable::view_count();
+    let prefs_before = CompiledPreferences::build_count();
+
+    let mut cache = CompiledArtifacts::new();
+    build_sweep(false).run_streaming_with(&mut cache, |_| {});
+    assert_eq!(BillingMatrix::build_count() - billing_before, 2);
+    assert_eq!(PriceTable::view_count() - views_before, 2);
+    assert_eq!(CompiledPreferences::build_count() - prefs_before, 2);
+    assert_eq!((cache.hub_list_hits(), cache.hub_list_misses()), (0, 2));
+
+    build_sweep(true).run_streaming_with(&mut cache, |_| {});
+    assert_eq!(
+        BillingMatrix::build_count() - billing_before,
+        2,
+        "revisited hub lists (incl. the capacity-rescaled variant) must not recompile billing"
+    );
+    assert_eq!(
+        PriceTable::view_count() - views_before,
+        2,
+        "revisited (hub list, delay) cells must not build new views"
+    );
+    assert_eq!(
+        CompiledPreferences::build_count() - prefs_before,
+        2,
+        "revisited hub lists must not recompile preference geometry"
+    );
+    assert_eq!((cache.hub_list_hits(), cache.hub_list_misses()), (3, 2));
 }

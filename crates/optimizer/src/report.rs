@@ -1,0 +1,178 @@
+//! The optimizer's audit trail: every candidate, every term, every
+//! iteration, JSON-serializable through the workspace's dependency-free
+//! JSON layer.
+//!
+//! A placement recommendation is only trustworthy if the search that
+//! produced it can be replayed and inspected, so the driver records the
+//! full trail: the scored starting point, one [`IterationRecord`] per
+//! evaluated batch (iteration 0 is the start's own evaluation), the
+//! evaluation count, and the artifact-cache statistics proving how much
+//! compilation the search reused. Determinism is pinned by test: the same
+//! strategy, seed and grid must reproduce this report byte-for-byte.
+
+use crate::space::CandidateSplit;
+use crate::strategy::ScoredCandidate;
+use wattroute::json::{self, JsonValue};
+use wattroute::objective::ObjectiveTerms;
+use wattroute::sweep::CompiledArtifacts;
+
+/// One scored candidate as recorded in the trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateRecord {
+    /// Units per candidate hub.
+    pub split: CandidateSplit,
+    /// Objective breakdown.
+    pub terms: ObjectiveTerms,
+}
+
+impl CandidateRecord {
+    /// Record a scored candidate.
+    pub fn from_scored(scored: &ScoredCandidate) -> Self {
+        Self { split: scored.split.clone(), terms: scored.terms }
+    }
+
+    /// The candidate's scalar objective.
+    pub fn total_dollars(&self) -> f64 {
+        self.terms.total()
+    }
+
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            (
+                "split",
+                JsonValue::Array(self.split.iter().map(|&u| JsonValue::Number(u as f64)).collect()),
+            ),
+            ("terms", self.terms.to_json_value()),
+        ])
+    }
+}
+
+/// One evaluated batch: the candidates scored and the incumbent after
+/// seeing them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Every candidate the batch evaluated, in proposal order.
+    pub candidates: Vec<CandidateRecord>,
+    /// Best objective total known once this batch was scored.
+    pub incumbent_total_dollars: f64,
+}
+
+impl IterationRecord {
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            (
+                "candidates",
+                JsonValue::Array(
+                    self.candidates.iter().map(CandidateRecord::to_json_value).collect(),
+                ),
+            ),
+            ("incumbent_total_dollars", JsonValue::Number(self.incumbent_total_dollars)),
+        ])
+    }
+}
+
+/// Compile/reuse statistics of the evaluator's artifact cache over the
+/// whole search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distinct hub lists compiled (billing matrix + preference geometry
+    /// each).
+    pub hub_lists_compiled: usize,
+    /// Per-(hub list, delay) price-table views compiled.
+    pub delayed_views_compiled: usize,
+    /// Deployment resolutions served from cache.
+    pub hub_list_hits: usize,
+    /// Deployment resolutions that had to compile.
+    pub hub_list_misses: usize,
+}
+
+impl CacheStats {
+    /// Snapshot an artifact cache.
+    pub fn from_artifacts(artifacts: &CompiledArtifacts) -> Self {
+        Self {
+            hub_lists_compiled: artifacts.billing_matrices(),
+            delayed_views_compiled: artifacts.delayed_views(),
+            hub_list_hits: artifacts.hub_list_hits(),
+            hub_list_misses: artifacts.hub_list_misses(),
+        }
+    }
+
+    /// Fraction of resolutions served from cache (`None` if none
+    /// happened).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let lookups = self.hub_list_hits + self.hub_list_misses;
+        (lookups > 0).then(|| self.hub_list_hits as f64 / lookups as f64)
+    }
+
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            ("hub_lists_compiled", JsonValue::Number(self.hub_lists_compiled as f64)),
+            ("delayed_views_compiled", JsonValue::Number(self.delayed_views_compiled as f64)),
+            ("hub_list_hits", JsonValue::Number(self.hub_list_hits as f64)),
+            ("hub_list_misses", JsonValue::Number(self.hub_list_misses as f64)),
+        ])
+    }
+}
+
+/// The full, replayable result of one optimizer run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerReport {
+    /// Strategy name (`greedy-descent`, `local-search`, ...).
+    pub strategy: String,
+    /// Labels of the hubs active in the best split, in candidate order.
+    pub best_hubs: Vec<String>,
+    /// The scored starting point.
+    pub start: CandidateRecord,
+    /// The best candidate found.
+    pub best: CandidateRecord,
+    /// Total candidate simulations run (including the start).
+    pub evaluations: usize,
+    /// One record per evaluated batch; iteration 0 is the start's own
+    /// evaluation.
+    pub iterations: Vec<IterationRecord>,
+    /// Artifact-cache statistics over the whole search.
+    pub cache: CacheStats,
+}
+
+impl OptimizerReport {
+    /// Savings of the best split over the starting split, in percent of
+    /// the start's objective.
+    pub fn improvement_percent(&self) -> f64 {
+        let start = self.start.total_dollars();
+        if start <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.best.total_dollars() / start) * 100.0
+    }
+
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            ("strategy", JsonValue::String(self.strategy.clone())),
+            (
+                "best_hubs",
+                JsonValue::Array(
+                    self.best_hubs.iter().map(|h| JsonValue::String(h.clone())).collect(),
+                ),
+            ),
+            ("start", self.start.to_json_value()),
+            ("best", self.best.to_json_value()),
+            ("evaluations", JsonValue::Number(self.evaluations as f64)),
+            (
+                "iterations",
+                JsonValue::Array(
+                    self.iterations.iter().map(IterationRecord::to_json_value).collect(),
+                ),
+            ),
+            ("cache", self.cache.to_json_value()),
+        ])
+    }
+
+    /// Serialize to a compact JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+}

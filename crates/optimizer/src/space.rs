@@ -1,0 +1,301 @@
+//! The search space: capacity splits over candidate hubs.
+//!
+//! A deployment is encoded as a [`CandidateSplit`] — one unsigned unit
+//! count per candidate hub, summing to the space's fixed total. One unit
+//! is [`SearchSpace::servers_per_unit`] servers (the capacity quantum),
+//! so the space is a discrete simplex: every candidate spends exactly the
+//! same server budget, and search moves shift quanta between hubs. A hub
+//! at zero units is *inactive* and simply absent from the materialized
+//! [`ClusterSet`], so subset selection (which hubs to build at all) and
+//! capacity splitting (how much to build where) are one encoding.
+//!
+//! Keeping the hub list of a candidate equal to the hub list of another
+//! candidate (same set of active hubs) is what lets the sweep engine's
+//! [`CompiledArtifacts`](wattroute::sweep::CompiledArtifacts) cache reuse
+//! billing matrices and preference geometries across most of a search:
+//! only a move that activates or deactivates a hub touches a new hub list.
+
+use wattroute_geo::HubId;
+use wattroute_workload::{Cluster, ClusterSet};
+
+/// One hub the optimizer may place capacity at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateHub {
+    /// Label used for the materialized cluster (e.g. `NY`).
+    pub label: String,
+    /// The market hub capacity placed here buys power at.
+    pub hub: HubId,
+    /// Per-server sustainable capacity in hits/second.
+    pub hits_per_server_per_sec: f64,
+    /// Whether the materialized cluster is public (steerable).
+    pub public: bool,
+}
+
+impl CandidateHub {
+    /// A candidate with the workspace-standard 200 hits/s/server public
+    /// cluster profile.
+    pub fn new(label: impl Into<String>, hub: HubId) -> Self {
+        Self { label: label.into(), hub, hits_per_server_per_sec: 200.0, public: true }
+    }
+
+    /// A candidate inheriting an existing cluster's profile.
+    pub fn from_cluster(cluster: &Cluster) -> Self {
+        Self {
+            label: cluster.label.clone(),
+            hub: cluster.hub,
+            hits_per_server_per_sec: cluster.hits_per_server_per_sec,
+            public: cluster.public,
+        }
+    }
+}
+
+/// A capacity split: units per candidate hub, in candidate order, summing
+/// to [`SearchSpace::total_units`]. Zero means the hub is inactive.
+pub type CandidateSplit = Vec<u32>;
+
+/// The discrete space of capacity splits the optimizer searches.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    hubs: Vec<CandidateHub>,
+    total_units: u32,
+    servers_per_unit: u32,
+}
+
+impl SearchSpace {
+    /// Build a space over candidate hubs with a fixed budget of
+    /// `total_units` capacity quanta of `servers_per_unit` servers each.
+    ///
+    /// # Panics
+    /// Panics on an empty hub list, duplicate hubs, or a zero budget or
+    /// quantum.
+    pub fn new(hubs: Vec<CandidateHub>, total_units: u32, servers_per_unit: u32) -> Self {
+        assert!(!hubs.is_empty(), "search space needs at least one candidate hub");
+        assert!(total_units >= 1, "capacity budget must be at least one unit");
+        assert!(servers_per_unit >= 1, "capacity quantum must be at least one server");
+        for i in 0..hubs.len() {
+            for j in i + 1..hubs.len() {
+                assert!(
+                    hubs[i].hub != hubs[j].hub,
+                    "candidate hubs {} and {} share market hub {:?}",
+                    hubs[i].label,
+                    hubs[j].label,
+                    hubs[i].hub
+                );
+            }
+        }
+        Self { hubs, total_units, servers_per_unit }
+    }
+
+    /// Build a space whose candidates are an existing deployment's
+    /// clusters and whose budget is that deployment's total capacity,
+    /// quantised to `servers_per_unit`. Also returns the deployment
+    /// itself encoded as a split (each cluster rounded to units, minimum
+    /// one), so a search can start from — and be compared against — the
+    /// incumbent placement.
+    pub fn from_deployment(clusters: &ClusterSet, servers_per_unit: u32) -> (Self, CandidateSplit) {
+        assert!(!clusters.is_empty(), "deployment has no clusters");
+        let split: CandidateSplit = clusters
+            .clusters()
+            .iter()
+            .map(|c| ((c.servers as f64 / servers_per_unit as f64).round() as u32).max(1))
+            .collect();
+        let total_units = split.iter().sum();
+        let hubs = clusters.clusters().iter().map(CandidateHub::from_cluster).collect();
+        (Self::new(hubs, total_units, servers_per_unit), split)
+    }
+
+    /// The candidate hubs, in split order.
+    pub fn hubs(&self) -> &[CandidateHub] {
+        &self.hubs
+    }
+
+    /// Number of candidate hubs.
+    pub fn num_hubs(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// The fixed capacity budget in units.
+    pub fn total_units(&self) -> u32 {
+        self.total_units
+    }
+
+    /// Servers per capacity unit (the move quantum).
+    pub fn servers_per_unit(&self) -> u32 {
+        self.servers_per_unit
+    }
+
+    /// The budget spread as evenly as integer units allow, earlier hubs
+    /// taking the remainder (deterministic).
+    pub fn even_split(&self) -> CandidateSplit {
+        let n = self.hubs.len() as u32;
+        let base = self.total_units / n;
+        let remainder = self.total_units % n;
+        (0..n).map(|i| base + u32::from(i < remainder)).collect()
+    }
+
+    /// Panics unless `split` belongs to this space: right arity, exact
+    /// budget, at least one active hub.
+    pub fn validate(&self, split: &[u32]) {
+        assert_eq!(split.len(), self.hubs.len(), "split arity does not match candidate hubs");
+        let sum: u32 = split.iter().sum();
+        assert_eq!(
+            sum, self.total_units,
+            "split spends {sum} units, budget is {}",
+            self.total_units
+        );
+        assert!(split.iter().any(|&u| u > 0), "split activates no hub");
+    }
+
+    /// Materialize a split as a deployment: one cluster per active hub,
+    /// `units × servers_per_unit` servers each; inactive hubs are absent.
+    pub fn materialize(&self, split: &[u32]) -> ClusterSet {
+        self.validate(split);
+        ClusterSet::new(
+            self.hubs
+                .iter()
+                .zip(split)
+                .filter(|(_, &units)| units > 0)
+                .map(|(hub, &units)| Cluster {
+                    label: hub.label.clone(),
+                    hub: hub.hub,
+                    servers: units * self.servers_per_unit,
+                    hits_per_server_per_sec: hub.hits_per_server_per_sec,
+                    public: hub.public,
+                })
+                .collect(),
+        )
+    }
+
+    /// Apply one move: take `units` (clamped to what `from` holds) from
+    /// one hub and give them to another. Returns `None` for a no-op (zero
+    /// transferable units or `from == to`).
+    pub fn shifted(
+        &self,
+        split: &[u32],
+        from: usize,
+        to: usize,
+        units: u32,
+    ) -> Option<CandidateSplit> {
+        if from == to {
+            return None;
+        }
+        let moved = units.min(split[from]);
+        if moved == 0 {
+            return None;
+        }
+        let mut next = split.to_vec();
+        next[from] -= moved;
+        next[to] += moved;
+        Some(next)
+    }
+
+    /// Every split reachable by moving (up to) `units` quanta from one
+    /// active hub to any other hub, in deterministic (from, to) order.
+    /// Moves that drain a hub deactivate it; moves onto a zero hub
+    /// activate it — so this neighbourhood covers capacity reallocation
+    /// *and* hub swap-in/out.
+    pub fn shift_neighbors(&self, split: &[u32], units: u32) -> Vec<CandidateSplit> {
+        self.validate(split);
+        let n = self.hubs.len();
+        let mut out = Vec::new();
+        for from in 0..n {
+            for to in 0..n {
+                if let Some(next) = self.shifted(split, from, to, units) {
+                    out.push(next);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_hub_space() -> SearchSpace {
+        SearchSpace::new(
+            vec![
+                CandidateHub::new("NY", HubId::NewYorkNy),
+                CandidateHub::new("IL", HubId::ChicagoIl),
+                CandidateHub::new("TX", HubId::DallasTx),
+            ],
+            10,
+            100,
+        )
+    }
+
+    #[test]
+    fn even_split_spends_exactly_the_budget() {
+        let space = three_hub_space();
+        let split = space.even_split();
+        assert_eq!(split, vec![4, 3, 3]);
+        space.validate(&split);
+    }
+
+    #[test]
+    fn materialize_drops_inactive_hubs_and_scales_by_quantum() {
+        let space = three_hub_space();
+        let set = space.materialize(&[7, 0, 3]);
+        assert_eq!(set.labels(), vec!["NY", "TX"]);
+        assert_eq!(set.clusters()[0].servers, 700);
+        assert_eq!(set.total_servers(), 1000);
+    }
+
+    #[test]
+    fn shift_neighbors_cover_reallocation_and_swap() {
+        let space = three_hub_space();
+        let neighbors = space.shift_neighbors(&[9, 1, 0], 1);
+        // Two active hubs × two destinations each.
+        assert_eq!(neighbors.len(), 4);
+        // Draining IL deactivates it; moving onto TX activates it.
+        assert!(neighbors.contains(&vec![10, 0, 0]));
+        assert!(neighbors.contains(&vec![9, 0, 1]));
+        assert!(neighbors.contains(&vec![8, 2, 0]));
+        assert!(neighbors.contains(&vec![8, 1, 1]));
+        // Every neighbour still spends the budget.
+        for n in &neighbors {
+            space.validate(n);
+        }
+    }
+
+    #[test]
+    fn shifted_clamps_to_available_units() {
+        let space = three_hub_space();
+        assert_eq!(space.shifted(&[9, 1, 0], 1, 2, 5), Some(vec![9, 0, 1]));
+        assert_eq!(space.shifted(&[9, 1, 0], 2, 0, 5), None);
+        assert_eq!(space.shifted(&[9, 1, 0], 0, 0, 5), None);
+    }
+
+    #[test]
+    fn from_deployment_round_trips_the_incumbent() {
+        let nine = ClusterSet::akamai_like_nine();
+        let (space, split) = SearchSpace::from_deployment(&nine, 100);
+        space.validate(&split);
+        let back = space.materialize(&split);
+        assert_eq!(back.labels(), nine.labels());
+        // Quantisation error is bounded by half a unit per cluster.
+        for (a, b) in back.clusters().iter().zip(nine.clusters()) {
+            assert!((a.servers as i64 - b.servers as i64).unsigned_abs() <= 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn wrong_budget_is_rejected() {
+        three_hub_space().validate(&[4, 3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share market hub")]
+    fn duplicate_candidate_hubs_are_rejected() {
+        let _ = SearchSpace::new(
+            vec![
+                CandidateHub::new("A", HubId::NewYorkNy),
+                CandidateHub::new("B", HubId::NewYorkNy),
+            ],
+            4,
+            100,
+        );
+    }
+}
