@@ -25,6 +25,22 @@ fn bench_simulation(c: &mut Criterion) {
         b.iter(|| scenario.baseline_report());
     });
 
+    // The 95/5-constrained hot path: the simulator borrows the run's one
+    // ConstraintSet on every reallocation (the pre-ConstraintSet engine
+    // cloned the cap vector per step, so this datapoint tracked an extra
+    // ~2000 allocations/week). Constrained vs unconstrained throughput
+    // should now differ only by the cap-respecting assignment itself.
+    group.bench_function("one_week_24day_trace_price_conscious_constrained", |b| {
+        let scenario =
+            Scenario::custom_window(1, week).with_energy(EnergyModelParams::optimistic_future());
+        let calibrated = CalibratedScenario::calibrate(&scenario);
+        let config = calibrated.constrained_config(&scenario.config, 1.0);
+        b.iter(|| {
+            let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+            scenario.run_with_config(&mut policy, config.clone())
+        });
+    });
+
     group.bench_function("one_month_weekly_profile_hourly_realloc", |b| {
         let month_start = SimHour::from_date(2007, 5, 1);
         let month = HourRange::new(month_start, month_start.plus_hours(30 * 24));

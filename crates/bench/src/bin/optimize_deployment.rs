@@ -19,7 +19,7 @@ use wattroute_market::generator::PriceGenerator;
 use wattroute_market::model::MarketModel;
 use wattroute_optimizer::{
     CandidateHub, DeploymentOptimizer, GreedyDescent, LocalSearch, OptimizerReport,
-    OptimizerStrategy, SearchBudget, SearchSpace,
+    OptimizerStrategy, SearchBudget, SearchSpace, SweepEvaluator,
 };
 use wattroute_workload::derive::WeeklyProfile;
 
@@ -29,6 +29,7 @@ const QUANTUM: u32 = 800;
 fn main() {
     banner("Deployment optimizer", "Searching capacity splits over candidate hubs");
     let emit_json = std::env::args().any(|a| a == "--json");
+    let constrained_mode = std::env::args().any(|a| a == "--constrained");
 
     let range = if full_mode() {
         HourRange::new(SimHour::from_date(2008, 1, 1), SimHour::from_date(2008, 7, 1))
@@ -81,6 +82,9 @@ fn main() {
 
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut reports: Vec<OptimizerReport> = Vec::new();
+    // One evaluator (and compiled-artifact cache) per strategy, kept
+    // alive so a constrained re-run can share the warmed cache.
+    let mut evaluators: Vec<SweepEvaluator<'_>> = Vec::new();
     let strategies: Vec<Box<dyn OptimizerStrategy>> =
         vec![Box::new(GreedyDescent::default()), Box::new(LocalSearch::seeded(HARNESS_SEED))];
     for mut strategy in strategies {
@@ -88,9 +92,11 @@ fn main() {
             .with_objective(objective.clone())
             .with_budget(budget.clone())
             .with_start(start.clone());
+        let mut evaluator = SweepEvaluator::new(&trace, &prices, config.clone());
         let started = Instant::now();
-        let report = optimizer.run(strategy.as_mut());
+        let report = optimizer.run_on(strategy.as_mut(), &mut evaluator);
         let elapsed = started.elapsed().as_secs_f64();
+        evaluators.push(evaluator);
         rows.push(vec![
             report.strategy.clone(),
             report.evaluations.to_string(),
@@ -133,6 +139,69 @@ fn main() {
     println!("cheap midwestern/southern candidates, beating every hand-picked deployment_grid");
     println!("split — and nearly every evaluation reuses the compiled-artifact cache, since");
     println!("capacity-only moves never change the hub list.");
+
+    if constrained_mode {
+        // The same search *under calibrated 95/5 caps*: one baseline pass
+        // over the incumbent nine-cluster deployment fixes per-hub
+        // bandwidth ceilings (hubs the baseline never used stay
+        // unconstrained — a fresh hub would negotiate a fresh contract),
+        // and every candidate is simulated with those caps resolved
+        // against its own active hubs. Constraints are run-state, not
+        // compiled geometry, so each constrained search runs on its
+        // unconstrained sibling's *warmed* evaluator: every artifact the
+        // first pass compiled is reused, and the cumulative cache hit
+        // rate can only rise.
+        let scenario = wattroute::scenario::Scenario {
+            clusters: nine.clone(),
+            trace: trace.clone(),
+            prices: prices.clone(),
+            config: config.clone(),
+        };
+        let calibrated = CalibratedScenario::calibrate(&scenario);
+        let hub_caps = calibrated.hub_caps(1.0);
+
+        println!();
+        println!("Constrained search (calibrated 95/5 caps @ 1.0x on the nine incumbent hubs):");
+        let mut constrained_rows: Vec<Vec<String>> = Vec::new();
+        let strategies: Vec<Box<dyn OptimizerStrategy>> =
+            vec![Box::new(GreedyDescent::default()), Box::new(LocalSearch::seeded(HARNESS_SEED))];
+        for ((mut strategy, unconstrained), evaluator) in
+            strategies.into_iter().zip(&reports).zip(evaluators.iter_mut())
+        {
+            evaluator.set_hub_caps(Some(hub_caps.clone()));
+            let optimizer =
+                DeploymentOptimizer::new(space.clone(), &trace, &prices, config.clone())
+                    .with_objective(objective.clone())
+                    .with_budget(budget.clone())
+                    .with_start(start.clone());
+            let report = optimizer.run_on(strategy.as_mut(), evaluator);
+            let hit_rate = report.cache.hit_rate().unwrap_or(0.0);
+            let unconstrained_hit_rate = unconstrained.cache.hit_rate().unwrap_or(0.0);
+            assert!(
+                hit_rate >= unconstrained_hit_rate - 1e-12,
+                "{}: calibrated caps must not invalidate CompiledArtifacts reuse \
+                 (constrained hit rate {hit_rate:.4} < unconstrained {unconstrained_hit_rate:.4})",
+                report.strategy,
+            );
+            constrained_rows.push(vec![
+                report.strategy.clone(),
+                report.evaluations.to_string(),
+                format!("${}", fmt(report.best.total_dollars(), 0)),
+                format!("{}%", fmt(report.improvement_percent(), 2)),
+                format!("{}%", fmt(hit_rate * 100.0, 1)),
+                format!("{}%", fmt(unconstrained_hit_rate * 100.0, 1)),
+                report.best_hubs.join("+"),
+            ]);
+            if emit_json {
+                println!("{}", report.to_json());
+            }
+        }
+        print_table(
+            &["strategy", "evals", "best obj", "improved", "cache hits", "(uncon.)", "best hubs"],
+            &constrained_rows,
+        );
+        println!("checked: constrained cache hit rate >= unconstrained, per strategy");
+    }
 
     if emit_json {
         for report in &reports {

@@ -343,6 +343,67 @@ pub fn reaction_delay_sweep(
         .collect()
 }
 
+/// One point of the savings-vs-bandwidth-slack curve (`fig_bandwidth`).
+#[derive(Debug, Clone)]
+pub struct SlackRow {
+    /// The cap multiplier (`f64::INFINITY` = bandwidth unconstrained).
+    pub multiplier: f64,
+    /// Savings (%) of the price-conscious optimizer over the calibration
+    /// baseline, at this slack level.
+    pub savings_percent: f64,
+    /// Total hours any cluster spent pinned at its 95/5 cap (zero without
+    /// a tariff — binding accounting is tariff-gated).
+    pub binding_hours: f64,
+    /// The run's full report.
+    pub report: SimulationReport,
+}
+
+/// The savings-vs-bandwidth-slack curve (§4/§6.1 made a sweep): calibrate
+/// a scenario once against its baseline assignment, then run the
+/// price-conscious optimizer under the calibrated 95/5 caps scaled by each
+/// multiplier — `1.0` is the paper's "follow original 95/5 constraints"
+/// regime, `f64::INFINITY` removes the caps entirely and reproduces the
+/// unconstrained run bit-for-bit. All points run as one [`ScenarioSweep`]
+/// constraint axis over shared compiled artifacts. An optional
+/// [`BandwidthTariff`] adds the 95/5 accounting fields (observed p95 bill,
+/// binding hours) to every report.
+pub fn bandwidth_slack_sweep(
+    scenario: &Scenario,
+    calibrated: &CalibratedScenario,
+    distance_threshold_km: f64,
+    multipliers: &[f64],
+    tariff: Option<BandwidthTariff>,
+) -> Vec<SlackRow> {
+    let mut config = scenario.config.clone();
+    if let Some(tariff) = tariff {
+        config = config.with_bandwidth_tariff(tariff);
+    }
+    let mut sweep = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
+    sweep.add_constraint_axis(
+        0,
+        "pc",
+        config,
+        multipliers.iter().enumerate().map(|(i, &m)| {
+            (format!("{i}"), calibrated.constraints(&scenario.config.constraints, m))
+        }),
+        move || PriceConsciousPolicy::with_distance_threshold(distance_threshold_km),
+    );
+    let grid = sweep.run();
+    multipliers
+        .iter()
+        .enumerate()
+        .map(|(i, &multiplier)| {
+            let report = grid.get(&format!("pc@{i}")).expect("point ran").clone();
+            SlackRow {
+                multiplier,
+                savings_percent: report.savings_percent_vs(calibrated.baseline()),
+                binding_hours: report.total_bandwidth_binding_hours,
+                report,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -377,6 +438,29 @@ mod tests {
         let delays = reaction_delay_sweep(&scenario, 1500.0, &[0, 3]);
         assert_eq!(delays.len(), 2);
         assert!((delays[0].1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slack_sweep_is_anchored_by_the_unconstrained_run() {
+        let start = SimHour::from_date(2008, 12, 19);
+        let scenario = Scenario::custom_window(3, HourRange::new(start, start.plus_hours(36)))
+            .with_energy(EnergyModelParams::optimistic_future());
+        let calibrated = CalibratedScenario::calibrate(&scenario);
+        let rows = bandwidth_slack_sweep(
+            &scenario,
+            &calibrated,
+            1500.0,
+            &[1.0, f64::INFINITY],
+            Some(BandwidthTariff::default_cdn()),
+        );
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].report.bandwidth_constrained);
+        assert!(!rows[1].report.bandwidth_constrained);
+        assert!(rows[1].savings_percent >= rows[0].savings_percent - 1e-9);
+        // The tariff prices every run, constrained or not.
+        assert!(rows.iter().all(|r| r.report.total_bandwidth_cost_dollars > 0.0));
+        // Binding hours only exist where caps do.
+        assert_eq!(rows[1].binding_hours, 0.0);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod constraints;
 pub mod json;
 pub mod jsonl;
 pub mod objective;
@@ -75,6 +76,7 @@ pub use wattroute_workload as workload;
 /// Convenient re-exports of the most commonly used items across the
 /// workspace.
 pub mod prelude {
+    pub use crate::constraints::{BandwidthTariff, CalibratedScenario};
     pub use crate::objective::{Objective, ObjectiveTerms};
     pub use crate::report::{PolicyComparison, SimulationReport};
     pub use crate::scenario::Scenario;

@@ -11,6 +11,7 @@
 //! total = energy_cost
 //!       + sla_penalty_per_mhit      × (rejected + overflow hits, in M)
 //!       + distance_penalty_per_mhit × served Mhits × km beyond the free radius
+//!       + bandwidth_weight          × 95/5 bandwidth bill
 //! ```
 //!
 //! The SLA term consumes the engine's explicit over-capacity accounting —
@@ -20,8 +21,14 @@
 //! candidates price their unserved demand instead of looking cheap. The
 //! distance term prices the performance cost of chasing cheap power with
 //! long routes (the paper's §6.2 distance-threshold discussion, made a
-//! soft penalty). Every term is in dollars, so [`ObjectiveTerms::total`]
-//! is directly comparable to a report's `total_cost_dollars`.
+//! soft penalty). The bandwidth term consumes the 95/5 bandwidth bill a
+//! [`BandwidthTariff`](crate::constraints::BandwidthTariff) priced into
+//! the report
+//! ([`total_bandwidth_cost_dollars`](SimulationReport::total_bandwidth_cost_dollars))
+//! — the §4 trade-off made explicit: shifting load chases cheap
+//! electricity but raises some cluster's 95th percentile, and the carrier
+//! bills that. Every term is in dollars, so [`ObjectiveTerms::total`] is
+//! directly comparable to a report's `total_cost_dollars`.
 
 use crate::json::{self, JsonValue};
 use crate::report::{ReportDecodeError, SimulationReport};
@@ -38,6 +45,12 @@ pub struct Objective {
     pub distance_penalty_per_mhit_km: f64,
     /// Mean distance (km) under which the distance term charges nothing.
     pub free_distance_km: f64,
+    /// Multiplier on the report's 95/5 bandwidth bill
+    /// ([`SimulationReport::total_bandwidth_cost_dollars`]). The bill is
+    /// already in dollars, so `1.0` prices it at face value; `0.0` ignores
+    /// bandwidth; larger values model expensive transit. Untariffed runs
+    /// carry a zero bill, so every pre-tariff score is unchanged.
+    pub bandwidth_weight: f64,
 }
 
 impl Objective {
@@ -45,7 +58,12 @@ impl Objective {
     /// objective the optimizer reproduces the paper's "cheapest placement"
     /// reading of §6.3.
     pub fn energy_only() -> Self {
-        Self { sla_penalty_per_mhit: 0.0, distance_penalty_per_mhit_km: 0.0, free_distance_km: 0.0 }
+        Self {
+            sla_penalty_per_mhit: 0.0,
+            distance_penalty_per_mhit_km: 0.0,
+            free_distance_km: 0.0,
+            bandwidth_weight: 0.0,
+        }
     }
 
     /// A balanced default: unserved demand is charged well above the
@@ -57,6 +75,7 @@ impl Objective {
             sla_penalty_per_mhit: 50.0,
             distance_penalty_per_mhit_km: 0.0,
             free_distance_km: 1500.0,
+            bandwidth_weight: 1.0,
         }
     }
 
@@ -81,6 +100,13 @@ impl Objective {
         self
     }
 
+    /// Set the multiplier on the report's 95/5 bandwidth bill.
+    pub fn with_bandwidth_weight(mut self, weight: f64) -> Self {
+        assert!(weight >= 0.0, "penalties must be non-negative");
+        self.bandwidth_weight = weight;
+        self
+    }
+
     /// Score one report.
     pub fn score(&self, report: &SimulationReport) -> ObjectiveTerms {
         // Exactly one of the two buckets is nonzero per run (the engine
@@ -99,6 +125,7 @@ impl Objective {
             energy_cost_dollars: report.total_cost_dollars,
             sla_penalty_dollars: self.sla_penalty_per_mhit * unserved_mhits,
             distance_penalty_dollars: self.distance_penalty_per_mhit_km * served_mhits * excess_km,
+            bandwidth_cost_dollars: self.bandwidth_weight * report.total_bandwidth_cost_dollars,
         }
     }
 }
@@ -118,22 +145,33 @@ pub struct ObjectiveTerms {
     pub sla_penalty_dollars: f64,
     /// Penalty on demand-weighted mean distance beyond the free radius.
     pub distance_penalty_dollars: f64,
+    /// The (weighted) 95/5 bandwidth bill. Zero on untariffed runs; the
+    /// JSON encoding omits zero values so pre-tariff score JSON (and the
+    /// optimizer golden) is byte-identical.
+    pub bandwidth_cost_dollars: f64,
 }
 
 impl ObjectiveTerms {
     /// The scalar the optimizer minimizes.
     pub fn total(&self) -> f64 {
-        self.energy_cost_dollars + self.sla_penalty_dollars + self.distance_penalty_dollars
+        self.energy_cost_dollars
+            + self.sla_penalty_dollars
+            + self.distance_penalty_dollars
+            + self.bandwidth_cost_dollars
     }
 
     /// Encode as a JSON value.
     pub fn to_json_value(&self) -> JsonValue {
-        json::object([
+        let mut fields = vec![
             ("energy_cost_dollars", JsonValue::Number(self.energy_cost_dollars)),
             ("sla_penalty_dollars", JsonValue::Number(self.sla_penalty_dollars)),
             ("distance_penalty_dollars", JsonValue::Number(self.distance_penalty_dollars)),
-            ("total_dollars", JsonValue::Number(self.total())),
-        ])
+        ];
+        if self.bandwidth_cost_dollars != 0.0 {
+            fields.push(("bandwidth_cost_dollars", JsonValue::Number(self.bandwidth_cost_dollars)));
+        }
+        fields.push(("total_dollars", JsonValue::Number(self.total())));
+        json::object_iter(fields)
     }
 
     /// Decode from a JSON value produced by [`Self::to_json_value`] (the
@@ -148,6 +186,11 @@ impl ObjectiveTerms {
             energy_cost_dollars: num("energy_cost_dollars")?,
             sla_penalty_dollars: num("sla_penalty_dollars")?,
             distance_penalty_dollars: num("distance_penalty_dollars")?,
+            // Absent in pre-tariff scores (and whenever the bill is zero).
+            bandwidth_cost_dollars: v
+                .get("bandwidth_cost_dollars")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
         })
     }
 }
@@ -173,6 +216,8 @@ mod tests {
             total_energy_mwh: 1.0,
             total_overflow_hits: overflow,
             total_rejected_hits: rejected,
+            total_bandwidth_binding_hours: 0.0,
+            total_bandwidth_cost_dollars: 0.0,
             delay_clamped_hours: 0,
             clusters: vec![ClusterReport {
                 label: "X".into(),
@@ -184,6 +229,9 @@ mod tests {
                 total_hits: hits,
                 overflow_hits: overflow,
                 rejected_hits: rejected,
+                bandwidth_cap_hits_per_sec: None,
+                bandwidth_binding_hours: 0.0,
+                bandwidth_cost_dollars: 0.0,
             }],
             mean_distance_km: mean_km,
             p99_distance_km: mean_km * 2.0,
@@ -240,14 +288,37 @@ mod tests {
     }
 
     #[test]
+    fn bandwidth_term_prices_the_95_5_bill() {
+        let mut r = report(100.0, 0.0, 0.0, 100.0, 1.0e9);
+        r.total_bandwidth_cost_dollars = 40.0;
+        // energy_only ignores bandwidth entirely.
+        assert_eq!(Objective::energy_only().score(&r).total(), 100.0);
+        // default_qos prices the bill at face value.
+        let terms = Objective::default_qos().score(&r);
+        assert_eq!(terms.bandwidth_cost_dollars, 40.0);
+        assert_eq!(terms.total(), 140.0);
+        // An explicit weight scales it.
+        let heavy = Objective::energy_only().with_bandwidth_weight(2.5).score(&r);
+        assert_eq!(heavy.bandwidth_cost_dollars, 100.0);
+    }
+
+    #[test]
     fn terms_round_trip_through_json() {
         let terms = ObjectiveTerms {
             energy_cost_dollars: 12.5,
             sla_penalty_dollars: 3.25,
             distance_penalty_dollars: 0.125,
+            bandwidth_cost_dollars: 0.0,
         };
         let v = terms.to_json_value();
         assert_eq!(v.get("total_dollars").and_then(JsonValue::as_f64), Some(terms.total()));
+        // A zero bandwidth bill is omitted, keeping pre-tariff JSON stable.
+        assert!(v.get("bandwidth_cost_dollars").is_none());
         assert_eq!(ObjectiveTerms::from_json_value(&v).unwrap(), terms);
+
+        let billed = ObjectiveTerms { bandwidth_cost_dollars: 7.5, ..terms };
+        let v = billed.to_json_value();
+        assert_eq!(v.get("bandwidth_cost_dollars").and_then(JsonValue::as_f64), Some(7.5));
+        assert_eq!(ObjectiveTerms::from_json_value(&v).unwrap(), billed);
     }
 }

@@ -198,6 +198,27 @@ pub struct ClusterReport {
     /// when it is zero, so default-mode reports are byte-identical to
     /// pre-rejection reports.
     pub rejected_hits: f64,
+    /// The 95/5 bandwidth cap (hits/second) in force for this cluster
+    /// during the run, if one was — the calibrated ceiling the router was
+    /// held to. Populated only when the run carries a
+    /// [`BandwidthTariff`](crate::constraints::BandwidthTariff) (95/5
+    /// accounting is opt-in); omitted from JSON when absent so
+    /// pre-accounting reports — including cap-constrained ones — are
+    /// byte-identical.
+    pub bandwidth_cap_hits_per_sec: Option<f64>,
+    /// Hours this cluster spent *at* its 95/5 bandwidth cap (load within a
+    /// relative 1e-9 of the ceiling, or above it through spill) — the
+    /// hours where the constraint actually shaped routing. Counted only
+    /// when the run carries a
+    /// [`BandwidthTariff`](crate::constraints::BandwidthTariff); the JSON
+    /// encoding omits zero values.
+    pub bandwidth_binding_hours: f64,
+    /// This cluster's 95/5 bandwidth bill in dollars, priced on its
+    /// observed [`Self::p95_hits_per_sec`] under the run's
+    /// [`BandwidthTariff`](crate::constraints::BandwidthTariff), prorated
+    /// by run length. Zero when the run had no tariff; the JSON encoding
+    /// omits zero values.
+    pub bandwidth_cost_dollars: f64,
 }
 
 impl ClusterReport {
@@ -218,6 +239,16 @@ impl ClusterReport {
         if self.rejected_hits != 0.0 {
             fields.push(("rejected_hits", JsonValue::Number(self.rejected_hits)));
         }
+        if let Some(cap) = self.bandwidth_cap_hits_per_sec {
+            fields.push(("bandwidth_cap_hits_per_sec", JsonValue::Number(cap)));
+        }
+        if self.bandwidth_binding_hours != 0.0 {
+            fields
+                .push(("bandwidth_binding_hours", JsonValue::Number(self.bandwidth_binding_hours)));
+        }
+        if self.bandwidth_cost_dollars != 0.0 {
+            fields.push(("bandwidth_cost_dollars", JsonValue::Number(self.bandwidth_cost_dollars)));
+        }
         json::object_iter(fields)
     }
 
@@ -234,6 +265,18 @@ impl ClusterReport {
             overflow_hits: f64_field(v, "overflow_hits")?,
             // Absent in pre-rejection reports and in default-mode reports.
             rejected_hits: v.get("rejected_hits").and_then(JsonValue::as_f64).unwrap_or(0.0),
+            // All absent in pre-constraint (and unconstrained) reports.
+            bandwidth_cap_hits_per_sec: v
+                .get("bandwidth_cap_hits_per_sec")
+                .and_then(JsonValue::as_f64),
+            bandwidth_binding_hours: v
+                .get("bandwidth_binding_hours")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+            bandwidth_cost_dollars: v
+                .get("bandwidth_cost_dollars")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
         })
     }
 }
@@ -264,6 +307,15 @@ pub struct SimulationReport {
     /// per-cluster field, the JSON encoding omits it when zero so
     /// default-mode reports are unchanged on disk.
     pub total_rejected_hits: f64,
+    /// Total hours any cluster spent at its 95/5 bandwidth cap (the sum of
+    /// every cluster's [`ClusterReport::bandwidth_binding_hours`]). Zero on
+    /// unconstrained runs; omitted from JSON when zero.
+    pub total_bandwidth_binding_hours: f64,
+    /// Total 95/5 bandwidth bill in dollars (the sum of every cluster's
+    /// [`ClusterReport::bandwidth_cost_dollars`]). Zero when the run had no
+    /// [`BandwidthTariff`](crate::constraints::BandwidthTariff); omitted
+    /// from JSON when zero.
+    pub total_bandwidth_cost_dollars: f64,
     /// Hours at the start of the run whose *delayed* (router-visible) price
     /// fell before the price series began and was clamped to the first
     /// sample. Runs whose price data start exactly at the trace start see
@@ -309,6 +361,18 @@ impl SimulationReport {
         if self.total_rejected_hits != 0.0 {
             fields.push(("total_rejected_hits", JsonValue::Number(self.total_rejected_hits)));
         }
+        if self.total_bandwidth_binding_hours != 0.0 {
+            fields.push((
+                "total_bandwidth_binding_hours",
+                JsonValue::Number(self.total_bandwidth_binding_hours),
+            ));
+        }
+        if self.total_bandwidth_cost_dollars != 0.0 {
+            fields.push((
+                "total_bandwidth_cost_dollars",
+                JsonValue::Number(self.total_bandwidth_cost_dollars),
+            ));
+        }
         json::object_iter(fields)
     }
 
@@ -335,6 +399,14 @@ impl SimulationReport {
             total_overflow_hits: f64_field(v, "total_overflow_hits")?,
             total_rejected_hits: v
                 .get("total_rejected_hits")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+            total_bandwidth_binding_hours: v
+                .get("total_bandwidth_binding_hours")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+            total_bandwidth_cost_dollars: v
+                .get("total_bandwidth_cost_dollars")
                 .and_then(JsonValue::as_f64)
                 .unwrap_or(0.0),
             delay_clamped_hours: f64_field(v, "delay_clamped_hours")? as u64,
@@ -450,6 +522,9 @@ mod tests {
                 total_hits: 1.0e9,
                 overflow_hits: 0.0,
                 rejected_hits: 0.0,
+                bandwidth_cap_hits_per_sec: None,
+                bandwidth_binding_hours: 0.0,
+                bandwidth_cost_dollars: 0.0,
             })
             .collect::<Vec<_>>();
         SimulationReport {
@@ -461,6 +536,8 @@ mod tests {
             total_energy_mwh: costs.iter().sum::<f64>() / 60.0,
             total_overflow_hits: 0.0,
             total_rejected_hits: 0.0,
+            total_bandwidth_binding_hours: 0.0,
+            total_bandwidth_cost_dollars: 0.0,
             delay_clamped_hours: 1,
             clusters,
             mean_distance_km: 500.0,
@@ -528,6 +605,55 @@ mod tests {
         let back = SimulationReport::from_json(&json).unwrap();
         assert_eq!(back, rejecting);
         assert_eq!(back.clusters[0].rejected_hits, 0.0);
+    }
+
+    #[test]
+    fn bandwidth_fields_are_omitted_when_absent_and_round_trip_when_not() {
+        // Unconstrained, untariffed report: no bandwidth field may appear,
+        // so pre-constraint goldens stay byte-identical.
+        let clean = dummy_report("x", &[10.0, 20.0]);
+        let clean_json = clean.to_json();
+        assert!(!clean_json.contains("bandwidth_cap"), "no cap field on unconstrained reports");
+        assert!(!clean_json.contains("bandwidth_binding"), "no binding field");
+        assert!(!clean_json.contains("bandwidth_cost"), "no cost field");
+        assert_eq!(SimulationReport::from_json(&clean_json).unwrap(), clean);
+
+        // A constrained + tariffed report round-trips every new field.
+        let mut constrained = dummy_report("y", &[10.0, 20.0]);
+        constrained.bandwidth_constrained = true;
+        constrained.clusters[0].bandwidth_cap_hits_per_sec = Some(1100.0);
+        constrained.clusters[0].bandwidth_binding_hours = 7.25;
+        constrained.clusters[0].bandwidth_cost_dollars = 42.5;
+        constrained.clusters[1].bandwidth_cap_hits_per_sec = Some(900.0);
+        constrained.total_bandwidth_binding_hours = 7.25;
+        constrained.total_bandwidth_cost_dollars = 42.5;
+        let json = constrained.to_json();
+        assert!(json.contains("\"bandwidth_cap_hits_per_sec\":1100"));
+        assert!(json.contains("\"total_bandwidth_cost_dollars\":42.5"));
+        let back = SimulationReport::from_json(&json).unwrap();
+        assert_eq!(back, constrained);
+        assert_eq!(back.clusters[1].bandwidth_binding_hours, 0.0);
+    }
+
+    #[test]
+    fn legacy_json_without_bandwidth_fields_still_parses() {
+        // A hand-built pre-constraint report body (no bandwidth_* or
+        // rejected fields anywhere) must decode, defaulting the new fields.
+        let legacy = r#"{"policy":"legacy","steps":2,"reaction_delay_hours":1,
+            "bandwidth_constrained":false,"total_cost_dollars":5.0,
+            "total_energy_mwh":0.1,"total_overflow_hits":0,
+            "delay_clamped_hours":0,"clusters":[{"label":"NY",
+            "cost_dollars":5.0,"energy_mwh":0.1,"mean_utilization":0.5,
+            "p95_hits_per_sec":10.0,"peak_hits_per_sec":12.0,
+            "total_hits":100.0,"overflow_hits":0}],"mean_distance_km":1.0,
+            "p99_distance_km":2.0,"distances":{"bin_km":25.0,
+            "weights":[1.0],"total_weight":1.0,"weighted_sum":10.0}}"#;
+        let report = SimulationReport::from_json(legacy).unwrap();
+        assert_eq!(report.clusters[0].bandwidth_cap_hits_per_sec, None);
+        assert_eq!(report.clusters[0].bandwidth_binding_hours, 0.0);
+        assert_eq!(report.clusters[0].bandwidth_cost_dollars, 0.0);
+        assert_eq!(report.total_bandwidth_binding_hours, 0.0);
+        assert_eq!(report.total_bandwidth_cost_dollars, 0.0);
     }
 
     #[test]

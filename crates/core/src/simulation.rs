@@ -8,6 +8,7 @@
 //! and per-cluster cost, energy, utilization, 95th-percentile loads and
 //! client–server distance statistics.
 
+use crate::constraints::BandwidthTariff;
 use crate::report::{cluster_labels, ClusterReport, DistanceHistogram, SimulationReport};
 use std::borrow::Cow;
 use wattroute_energy::cost::energy_cost_dollars;
@@ -15,33 +16,17 @@ use wattroute_energy::model::{ClusterPowerModel, EnergyModelParams};
 use wattroute_market::price_table::PriceTable;
 use wattroute_market::time::{HourRange, SimHour};
 use wattroute_market::types::PriceSet;
+use wattroute_routing::constraints::ConstraintSet;
 use wattroute_routing::policy::{RoutingContext, RoutingPolicy};
 use wattroute_stats::{quantiles, OnlineStats};
+use wattroute_workload::bandwidth::BandwidthProfile;
 use wattroute_workload::trace::{Trace, STEPS_PER_HOUR, STEP_SECONDS};
 use wattroute_workload::ClusterSet;
 
-/// What happens to demand routed beyond a cluster's capacity.
-///
-/// The paper treats capacity as a soft planning constraint and never
-/// models turned-away requests; [`OverflowMode::BillAtCapacity`] reproduces
-/// that behaviour exactly. [`OverflowMode::Reject`] models the service
-/// degradation explicitly: over-capacity demand is counted as
-/// [`rejected_hits`](crate::report::ClusterReport::rejected_hits) and
-/// excluded from served totals, so a cost-vs-QoS objective (see
-/// [`crate::objective`]) can trade electricity savings against turned-away
-/// traffic. Energy and dollars are identical in both modes — the power
-/// model saturates at capacity either way; only the hit accounting moves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum OverflowMode {
-    /// Demand beyond capacity is billed as if served at capacity and
-    /// surfaced as `overflow_hits` (the original behaviour, and the
-    /// default — results are bit-for-bit unchanged).
-    #[default]
-    BillAtCapacity,
-    /// Demand beyond capacity is turned away: counted as `rejected_hits`,
-    /// excluded from `total_hits`, and `overflow_hits` stays zero.
-    Reject,
-}
+// The overflow mode now lives with the rest of the constraint vocabulary
+// in `wattroute_routing::constraints`; this re-export keeps the historical
+// `wattroute::simulation::OverflowMode` path (and the prelude) working.
+pub use wattroute_routing::constraints::OverflowMode;
 
 /// Static configuration of a simulation run (everything except the policy).
 #[derive(Debug, Clone, PartialEq)]
@@ -51,10 +36,13 @@ pub struct SimulationConfig {
     /// Delay, in hours, between the market setting a price and the router
     /// seeing it. The paper conservatively uses one hour (§6.1, §6.4).
     pub reaction_delay_hours: u64,
-    /// Optional per-cluster 95/5 bandwidth ceilings in hits/second,
-    /// typically derived from a baseline run ("follow original 95/5
-    /// constraints"). `None` relaxes the bandwidth constraint.
-    pub bandwidth_caps: Option<Vec<f64>>,
+    /// The constraints every routing decision must respect: capacity
+    /// ceilings, per-cluster 95/5 bandwidth caps (typically derived from a
+    /// baseline calibration pass — see
+    /// [`CalibratedScenario`](crate::constraints::CalibratedScenario)),
+    /// and the overflow mode. The simulator *borrows* this set on every
+    /// reallocation; it is never cloned on the hot path.
+    pub constraints: ConstraintSet,
     /// How many 5-minute steps share one routing decision. 1 re-routes every
     /// step; 12 re-routes hourly, which is exact for workloads that are
     /// constant within the hour (such as the replayed weekly profile used
@@ -65,8 +53,12 @@ pub struct SimulationConfig {
     /// prices are never reused — intervals that do not divide twelve behave
     /// as "at most this often within the hour".
     pub reallocate_every_steps: usize,
-    /// What happens to demand routed beyond a cluster's capacity.
-    pub overflow: OverflowMode,
+    /// Optional 95/5 bandwidth tariff. When set, reports carry a
+    /// per-cluster (and total) bandwidth bill priced on the observed 95th
+    /// percentiles; when `None`, the bandwidth-accounting fields stay zero
+    /// and are omitted from JSON (reports are byte-identical to
+    /// pre-tariff ones).
+    pub bandwidth_tariff: Option<BandwidthTariff>,
 }
 
 impl Default for SimulationConfig {
@@ -74,9 +66,9 @@ impl Default for SimulationConfig {
         Self {
             energy: EnergyModelParams::optimistic_future(),
             reaction_delay_hours: 1,
-            bandwidth_caps: None,
+            constraints: ConstraintSet::unconstrained(),
             reallocate_every_steps: 1,
-            overflow: OverflowMode::default(),
+            bandwidth_tariff: None,
         }
     }
 }
@@ -94,9 +86,16 @@ impl SimulationConfig {
         self
     }
 
-    /// Attach 95/5 bandwidth ceilings.
+    /// Replace the whole constraint set.
+    pub fn with_constraints(mut self, constraints: ConstraintSet) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Attach 95/5 bandwidth ceilings (keeping the rest of the constraint
+    /// set).
     pub fn with_bandwidth_caps(mut self, caps: Vec<f64>) -> Self {
-        self.bandwidth_caps = Some(caps);
+        self.constraints = self.constraints.with_bandwidth_caps(caps);
         self
     }
 
@@ -109,8 +108,48 @@ impl SimulationConfig {
 
     /// Set the overflow mode (what happens to over-capacity demand).
     pub fn with_overflow(mut self, overflow: OverflowMode) -> Self {
-        self.overflow = overflow;
+        self.constraints = self.constraints.with_overflow(overflow);
         self
+    }
+
+    /// Attach a 95/5 bandwidth tariff so reports carry a bandwidth bill.
+    pub fn with_bandwidth_tariff(mut self, tariff: BandwidthTariff) -> Self {
+        self.bandwidth_tariff = Some(tariff);
+        self
+    }
+}
+
+/// An optional sink for the per-step, per-cluster loads a simulation
+/// routes — the raw series a 95/5 calibration pass needs (the report only
+/// keeps distribution statistics). Hand one to [`Simulation::run_with`];
+/// afterwards [`LoadRecorder::bandwidth_profile`] derives the per-cluster
+/// 95th-percentile levels that
+/// [`CalibratedScenario`](crate::constraints::CalibratedScenario) turns
+/// into a [`ConstraintSet`].
+#[derive(Debug, Clone, Default)]
+pub struct LoadRecorder {
+    cluster_loads: Vec<Vec<f64>>,
+}
+
+impl LoadRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded series: `cluster_loads()[cluster][step]` in
+    /// hits/second at 5-minute resolution. Empty before a run.
+    pub fn cluster_loads(&self) -> &[Vec<f64>] {
+        &self.cluster_loads
+    }
+
+    /// Derive the 95/5 bandwidth profile of the recorded run (`None`
+    /// before a run).
+    pub fn bandwidth_profile(&self) -> Option<BandwidthProfile> {
+        if self.cluster_loads.is_empty() {
+            return None;
+        }
+        BandwidthProfile::from_cluster_loads(&self.cluster_loads)
     }
 }
 
@@ -171,9 +210,7 @@ impl<'a> Simulation<'a> {
     ) -> Self {
         assert!(!clusters.is_empty(), "deployment has no clusters");
         assert!(trace.num_steps() > 0, "trace is empty");
-        if let Some(caps) = &config.bandwidth_caps {
-            assert_eq!(caps.len(), clusters.len(), "bandwidth cap length mismatch");
-        }
+        config.constraints.validate(clusters.len());
         assert_eq!(table.hubs(), clusters.hub_ids(), "price table hub order mismatch");
         assert_eq!(
             table.delay_hours(),
@@ -201,6 +238,19 @@ impl<'a> Simulation<'a> {
 
     /// Run a policy over the whole trace and produce a report.
     pub fn run(&self, policy: &mut dyn RoutingPolicy) -> SimulationReport {
+        self.run_with(policy, None)
+    }
+
+    /// Like [`Self::run`], but optionally recording the per-step
+    /// per-cluster load series into a [`LoadRecorder`] — the calibration
+    /// pass of the calibrate → constrain → account pipeline uses this to
+    /// derive 95/5 caps from a baseline run. Recording does not change the
+    /// report.
+    pub fn run_with(
+        &self,
+        policy: &mut dyn RoutingPolicy,
+        recorder: Option<&mut LoadRecorder>,
+    ) -> SimulationReport {
         let n_clusters = self.clusters.len();
         let n_steps = self.trace.num_steps();
         let step_hours = STEP_SECONDS as f64 / 3600.0;
@@ -220,9 +270,20 @@ impl<'a> Simulation<'a> {
         let mut hits = vec![0.0f64; n_clusters];
         let mut overflow_hits = vec![0.0f64; n_clusters];
         let mut rejected_hits = vec![0.0f64; n_clusters];
+        let mut binding_steps = vec![0usize; n_clusters];
         let mut load_series: Vec<Vec<f64>> = vec![Vec::with_capacity(n_steps); n_clusters];
         let mut util_stats = vec![OnlineStats::new(); n_clusters];
         let mut distances = DistanceHistogram::default_resolution();
+
+        // The one constraint set of the run: every routing context borrows
+        // it (no per-step cap cloning on this path).
+        let constraints = &self.config.constraints;
+        let tariff = self.config.bandwidth_tariff.as_ref();
+        // 95/5 accounting (per-cluster cap echo, binding hours, bandwidth
+        // bill) is opt-in via the tariff: without one, every new report
+        // field stays absent/zero and reports are bit-identical to
+        // pre-accounting ones — including on cap-constrained runs.
+        let accounted_caps = tariff.and(constraints.bandwidth_caps());
 
         let mut cached_allocation = None;
         let mut last_alloc_hour = SimHour(u64::MAX);
@@ -239,16 +300,14 @@ impl<'a> Simulation<'a> {
                 || hour != last_alloc_hour;
             if reallocate {
                 let delayed_prices = self.table.delayed_at(hour).expect("table covers the trace");
-                let mut ctx = RoutingContext::new(
+                let ctx = RoutingContext::new(
                     self.clusters,
                     &self.trace.states,
                     &step.us_demand,
                     delayed_prices,
                     hour,
-                );
-                if let Some(caps) = &self.config.bandwidth_caps {
-                    ctx = ctx.with_bandwidth_caps(caps.clone());
-                }
+                )
+                .with_constraints(constraints);
                 cached_allocation = Some(policy.allocate(&ctx));
                 last_alloc_hour = hour;
             }
@@ -268,7 +327,7 @@ impl<'a> Simulation<'a> {
                     // both modes; the accounting differs: billed as served
                     // at capacity (overflow), or turned away (rejected).
                     let over = loads[c] - capacities[c];
-                    match self.config.overflow {
+                    match constraints.overflow() {
                         OverflowMode::BillAtCapacity => {
                             overflow_hits[c] += over * STEP_SECONDS as f64;
                         }
@@ -286,6 +345,17 @@ impl<'a> Simulation<'a> {
                 hits[c] += served * STEP_SECONDS as f64;
                 util_stats[c].push(utilization);
                 load_series[c].push(loads[c]);
+                if let Some(caps) = accounted_caps {
+                    // A step is "binding" when the allocation sits at (or,
+                    // through spill, above) the cluster's 95/5 ceiling —
+                    // hours where the constraint actually shaped routing. An
+                    // idle cluster is never binding, even at a zero cap
+                    // (calibrations against concentrating baselines leave
+                    // unused clusters with p95 = 0).
+                    if caps[c].is_finite() && loads[c] > 0.0 && loads[c] >= caps[c] * (1.0 - 1e-9) {
+                        binding_steps[c] += 1;
+                    }
+                }
             }
 
             for (distance_km, weight) in
@@ -297,28 +367,42 @@ impl<'a> Simulation<'a> {
 
         let labels = cluster_labels(self.clusters);
         let clusters = (0..n_clusters)
-            .map(|c| ClusterReport {
-                label: labels[c].clone(),
-                cost_dollars: cost[c],
-                energy_mwh: energy_wh[c] / 1.0e6,
-                mean_utilization: util_stats[c].mean().unwrap_or(0.0),
-                p95_hits_per_sec: quantiles::percentile(&load_series[c], 95.0).unwrap_or(0.0),
-                peak_hits_per_sec: load_series[c].iter().copied().fold(0.0, f64::max),
-                total_hits: hits[c],
-                overflow_hits: overflow_hits[c],
-                rejected_hits: rejected_hits[c],
+            .map(|c| {
+                let p95 = quantiles::percentile(&load_series[c], 95.0).unwrap_or(0.0);
+                ClusterReport {
+                    label: labels[c].clone(),
+                    cost_dollars: cost[c],
+                    energy_mwh: energy_wh[c] / 1.0e6,
+                    mean_utilization: util_stats[c].mean().unwrap_or(0.0),
+                    p95_hits_per_sec: p95,
+                    peak_hits_per_sec: load_series[c].iter().copied().fold(0.0, f64::max),
+                    total_hits: hits[c],
+                    overflow_hits: overflow_hits[c],
+                    rejected_hits: rejected_hits[c],
+                    bandwidth_cap_hits_per_sec: accounted_caps
+                        .map(|caps| caps[c])
+                        .filter(|cap| cap.is_finite()),
+                    bandwidth_binding_hours: binding_steps[c] as f64 * STEP_SECONDS as f64 / 3600.0,
+                    bandwidth_cost_dollars: tariff.map_or(0.0, |t| t.bill_dollars(p95, n_steps)),
+                }
             })
             .collect::<Vec<_>>();
+
+        if let Some(recorder) = recorder {
+            recorder.cluster_loads = load_series;
+        }
 
         SimulationReport {
             policy: policy.name().to_string(),
             steps: n_steps,
             reaction_delay_hours: self.config.reaction_delay_hours,
-            bandwidth_constrained: self.config.bandwidth_caps.is_some(),
+            bandwidth_constrained: constraints.is_bandwidth_constrained(),
             total_cost_dollars: cost.iter().sum(),
             total_energy_mwh: energy_wh.iter().sum::<f64>() / 1.0e6,
             total_overflow_hits: overflow_hits.iter().sum(),
             total_rejected_hits: rejected_hits.iter().sum(),
+            total_bandwidth_binding_hours: clusters.iter().map(|c| c.bandwidth_binding_hours).sum(),
+            total_bandwidth_cost_dollars: clusters.iter().map(|c| c.bandwidth_cost_dollars).sum(),
             delay_clamped_hours: self.table.clamped_lead_hours(),
             clusters,
             mean_distance_km: distances.mean_km().unwrap_or(0.0),

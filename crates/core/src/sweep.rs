@@ -56,6 +56,7 @@ use std::sync::{mpsc, Arc};
 use wattroute_market::price_table::{BillingMatrix, PriceTable};
 use wattroute_market::time::HourRange;
 use wattroute_market::types::PriceSet;
+use wattroute_routing::constraints::ConstraintSet;
 use wattroute_routing::policy::RoutingPolicy;
 use wattroute_routing::price_conscious::CompiledPreferences;
 use wattroute_workload::trace::Trace;
@@ -347,6 +348,42 @@ impl<'a> ScenarioSweep<'a> {
         P: RoutingPolicy + 'static,
     {
         self.add_boxed_point_on(deployment, label, config, Box::new(move || Box::new(policy())));
+    }
+
+    /// Sweep the **constraint regime** as a grid dimension: add one point
+    /// per `(variant label, ConstraintSet)` pair, each running `config`
+    /// with its constraint set replaced by the variant's and labelled
+    /// `"{label}@{variant}"`. Pair with
+    /// [`CalibratedScenario::constraints`](crate::constraints::CalibratedScenario::constraints)
+    /// to grid over cap multipliers (the savings-vs-slack curve of
+    /// `fig_bandwidth`), or with
+    /// [`ConstraintSet::unconstrained`] for a constrained-vs-unconstrained
+    /// axis.
+    ///
+    /// Constraints are run-state, not compiled geometry: however many
+    /// variants a grid sweeps, the deployment's artifacts (billing matrix,
+    /// preference geometry, delayed views) are compiled exactly once —
+    /// pinned by `sweep_compile_counts`.
+    pub fn add_constraint_axis<F, P>(
+        &mut self,
+        deployment: usize,
+        label: impl AsRef<str>,
+        config: SimulationConfig,
+        variants: impl IntoIterator<Item = (String, ConstraintSet)>,
+        policy: F,
+    ) where
+        F: Fn() -> P + Clone + Send + Sync + 'static,
+        P: RoutingPolicy + 'static,
+    {
+        let label = label.as_ref();
+        for (variant, constraints) in variants {
+            self.add_point_on(
+                deployment,
+                format!("{label}@{variant}"),
+                config.clone().with_constraints(constraints),
+                policy.clone(),
+            );
+        }
     }
 
     /// Add a pre-boxed grid point on the default deployment (for
@@ -745,6 +782,40 @@ mod tests {
             report.get("nine:base").unwrap().total_cost_dollars,
             report.get("east:base").unwrap().total_cost_dollars,
         );
+    }
+
+    #[test]
+    fn constraint_axis_points_match_sequential_constrained_runs() {
+        use crate::constraints::CalibratedScenario;
+
+        let s = short_scenario();
+        let calibrated = CalibratedScenario::calibrate(&s);
+        let multipliers = [1.0, 1.3, f64::INFINITY];
+
+        let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices).with_threads(2);
+        sweep.add_constraint_axis(
+            0,
+            "pc",
+            s.config.clone(),
+            multipliers
+                .iter()
+                .map(|&m| (format!("x{m}"), calibrated.constraints(&s.config.constraints, m))),
+            || PriceConsciousPolicy::with_distance_threshold(1500.0),
+        );
+        assert_eq!(sweep.len(), 3);
+        let report = sweep.run();
+
+        for &m in &multipliers {
+            let config = calibrated.constrained_config(&s.config, m);
+            let sequential = s.run_with_config(
+                &mut PriceConsciousPolicy::with_distance_threshold(1500.0),
+                config,
+            );
+            assert_eq!(report.get(&format!("pc@x{m}")), Some(&sequential), "multiplier {m}");
+        }
+        // The ∞ variant is bandwidth-relaxed; the 1.0 variant is not.
+        assert!(report.get("pc@x1").unwrap().bandwidth_constrained);
+        assert!(!report.get("pc@xinf").unwrap().bandwidth_constrained);
     }
 
     #[test]

@@ -134,4 +134,48 @@ fn two_deployments_times_two_delays_compile_each_artifact_once() {
         "revisited hub lists must not recompile preference geometry"
     );
     assert_eq!((cache.hub_list_hits(), cache.hub_list_misses()), (3, 2));
+
+    // Scenario 3: constraints are run-state, not compiled geometry. A
+    // calibrated constraint axis (three cap multipliers plus the
+    // unconstrained regime, all over the default deployment at one delay)
+    // must compile exactly one billing matrix, one preference geometry and
+    // one delayed view — the constrained-vs-unconstrained dimension adds
+    // zero compilation work.
+    let calibrated = CalibratedScenario::calibrate(&scenario);
+    let billing_before = BillingMatrix::build_count();
+    let views_before = PriceTable::view_count();
+    let prefs_before = CompiledPreferences::build_count();
+
+    let mut sweep =
+        ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices).with_threads(2);
+    sweep.add_constraint_axis(
+        0,
+        "pc",
+        scenario.config.clone(),
+        [1.0, 1.1, 1.3, f64::INFINITY]
+            .iter()
+            .map(|&m| (format!("x{m}"), calibrated.constraints(&scenario.config.constraints, m))),
+        || PriceConsciousPolicy::with_distance_threshold(1500.0),
+    );
+    assert_eq!(sweep.len(), 4);
+    let report = sweep.run();
+    assert_eq!(report.runs.len(), 4);
+    assert!(report.get("pc@x1").unwrap().bandwidth_constrained);
+    assert!(!report.get("pc@xinf").unwrap().bandwidth_constrained);
+
+    assert_eq!(
+        BillingMatrix::build_count() - billing_before,
+        1,
+        "a constraint axis must not compile extra billing matrices"
+    );
+    assert_eq!(
+        PriceTable::view_count() - views_before,
+        1,
+        "a constraint axis must not build extra delayed views"
+    );
+    assert_eq!(
+        CompiledPreferences::build_count() - prefs_before,
+        1,
+        "a constraint axis must not recompile preference geometry"
+    );
 }

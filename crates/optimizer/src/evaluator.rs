@@ -21,6 +21,7 @@ use wattroute::report::SimulationReport;
 use wattroute::simulation::SimulationConfig;
 use wattroute::sweep::{CompiledArtifacts, ScenarioSweep};
 use wattroute_market::types::PriceSet;
+use wattroute_routing::constraints::HubBandwidthCaps;
 use wattroute_routing::policy::RoutingPolicy;
 use wattroute_routing::price_conscious::PriceConsciousPolicy;
 use wattroute_workload::trace::Trace;
@@ -51,6 +52,7 @@ pub struct SweepEvaluator<'a> {
     trace: &'a Trace,
     prices: &'a PriceSet,
     config: SimulationConfig,
+    hub_caps: Option<HubBandwidthCaps>,
     threads: Option<usize>,
     artifacts: CompiledArtifacts,
     evaluations: usize,
@@ -65,10 +67,42 @@ impl<'a> SweepEvaluator<'a> {
             trace,
             prices,
             config,
+            hub_caps: None,
             threads: None,
             artifacts: CompiledArtifacts::new(),
             evaluations: 0,
         }
+    }
+
+    /// Constrain every candidate evaluation under calibrated, hub-keyed
+    /// 95/5 bandwidth caps (see
+    /// [`CalibratedScenario::hub_caps`](wattroute::constraints::CalibratedScenario::hub_caps)):
+    /// each candidate's configuration gets the caps resolved against *its
+    /// own* cluster list — hubs the calibration never observed are
+    /// unconstrained. Constraints are run-state, so this changes no
+    /// compiled artifact and costs no cache reuse.
+    pub fn with_hub_caps(mut self, caps: HubBandwidthCaps) -> Self {
+        self.set_hub_caps(Some(caps));
+        self
+    }
+
+    /// Replace (or remove) the hub-keyed caps on a live evaluator. The
+    /// artifact cache is untouched — constraints are run-state, so an
+    /// evaluator warmed by unconstrained batches keeps every compiled
+    /// artifact when the constraint regime changes.
+    pub fn set_hub_caps(&mut self, caps: Option<HubBandwidthCaps>) {
+        self.hub_caps = caps;
+    }
+
+    /// The simulation configuration a specific candidate runs under: the
+    /// base configuration, with hub-keyed caps (when set) resolved against
+    /// the candidate's clusters.
+    pub fn candidate_config(&self, candidate: &ClusterSet) -> SimulationConfig {
+        let mut config = self.config.clone();
+        if let Some(caps) = &self.hub_caps {
+            config.constraints = caps.apply(candidate, &self.config.constraints);
+        }
+        config
     }
 
     /// Pin the worker-pool size used for each batch (default: the sweep
@@ -112,12 +146,13 @@ impl<'a> SweepEvaluator<'a> {
         }
         for (i, candidate) in candidates.iter().enumerate() {
             let id = sweep.add_deployment(format!("candidate:{i}"), candidate);
+            let config = self.candidate_config(candidate);
             for (p, policy) in policies.iter().enumerate() {
                 let factory = Arc::clone(policy);
                 sweep.add_boxed_point_on(
                     id,
                     format!("candidate:{i}:policy:{p}"),
-                    self.config.clone(),
+                    config.clone(),
                     Box::new(move || factory()),
                 );
             }
@@ -201,6 +236,50 @@ mod tests {
         for (row, policy) in rows.iter().zip(&policies) {
             assert_eq!(row, &batch_eval.evaluate(&candidates, policy));
         }
+    }
+
+    #[test]
+    fn hub_caps_constrain_each_candidate_against_its_own_hubs() {
+        let start = SimHour::from_date(2008, 12, 19);
+        let s = Scenario::custom_window(31, HourRange::new(start, start.plus_hours(24)));
+        let calibrated = CalibratedScenario::calibrate(&s);
+        let hub_caps = calibrated.hub_caps(1.0);
+        let policy = price_conscious_factory(1500.0);
+
+        let nine = s.clusters.clone();
+        let east = ClusterSet::new(
+            nine.clusters()
+                .iter()
+                .filter(|c| matches!(c.label.as_str(), "MA" | "NY" | "VA" | "NJ" | "IL"))
+                .cloned()
+                .collect::<Vec<_>>(),
+        );
+
+        let mut constrained = SweepEvaluator::new(&s.trace, &s.prices, s.config.clone())
+            .with_hub_caps(hub_caps.clone())
+            .with_threads(2);
+        let reports = constrained.evaluate(&[nine.clone(), east.clone()], &policy);
+        assert!(reports.iter().all(|r| r.bandwidth_constrained));
+
+        // Each candidate ran under the caps resolved against its own
+        // cluster list — bit-identical to a sequential constrained run.
+        for (candidate, report) in [(&nine, &reports[0]), (&east, &reports[1])] {
+            let config = constrained.candidate_config(candidate);
+            assert_eq!(config.constraints.bandwidth_caps(), Some(&hub_caps.resolve(candidate)[..]));
+            let sequential = Simulation::new(candidate, &s.trace, &s.prices, config)
+                .run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
+            assert_eq!(report, &sequential);
+        }
+
+        // The constrained evaluator's cache behaviour is identical to an
+        // unconstrained one over the same candidates.
+        let mut relaxed =
+            SweepEvaluator::new(&s.trace, &s.prices, s.config.clone()).with_threads(2);
+        let _ = relaxed.evaluate(&[nine, east], &policy);
+        assert_eq!(
+            (constrained.artifacts().hub_list_hits(), constrained.artifacts().hub_list_misses()),
+            (relaxed.artifacts().hub_list_hits(), relaxed.artifacts().hub_list_misses()),
+        );
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub use strategy::{GreedyDescent, LocalSearch, OptimizerStrategy, ScoredCandidat
 use wattroute::objective::Objective;
 use wattroute::simulation::SimulationConfig;
 use wattroute_market::types::PriceSet;
+use wattroute_routing::constraints::HubBandwidthCaps;
 use wattroute_workload::trace::Trace;
 
 /// The optimizer driver: binds a search space to a scenario (trace,
@@ -76,6 +77,7 @@ pub struct DeploymentOptimizer<'a> {
     budget: SearchBudget,
     threads: Option<usize>,
     start: Option<CandidateSplit>,
+    hub_caps: Option<HubBandwidthCaps>,
 }
 
 impl<'a> DeploymentOptimizer<'a> {
@@ -105,7 +107,21 @@ impl<'a> DeploymentOptimizer<'a> {
             budget: SearchBudget::default(),
             threads: None,
             start: None,
+            hub_caps: None,
         }
+    }
+
+    /// Search *under* calibrated 95/5 bandwidth caps: every candidate is
+    /// simulated with the hub-keyed caps resolved against its own active
+    /// hubs (see
+    /// [`CalibratedScenario::hub_caps`](wattroute::constraints::CalibratedScenario::hub_caps)).
+    /// Hubs the calibration never observed are unconstrained. Constraints
+    /// are run-state, not compiled geometry, so the artifact cache works
+    /// exactly as hard as an unconstrained search over the same
+    /// trajectory.
+    pub fn with_hub_caps(mut self, caps: HubBandwidthCaps) -> Self {
+        self.hub_caps = Some(caps);
+        self
     }
 
     /// Replace the objective.
@@ -154,6 +170,29 @@ impl<'a> DeploymentOptimizer<'a> {
         if let Some(threads) = self.threads {
             evaluator = evaluator.with_threads(threads);
         }
+        if let Some(caps) = &self.hub_caps {
+            evaluator = evaluator.with_hub_caps(caps.clone());
+        }
+        self.run_on(strategy, &mut evaluator)
+    }
+
+    /// Like [`Self::run`], but on a caller-supplied evaluator, so a
+    /// *sequence* of searches — an unconstrained pass followed by a
+    /// capped one, or several strategies — shares one persistent
+    /// [`CompiledArtifacts`](wattroute::sweep::CompiledArtifacts) cache:
+    /// hub lists any earlier run compiled are never recompiled, whatever
+    /// the constraint regime. The evaluator's own configuration and hub
+    /// caps define the simulation regime (this optimizer's `config` /
+    /// `with_hub_caps` settings only shape the evaluator [`Self::run`]
+    /// builds internally); the report's `evaluations` counts this run
+    /// alone, while its cache statistics are the evaluator's cumulative
+    /// totals.
+    pub fn run_on(
+        &self,
+        strategy: &mut dyn OptimizerStrategy,
+        evaluator: &mut SweepEvaluator<'_>,
+    ) -> OptimizerReport {
+        let evaluations_before = evaluator.evaluations();
 
         let mut iterations: Vec<IterationRecord> = Vec::new();
         let mut best_total = f64::INFINITY;
@@ -202,7 +241,7 @@ impl<'a> DeploymentOptimizer<'a> {
             best_hubs,
             start: CandidateRecord::from_scored(&start),
             best: CandidateRecord::from_scored(&best),
-            evaluations: evaluator.evaluations(),
+            evaluations: evaluator.evaluations() - evaluations_before,
             iterations,
             cache: CacheStats::from_artifacts(evaluator.artifacts()),
         }

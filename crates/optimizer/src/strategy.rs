@@ -296,6 +296,7 @@ mod tests {
                             .sum(),
                         sla_penalty_dollars: 0.0,
                         distance_penalty_dollars: 0.0,
+                        bandwidth_cost_dollars: 0.0,
                     },
                 })
                 .collect()
@@ -362,6 +363,7 @@ mod tests {
                 energy_cost_dollars: 1.0,
                 sla_penalty_dollars: 0.0,
                 distance_penalty_dollars: 0.0,
+                bandwidth_cost_dollars: 0.0,
             },
         };
         let mut score = |_: &[CandidateSplit]| -> Vec<ScoredCandidate> {

@@ -106,4 +106,51 @@ fn optimizer_compiles_each_visited_hub_list_exactly_once() {
         report.evaluations,
         "every evaluation resolves its hub list exactly once"
     );
+
+    // Scenario 3: the same search *under calibrated 95/5 caps*. The
+    // constraints travel in per-run configuration, not compiled geometry,
+    // so a constrained greedy descent over the same space compiles exactly
+    // one artifact set per distinct active-hub set it visits — and its
+    // cache hit rate is no worse than the unconstrained run's.
+    let calibrated = CalibratedScenario::calibrate(&scenario);
+    let billing_before = BillingMatrix::build_count();
+
+    let (space, start) = SearchSpace::from_deployment(&scenario.clusters, 800);
+    let constrained = DeploymentOptimizer::new(
+        space,
+        &scenario.trace,
+        &scenario.prices,
+        scenario.config.clone().with_overflow(OverflowMode::Reject),
+    )
+    .with_budget(SearchBudget::smoke())
+    .with_start(start)
+    .with_hub_caps(calibrated.hub_caps(1.0))
+    .run(&mut GreedyDescent::default());
+
+    let constrained_distinct: BTreeSet<Vec<usize>> = constrained
+        .iterations
+        .iter()
+        .flat_map(|it| it.candidates.iter())
+        .map(|c| {
+            c.split
+                .iter()
+                .enumerate()
+                .filter(|(_, &u)| u > 0)
+                .map(|(i, _)| i)
+                .collect::<Vec<usize>>()
+        })
+        .collect();
+    assert_eq!(
+        BillingMatrix::build_count() - billing_before,
+        constrained_distinct.len(),
+        "calibrated caps must not invalidate CompiledArtifacts reuse"
+    );
+    assert_eq!(constrained.cache.hub_list_misses, constrained_distinct.len());
+    assert!(
+        constrained.cache.hit_rate().unwrap_or(0.0) >= report.cache.hit_rate().unwrap_or(0.0),
+        "a constrained search must reuse the cache at least as well as an unconstrained one \
+         (constrained {:?} vs unconstrained {:?})",
+        constrained.cache.hit_rate(),
+        report.cache.hit_rate(),
+    );
 }

@@ -1,0 +1,342 @@
+//! The unified constraint layer: what a routing decision may not do.
+//!
+//! The paper's savings are only credible because the price-conscious
+//! router is *constrained*: it may not raise any cluster's 95th-percentile
+//! bandwidth above the level observed under the original assignment (§4,
+//! §6.1), and it may not route demand beyond a cluster's request capacity.
+//! A [`ConstraintSet`] gathers everything of that kind — per-cluster
+//! capacity ceilings, per-cluster 95/5 bandwidth caps, and the
+//! [`OverflowMode`] governing what happens to demand that no ceiling can
+//! absorb — into one value that a simulation configuration owns and a
+//! [`RoutingContext`](crate::policy::RoutingContext) *borrows*. Borrowing
+//! matters: the simulator re-routes up to every five-minute step, and the
+//! constraint set is immutable run-state, so the hot loop must not clone
+//! cap vectors per step (it used to).
+//!
+//! Caps are positional (aligned with a deployment's cluster order). For
+//! consumers that compare *different* deployments — the placement
+//! optimizer searches over varying active-hub sets — [`HubBandwidthCaps`]
+//! keys the same caps by [`HubId`] and resolves them against any cluster
+//! set, so one calibration pass can constrain an entire search.
+
+use wattroute_geo::HubId;
+use wattroute_workload::ClusterSet;
+
+/// What happens to demand routed beyond a cluster's capacity.
+///
+/// The paper treats capacity as a soft planning constraint and never
+/// models turned-away requests; [`OverflowMode::BillAtCapacity`] reproduces
+/// that behaviour exactly. [`OverflowMode::Reject`] models the service
+/// degradation explicitly: over-capacity demand is counted as
+/// `rejected_hits` and excluded from served totals, so a cost-vs-QoS
+/// objective can trade electricity savings against turned-away traffic.
+/// Energy and dollars are identical in both modes — the power model
+/// saturates at capacity either way; only the hit accounting moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowMode {
+    /// Demand beyond capacity is billed as if served at capacity and
+    /// surfaced as `overflow_hits` (the original behaviour, and the
+    /// default — results are bit-for-bit unchanged).
+    #[default]
+    BillAtCapacity,
+    /// Demand beyond capacity is turned away: counted as `rejected_hits`,
+    /// excluded from `total_hits`, and `overflow_hits` stays zero.
+    Reject,
+}
+
+/// Everything a routing decision must respect, for one deployment.
+///
+/// The set is cheap when unconstrained (no vectors allocated) and
+/// immutable once a run starts, so the simulator hands the *same* set to
+/// every reallocation by reference.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConstraintSet {
+    /// Optional per-cluster request-capacity ceilings in hits/second,
+    /// overriding (tightening) each cluster's nominal capacity for
+    /// routing purposes. `None` uses the nominal capacities.
+    capacity_ceilings: Option<Vec<f64>>,
+    /// Optional per-cluster 95/5 bandwidth ceilings in hits/second,
+    /// typically derived from a baseline calibration pass ("follow
+    /// original 95/5 constraints"). `None` relaxes the constraint.
+    bandwidth_caps: Option<Vec<f64>>,
+    /// What happens to demand beyond every ceiling.
+    overflow: OverflowMode,
+}
+
+impl ConstraintSet {
+    /// A fully relaxed set: nominal capacities, no bandwidth caps, default
+    /// overflow accounting. Allocates nothing.
+    pub fn unconstrained() -> Self {
+        Self::default()
+    }
+
+    /// Attach per-cluster 95/5 bandwidth ceilings (hits/second).
+    pub fn with_bandwidth_caps(mut self, caps: Vec<f64>) -> Self {
+        self.bandwidth_caps = Some(caps);
+        self
+    }
+
+    /// Remove the bandwidth caps (back to the relaxed regime).
+    pub fn without_bandwidth_caps(mut self) -> Self {
+        self.bandwidth_caps = None;
+        self
+    }
+
+    /// Attach per-cluster capacity ceilings (hits/second) that tighten the
+    /// clusters' nominal capacities for routing.
+    pub fn with_capacity_ceilings(mut self, ceilings: Vec<f64>) -> Self {
+        self.capacity_ceilings = Some(ceilings);
+        self
+    }
+
+    /// Set the overflow mode (what happens to over-capacity demand).
+    pub fn with_overflow(mut self, overflow: OverflowMode) -> Self {
+        self.overflow = overflow;
+        self
+    }
+
+    /// The per-cluster 95/5 bandwidth ceilings, if any.
+    pub fn bandwidth_caps(&self) -> Option<&[f64]> {
+        self.bandwidth_caps.as_deref()
+    }
+
+    /// The per-cluster capacity ceilings, if any.
+    pub fn capacity_ceilings(&self) -> Option<&[f64]> {
+        self.capacity_ceilings.as_deref()
+    }
+
+    /// The overflow mode in force.
+    pub fn overflow(&self) -> OverflowMode {
+        self.overflow
+    }
+
+    /// Whether 95/5 bandwidth caps are in force.
+    pub fn is_bandwidth_constrained(&self) -> bool {
+        self.bandwidth_caps.is_some()
+    }
+
+    /// The effective routing ceiling for one cluster: the minimum of its
+    /// capacity (nominal, or the explicit ceiling when one is set) and its
+    /// bandwidth cap (when one is set).
+    pub fn effective_cap(&self, cluster: usize, nominal_capacity: f64) -> f64 {
+        let capacity = match &self.capacity_ceilings {
+            Some(ceilings) => nominal_capacity.min(ceilings[cluster]),
+            None => nominal_capacity,
+        };
+        match &self.bandwidth_caps {
+            Some(caps) => capacity.min(caps[cluster]),
+            None => capacity,
+        }
+    }
+
+    /// Scale the bandwidth caps by a factor — relaxing (factor > 1) or
+    /// tightening the 95/5 regime, as the savings-vs-slack curve sweeps.
+    /// A non-finite factor removes the caps entirely (the ∞ point of the
+    /// curve *is* the unconstrained run). No-op on an uncapped set.
+    ///
+    /// # Panics
+    /// Panics on a negative factor.
+    pub fn with_bandwidth_caps_scaled(mut self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "cap multiplier must be non-negative");
+        self.bandwidth_caps = match (self.bandwidth_caps, factor.is_finite()) {
+            (Some(caps), true) => Some(caps.into_iter().map(|c| c * factor).collect()),
+            _ => None,
+        };
+        self
+    }
+
+    /// Check every positional vector against a deployment size.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch — a configuration error, not a data
+    /// condition.
+    pub fn validate(&self, n_clusters: usize) {
+        if let Some(caps) = &self.bandwidth_caps {
+            assert_eq!(caps.len(), n_clusters, "bandwidth cap length mismatch");
+        }
+        if let Some(ceilings) = &self.capacity_ceilings {
+            assert_eq!(ceilings.len(), n_clusters, "capacity ceiling length mismatch");
+        }
+    }
+}
+
+/// 95/5 bandwidth caps keyed by market hub rather than cluster position,
+/// so one calibration pass constrains *any* deployment over the same
+/// hubs — including the placement optimizer's candidates, whose active-hub
+/// sets differ from the calibrated deployment's.
+///
+/// Hubs the calibration never observed resolve to an unconstrained cap
+/// (`f64::INFINITY`): the baseline assignment sent them no traffic, so
+/// there is no observed 95/5 level to hold them to (a freshly activated
+/// hub would negotiate a fresh bandwidth contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HubBandwidthCaps {
+    caps: Vec<(HubId, f64)>,
+}
+
+impl HubBandwidthCaps {
+    /// Build from explicit (hub, cap) pairs. Later duplicates of a hub are
+    /// ignored (first wins, matching cluster-order resolution).
+    pub fn new(caps: Vec<(HubId, f64)>) -> Self {
+        Self { caps }
+    }
+
+    /// Build from a deployment's hub order and its positional caps.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn from_cluster_caps(clusters: &ClusterSet, caps: &[f64]) -> Self {
+        let hub_ids = clusters.hub_ids();
+        assert_eq!(hub_ids.len(), caps.len(), "cap vector must align with the deployment");
+        Self::new(hub_ids.into_iter().zip(caps.iter().copied()).collect())
+    }
+
+    /// The cap for one hub, if the calibration observed it.
+    pub fn get(&self, hub: HubId) -> Option<f64> {
+        self.caps.iter().find(|(h, _)| *h == hub).map(|(_, c)| *c)
+    }
+
+    /// The (hub, cap) pairs, in calibration cluster order.
+    pub fn entries(&self) -> &[(HubId, f64)] {
+        &self.caps
+    }
+
+    /// Scale every cap by a factor (see
+    /// [`ConstraintSet::with_bandwidth_caps_scaled`] for semantics — a
+    /// non-finite factor here still yields caps, each infinite, which
+    /// resolve to unconstrained sets; a zero calibrated cap becomes
+    /// infinite too, not `0 × ∞ = NaN`).
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 0.0, "cap multiplier must be non-negative");
+        let scale = |c: f64| if factor.is_finite() { c * factor } else { f64::INFINITY };
+        Self::new(self.caps.iter().map(|&(h, c)| (h, scale(c))).collect())
+    }
+
+    /// Positional caps for an arbitrary deployment: each cluster gets its
+    /// hub's calibrated cap, or `f64::INFINITY` when the hub was never
+    /// observed.
+    pub fn resolve(&self, clusters: &ClusterSet) -> Vec<f64> {
+        clusters.hub_ids().into_iter().map(|h| self.get(h).unwrap_or(f64::INFINITY)).collect()
+    }
+
+    /// Derive a deployment's [`ConstraintSet`] from a base set: everything
+    /// (overflow mode, capacity ceilings) is kept, the bandwidth caps are
+    /// replaced by this calibration's resolution — unless every resolved
+    /// cap is infinite, in which case the set is left bandwidth-relaxed.
+    pub fn apply(&self, clusters: &ClusterSet, base: &ConstraintSet) -> ConstraintSet {
+        let resolved = self.resolve(clusters);
+        let mut set = base.clone();
+        set.bandwidth_caps =
+            if resolved.iter().all(|c| c.is_infinite()) { None } else { Some(resolved) };
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_set_uses_nominal_capacity() {
+        let set = ConstraintSet::unconstrained();
+        assert_eq!(set.effective_cap(0, 1000.0), 1000.0);
+        assert!(!set.is_bandwidth_constrained());
+        assert_eq!(set.overflow(), OverflowMode::BillAtCapacity);
+        set.validate(9); // no vectors, nothing to mismatch
+    }
+
+    #[test]
+    fn effective_cap_is_the_minimum_of_all_ceilings() {
+        let set = ConstraintSet::unconstrained()
+            .with_capacity_ceilings(vec![800.0, 2000.0])
+            .with_bandwidth_caps(vec![500.0, 1500.0]);
+        // capacity ∧ ceiling ∧ bandwidth cap, per cluster.
+        assert_eq!(set.effective_cap(0, 1000.0), 500.0);
+        assert_eq!(set.effective_cap(1, 1000.0), 1000.0);
+        assert_eq!(set.effective_cap(1, 1800.0), 1500.0);
+    }
+
+    #[test]
+    fn scaling_relaxes_and_infinite_scaling_removes() {
+        let set = ConstraintSet::unconstrained().with_bandwidth_caps(vec![100.0, 200.0]);
+        let relaxed = set.clone().with_bandwidth_caps_scaled(1.5);
+        assert_eq!(relaxed.bandwidth_caps(), Some(&[150.0, 300.0][..]));
+        let removed = set.clone().with_bandwidth_caps_scaled(f64::INFINITY);
+        assert_eq!(removed, ConstraintSet::unconstrained());
+        // Scaling an uncapped set stays uncapped.
+        let still = ConstraintSet::unconstrained().with_bandwidth_caps_scaled(2.0);
+        assert!(!still.is_bandwidth_constrained());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_multiplier_rejected() {
+        let _ = ConstraintSet::unconstrained()
+            .with_bandwidth_caps(vec![1.0])
+            .with_bandwidth_caps_scaled(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth cap length mismatch")]
+    fn validation_rejects_misaligned_caps() {
+        ConstraintSet::unconstrained().with_bandwidth_caps(vec![1.0, 2.0]).validate(3);
+    }
+
+    #[test]
+    fn overflow_mode_travels_with_the_set() {
+        let set = ConstraintSet::unconstrained().with_overflow(OverflowMode::Reject);
+        assert_eq!(set.overflow(), OverflowMode::Reject);
+        assert_eq!(set.clone().with_bandwidth_caps_scaled(2.0).overflow(), OverflowMode::Reject);
+    }
+
+    #[test]
+    fn hub_caps_resolve_against_any_deployment() {
+        let nine = ClusterSet::akamai_like_nine();
+        let caps: Vec<f64> = (0..nine.len()).map(|i| 1000.0 + i as f64).collect();
+        let by_hub = HubBandwidthCaps::from_cluster_caps(&nine, &caps);
+        assert_eq!(by_hub.resolve(&nine), caps);
+        assert_eq!(by_hub.get(nine.hub_ids()[3]), Some(1003.0));
+
+        // A subset deployment resolves each cluster to its own hub's cap.
+        let subset = ClusterSet::new(nine.clusters().iter().skip(4).cloned().collect::<Vec<_>>());
+        let resolved = by_hub.resolve(&subset);
+        assert_eq!(resolved, caps[4..].to_vec());
+
+        // An unobserved hub is unconstrained.
+        let scaled = by_hub.scaled(2.0);
+        assert_eq!(scaled.get(nine.hub_ids()[0]), Some(2000.0));
+        assert_eq!(scaled.entries().len(), nine.len());
+    }
+
+    #[test]
+    fn infinite_scaling_of_a_zero_cap_is_infinite_not_nan() {
+        // A calibration against a concentrating baseline leaves unused
+        // hubs with a 0.0 cap; infinite slack must relax them too (0 × ∞
+        // would be NaN, which is neither infinite nor a usable ceiling).
+        let nine = ClusterSet::akamai_like_nine();
+        let mut caps = vec![1000.0; nine.len()];
+        caps[3] = 0.0;
+        let by_hub = HubBandwidthCaps::from_cluster_caps(&nine, &caps).scaled(f64::INFINITY);
+        assert!(by_hub.entries().iter().all(|&(_, c)| c.is_infinite()));
+        let relaxed = by_hub.apply(&nine, &ConstraintSet::unconstrained());
+        assert!(!relaxed.is_bandwidth_constrained());
+    }
+
+    #[test]
+    fn hub_caps_apply_keeps_the_rest_of_the_base_set() {
+        let nine = ClusterSet::akamai_like_nine();
+        let caps = vec![700.0; 9];
+        let by_hub = HubBandwidthCaps::from_cluster_caps(&nine, &caps);
+        let base = ConstraintSet::unconstrained().with_overflow(OverflowMode::Reject);
+        let derived = by_hub.apply(&nine, &base);
+        assert_eq!(derived.overflow(), OverflowMode::Reject);
+        assert_eq!(derived.bandwidth_caps(), Some(&caps[..]));
+
+        // All-infinite resolutions leave the set relaxed rather than
+        // carrying a vector of infinities.
+        let foreign = HubBandwidthCaps::new(vec![]);
+        let relaxed = foreign.apply(&nine, &base);
+        assert!(!relaxed.is_bandwidth_constrained());
+        assert_eq!(relaxed.overflow(), OverflowMode::Reject);
+    }
+}

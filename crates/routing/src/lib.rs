@@ -6,8 +6,13 @@
 //! * [`allocation`] — the per-step assignment of client-state demand to
 //!   clusters, plus distance accounting;
 //! * [`policy`] — the [`policy::RoutingPolicy`] trait, the per-step
-//!   [`policy::RoutingContext`] (demand, prices, capacity and 95/5
-//!   constraints), and the shared greedy assignment engine;
+//!   [`policy::RoutingContext`] (demand, prices, and the constraint set in
+//!   force), and the shared greedy assignment engine;
+//! * [`constraints`] — the unified [`constraints::ConstraintSet`]
+//!   (capacity ceilings, 95/5 bandwidth caps, overflow mode) that
+//!   simulations own and routing contexts borrow, plus the hub-keyed
+//!   [`constraints::HubBandwidthCaps`] used to carry one calibration
+//!   across deployments;
 //! * [`baseline`] — the comparison policies: nearest-cluster
 //!   (distance-optimal), an Akamai-like baseline allocation, and the static
 //!   cheapest-hub placement of §6.3;
@@ -41,6 +46,7 @@
 
 pub mod allocation;
 pub mod baseline;
+pub mod constraints;
 pub mod extensions;
 pub mod policy;
 pub mod price_conscious;
@@ -49,6 +55,7 @@ pub mod price_conscious;
 pub mod prelude {
     pub use crate::allocation::Allocation;
     pub use crate::baseline::{AkamaiLikePolicy, NearestClusterPolicy, StaticCheapestPolicy};
+    pub use crate::constraints::{ConstraintSet, HubBandwidthCaps, OverflowMode};
     pub use crate::extensions::{CarbonAwarePolicy, JointCostPolicy};
     pub use crate::policy::{RoutingContext, RoutingPolicy};
     pub use crate::price_conscious::{CompiledPreferences, PriceConsciousPolicy};

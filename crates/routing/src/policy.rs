@@ -9,7 +9,9 @@
 //! [`assign_by_preference`].
 
 use crate::allocation::Allocation;
+use crate::constraints::ConstraintSet;
 use crate::price_conscious::CompiledPreferences;
+use std::borrow::Cow;
 use std::sync::Arc;
 use wattroute_geo::UsState;
 use wattroute_market::time::SimHour;
@@ -29,17 +31,17 @@ pub struct RoutingContext<'a> {
     pub prices: &'a [f64],
     /// The hour this step belongs to.
     pub hour: SimHour,
-    /// Hard per-cluster request-capacity ceilings in hits/second. Defaults
-    /// to each cluster's nominal capacity.
-    pub capacity_caps: Vec<f64>,
-    /// Optional per-cluster 95/5 bandwidth ceilings in hits/second
-    /// (`None` = bandwidth unconstrained). The paper derives these from the
-    /// baseline allocation's observed 95th percentiles (§6.1).
-    pub bandwidth_caps: Option<Vec<f64>>,
+    /// The constraints in force: capacity ceilings, 95/5 bandwidth caps,
+    /// overflow mode. Usually a *borrow* of the run's one
+    /// [`ConstraintSet`] — the simulator builds a context per
+    /// reallocation, so an owned cap vector here would be a per-step
+    /// allocation on the hot path (it used to be).
+    pub constraints: Cow<'a, ConstraintSet>,
 }
 
 impl<'a> RoutingContext<'a> {
-    /// Build a context with default capacity ceilings and no bandwidth caps.
+    /// Build an unconstrained context (nominal capacities, no bandwidth
+    /// caps). Allocates nothing.
     pub fn new(
         clusters: &'a ClusterSet,
         states: &'a [UsState],
@@ -49,25 +51,40 @@ impl<'a> RoutingContext<'a> {
     ) -> Self {
         assert_eq!(states.len(), demand.len(), "state/demand length mismatch");
         assert_eq!(clusters.len(), prices.len(), "cluster/price length mismatch");
-        let capacity_caps = clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).collect();
-        Self { clusters, states, demand, prices, hour, capacity_caps, bandwidth_caps: None }
+        Self {
+            clusters,
+            states,
+            demand,
+            prices,
+            hour,
+            constraints: Cow::Owned(ConstraintSet::unconstrained()),
+        }
     }
 
-    /// Attach 95/5 bandwidth ceilings (hits/second per cluster).
-    pub fn with_bandwidth_caps(mut self, caps: Vec<f64>) -> Self {
-        assert_eq!(caps.len(), self.clusters.len(), "bandwidth cap length mismatch");
-        self.bandwidth_caps = Some(caps);
+    /// Borrow a caller-owned constraint set (the simulator's per-run set).
+    /// No vectors are cloned, however many contexts are built from it.
+    pub fn with_constraints(mut self, constraints: &'a ConstraintSet) -> Self {
+        constraints.validate(self.clusters.len());
+        self.constraints = Cow::Borrowed(constraints);
         self
     }
 
-    /// The effective ceiling for a cluster: the minimum of its capacity cap
-    /// and (if present) its bandwidth cap.
+    /// Attach 95/5 bandwidth ceilings (hits/second per cluster) to an
+    /// owned constraint set — the convenient form for tests and one-off
+    /// contexts; long-running callers should [`Self::with_constraints`] a
+    /// borrowed set instead.
+    pub fn with_bandwidth_caps(mut self, caps: Vec<f64>) -> Self {
+        assert_eq!(caps.len(), self.clusters.len(), "bandwidth cap length mismatch");
+        self.constraints = Cow::Owned(self.constraints.into_owned().with_bandwidth_caps(caps));
+        self
+    }
+
+    /// The effective ceiling for a cluster: the minimum of its capacity
+    /// (nominal, or the constraint set's explicit ceiling) and, when 95/5
+    /// caps are in force, its bandwidth cap.
     pub fn effective_cap(&self, cluster: usize) -> f64 {
-        let cap = self.capacity_caps[cluster];
-        match &self.bandwidth_caps {
-            Some(bw) => cap.min(bw[cluster]),
-            None => cap,
-        }
+        let nominal = self.clusters.get(cluster).expect("index in range").capacity_hits_per_sec();
+        self.constraints.effective_cap(cluster, nominal)
     }
 
     /// Total demand offered this step.

@@ -6,6 +6,8 @@
 use proptest::prelude::*;
 use wattroute_geo::UsState;
 use wattroute_market::time::SimHour;
+use wattroute_routing::baseline::{NearestClusterPolicy, StaticCheapestPolicy};
+use wattroute_routing::constraints::{ConstraintSet, OverflowMode};
 use wattroute_routing::policy::{RoutingContext, RoutingPolicy};
 use wattroute_routing::price_conscious::PriceConsciousPolicy;
 use wattroute_workload::ClusterSet;
@@ -108,6 +110,67 @@ proptest! {
                 "cluster {c} exceeds its effective (capacity ∧ 95/5) ceiling: {load} > {}",
                 effective[c]
             );
+        }
+    }
+
+    #[test]
+    fn any_derived_constraint_set_is_respected_by_every_policy(
+        weights in demand_weights(),
+        price_vec in prices(),
+        threshold in 0.0f64..6000.0,
+        ceiling_fracs in prop::collection::vec(0.5f64..1.5, N_CLUSTERS..N_CLUSTERS + 1),
+        cap_fracs in prop::collection::vec(0.3f64..1.2, N_CLUSTERS..N_CLUSTERS + 1),
+        overflow in prop::sample::select(
+            vec![OverflowMode::BillAtCapacity, OverflowMode::Reject]
+        ),
+        fill in 0.05f64..0.9,
+    ) {
+        // A ConstraintSet of the general shape a calibration pass derives:
+        // explicit capacity ceilings (possibly above nominal — routing
+        // still clamps at nominal capacity), 95/5 bandwidth caps, and
+        // either overflow mode. No feasible allocation may ever exceed any
+        // cluster's effective (capacity ∧ ceiling ∧ bandwidth) cap, for
+        // the baseline policies and the price-conscious optimizer alike.
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = states();
+        let nominal: Vec<f64> =
+            clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).collect();
+        let ceilings: Vec<f64> =
+            nominal.iter().zip(&ceiling_fracs).map(|(n, f)| n * f).collect();
+        let bw_caps: Vec<f64> = nominal.iter().zip(&cap_fracs).map(|(n, f)| n * f).collect();
+        let set = ConstraintSet::unconstrained()
+            .with_capacity_ceilings(ceilings.clone())
+            .with_bandwidth_caps(bw_caps.clone())
+            .with_overflow(overflow);
+
+        let effective: Vec<f64> = (0..N_CLUSTERS)
+            .map(|c| set.effective_cap(c, nominal[c]))
+            .collect();
+        let demand = scale_demand(&weights, effective.iter().sum(), fill);
+        let ctx = RoutingContext::new(&clusters, &states, &demand, &price_vec, SimHour(0))
+            .with_constraints(&set);
+
+        let mean_prices = price_vec.clone();
+        let mut policies: Vec<Box<dyn RoutingPolicy>> = vec![
+            Box::new(NearestClusterPolicy::new()),
+            Box::new(StaticCheapestPolicy::new(mean_prices)),
+            Box::new(PriceConsciousPolicy::with_distance_threshold(threshold)),
+        ];
+        for policy in &mut policies {
+            let allocation = policy.allocate(&ctx);
+            prop_assert!(
+                allocation.serves_demand(&demand, 1e-6),
+                "{}: feasible demand must be fully served",
+                policy.name()
+            );
+            for (c, load) in allocation.cluster_loads().iter().enumerate() {
+                prop_assert!(
+                    *load <= effective[c] * (1.0 + 1e-9) + 1e-6,
+                    "{}: cluster {c} exceeds its effective cap: {load} > {} (overflow {overflow:?})",
+                    policy.name(),
+                    effective[c]
+                );
+            }
         }
     }
 
