@@ -83,9 +83,10 @@ fn bench_grid(c: &mut Criterion) {
                 .iter()
                 .map(|&d| {
                     let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
-                    scenario.run_with_config(
+                    scenario.execute(
                         &mut policy,
-                        scenario.config.clone().with_reaction_delay(d),
+                        RunOptions::new()
+                            .with_config(scenario.config.clone().with_reaction_delay(d)),
                     )
                 })
                 .collect::<Vec<_>>()
@@ -104,7 +105,7 @@ fn bench_grid(c: &mut Criterion) {
                     || PriceConsciousPolicy::with_distance_threshold(1500.0),
                 );
             }
-            sweep.run()
+            sweep.execute(RunOptions::new())
         });
     });
 

@@ -25,7 +25,7 @@ fn bench_sweep(c: &mut Criterion) {
                 .iter()
                 .map(|&t| {
                     let mut policy = PriceConsciousPolicy::with_distance_threshold(t);
-                    scenario.run(&mut policy)
+                    scenario.execute(&mut policy, RunOptions::new())
                 })
                 .collect::<Vec<_>>()
         });
@@ -40,7 +40,7 @@ fn bench_sweep(c: &mut Criterion) {
                     PriceConsciousPolicy::with_distance_threshold(t)
                 });
             }
-            sweep.run()
+            sweep.execute(RunOptions::new())
         });
     });
 

@@ -16,7 +16,7 @@ fn bench_simulation(c: &mut Criterion) {
             Scenario::custom_window(1, week).with_energy(EnergyModelParams::optimistic_future());
         b.iter(|| {
             let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
-            scenario.run(&mut policy)
+            scenario.execute(&mut policy, RunOptions::new())
         });
     });
 
@@ -37,7 +37,7 @@ fn bench_simulation(c: &mut Criterion) {
         let config = calibrated.constrained_config(&scenario.config, 1.0);
         b.iter(|| {
             let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
-            scenario.run_with_config(&mut policy, config.clone())
+            scenario.execute(&mut policy, RunOptions::new().with_config(config.clone()))
         });
     });
 
@@ -48,7 +48,7 @@ fn bench_simulation(c: &mut Criterion) {
             Scenario::synthetic_over(1, month).with_energy(EnergyModelParams::optimistic_future());
         b.iter(|| {
             let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
-            scenario.run(&mut policy)
+            scenario.execute(&mut policy, RunOptions::new())
         });
     });
 

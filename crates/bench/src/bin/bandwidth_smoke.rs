@@ -72,7 +72,7 @@ fn smoke_report() -> SweepReport {
         }),
         || PriceConsciousPolicy::with_distance_threshold(THRESHOLD_KM),
     );
-    sweep.run()
+    sweep.execute(RunOptions::new())
 }
 
 fn golden_path() -> std::path::PathBuf {

@@ -1,6 +1,7 @@
 //! Figure 18: normalized long-horizon (39-month) cost vs distance threshold,
 //! including the static cheapest-hub placement.
 
+use wattroute::run::RunOptions;
 use wattroute_bench::{
     banner, distance_threshold_sweep, fmt, print_table, scenario_long, standard_thresholds,
 };
@@ -17,7 +18,7 @@ fn main() {
 
     // The static comparison: move everything to the cheapest market.
     let mut static_policy = scenario.static_cheapest_policy();
-    let static_report = scenario.run(&mut static_policy);
+    let static_report = scenario.execute(&mut static_policy, RunOptions::new());
     let static_norm = static_report.normalized_cost_vs(&baseline);
 
     let rows = distance_threshold_sweep(&scenario, &baseline, &caps, &standard_thresholds());

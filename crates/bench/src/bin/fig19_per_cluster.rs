@@ -5,6 +5,7 @@
 //! [`ScenarioSweep`] grid sharing a single compiled billing matrix and
 //! ranked preference geometry.
 
+use wattroute::run::RunOptions;
 use wattroute::sweep::ScenarioSweep;
 use wattroute_bench::{banner, fmt, print_table, scenario_long};
 use wattroute_energy::model::EnergyModelParams;
@@ -25,7 +26,7 @@ fn main() {
             move || PriceConsciousPolicy::with_distance_threshold(t),
         );
     }
-    let report = sweep.run();
+    let report = sweep.execute(RunOptions::new());
     let per_threshold: Vec<_> = (0..thresholds.len())
         .map(|i| {
             report

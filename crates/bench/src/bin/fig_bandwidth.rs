@@ -61,8 +61,10 @@ fn main() {
     }
     // The ∞ point *is* the unconstrained run — identical report, not just
     // close.
-    let unconstrained =
-        scenario.run(&mut PriceConsciousPolicy::with_distance_threshold(THRESHOLD_KM));
+    let unconstrained = scenario.execute(
+        &mut PriceConsciousPolicy::with_distance_threshold(THRESHOLD_KM),
+        RunOptions::new(),
+    );
     assert_eq!(
         rows.last().expect("at least one multiplier").report,
         unconstrained,

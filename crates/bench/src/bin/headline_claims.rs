@@ -1,6 +1,7 @@
 //! The paper's headline quantitative claims (§1 "Results", §6.2, §6.3),
 //! measured on the reproduction.
 
+use wattroute::run::RunOptions;
 use wattroute_bench::{banner, fmt, print_table, scenario_24_day, scenario_long};
 use wattroute_energy::model::EnergyModelParams;
 use wattroute_routing::prelude::*;
@@ -23,9 +24,10 @@ fn main() {
     let long = scenario_long().with_energy(EnergyModelParams::optimistic_future());
     let baseline = long.baseline_report();
     let mut unconstrained = PriceConsciousPolicy::unconstrained_distance();
-    let dynamic = long.run(&mut unconstrained).savings_percent_vs(&baseline);
+    let dynamic = long.execute(&mut unconstrained, RunOptions::new()).savings_percent_vs(&baseline);
     let mut static_policy = long.static_cheapest_policy();
-    let static_savings = long.run(&mut static_policy).savings_percent_vs(&baseline);
+    let static_savings =
+        long.execute(&mut static_policy, RunOptions::new()).savings_percent_vs(&baseline);
 
     print_table(
         &["claim", "paper", "measured"],

@@ -1,0 +1,136 @@
+//! `routed` — the live router daemon over the incremental tick engine.
+//!
+//! Two subcommands:
+//!
+//! * `routed serve --socket PATH [--hours N] [--seed N] [--step-ms M]
+//!   [--policy pc|baseline] [--linger]` — replay a synthetic scenario in
+//!   accelerated wall-clock time, serving `route?` / `stats` / `snapshot` /
+//!   `shutdown` queries over the Unix socket (newline-delimited JSON; see
+//!   `docs/daemon.md`). On shutdown, prints the final flushed
+//!   [`SimulationReport`] as one JSON
+//!   line on stdout — bit-identical to the batch run of the same scenario.
+//!
+//! * `routed query --socket PATH <REQUEST_JSON>` — send one request line,
+//!   print the reply line. Exits non-zero if the reply carries
+//!   `"ok": false`, so CI can assert on query success directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+use wattroute::json::JsonValue;
+use wattroute::prelude::*;
+use wattroute_bench::daemon::{serve, DaemonClient, DaemonOptions};
+use wattroute_market::time::{HourRange, SimHour};
+use wattroute_routing::policy::RoutingPolicy;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => run_serve(&args[1..]),
+        Some("query") => run_query(&args[1..]),
+        _ => {
+            eprintln!("usage: routed serve --socket PATH [--hours N] [--seed N] [--step-ms M] [--policy pc|baseline] [--linger]");
+            eprintln!("       routed query --socket PATH <REQUEST_JSON>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Pull the value following a `--flag` out of the argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn run_serve(args: &[String]) -> ExitCode {
+    let Some(socket) = flag_value(args, "--socket") else {
+        eprintln!("routed serve: --socket PATH is required");
+        return ExitCode::from(2);
+    };
+    let hours: u64 = flag_value(args, "--hours").map_or(48, |v| v.parse().expect("--hours N"));
+    let seed: u64 = flag_value(args, "--seed").map_or(42, |v| v.parse().expect("--seed N"));
+    let step_ms: u64 = flag_value(args, "--step-ms").map_or(0, |v| v.parse().expect("--step-ms M"));
+    let linger = args.iter().any(|a| a == "--linger");
+
+    let start = SimHour::from_date(2008, 12, 19);
+    let scenario = Scenario::custom_window(seed, HourRange::new(start, start.plus_hours(hours)));
+    let mut policy: Box<dyn RoutingPolicy> = match flag_value(args, "--policy").unwrap_or("pc") {
+        "baseline" => Box::new(AkamaiLikePolicy::default()),
+        "pc" => Box::new(PriceConsciousPolicy::with_distance_threshold(1500.0)),
+        other => {
+            eprintln!("routed serve: unknown --policy '{other}' (expected pc|baseline)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let options = DaemonOptions {
+        socket_path: PathBuf::from(socket),
+        step_wait: Duration::from_millis(step_ms),
+        linger,
+    };
+    eprintln!(
+        "routed: serving {hours}h trace (seed {seed}) on {socket}, {step_ms}ms/step{}",
+        if linger { ", lingering until shutdown" } else { "" }
+    );
+    match serve(&scenario, policy.as_mut(), &options) {
+        Ok(report) => {
+            println!("{}", report.to_json_value());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("routed: serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_query(args: &[String]) -> ExitCode {
+    let Some(socket) = flag_value(args, "--socket") else {
+        eprintln!("routed query: --socket PATH is required");
+        return ExitCode::from(2);
+    };
+    // The request is the one positional argument: skip every --flag and
+    // the value that follows it.
+    let mut request_text = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += 2;
+        } else {
+            request_text = Some(args[i].as_str());
+            i += 1;
+        }
+    }
+    let Some(request_text) = request_text else {
+        eprintln!("routed query: a REQUEST_JSON argument is required");
+        return ExitCode::from(2);
+    };
+    let request = match JsonValue::parse(request_text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("routed query: request is not valid JSON: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut client =
+        match DaemonClient::connect(std::path::Path::new(socket), Duration::from_secs(10)) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("routed query: cannot connect to {socket}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    match client.request(&request) {
+        Ok(reply) => {
+            println!("{reply}");
+            if reply.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("routed query: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

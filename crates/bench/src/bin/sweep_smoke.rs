@@ -85,7 +85,7 @@ fn smoke_report() -> SweepReport {
     sweep.add_point_on(east_id, "east:relaxed", scenario.config.clone(), || {
         PriceConsciousPolicy::with_distance_threshold(1100.0)
     });
-    sweep.run()
+    sweep.execute(RunOptions::new())
 }
 
 fn golden_path() -> std::path::PathBuf {

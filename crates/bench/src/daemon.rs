@@ -1,0 +1,338 @@
+//! A long-running router daemon over the incremental tick engine.
+//!
+//! [`serve`] replays a [`Scenario`]'s trace through a
+//! [`SimulationEngine`] in accelerated wall-clock time — one 5-minute
+//! simulation step per [`DaemonOptions::step_wait`] — while answering
+//! queries over a Unix-domain socket. Prices are not read from a compiled
+//! table: each simulated hour's row is ingested into a bounded
+//! [`PriceFeed`], exactly as a live deployment would learn market prices,
+//! and the engine routes on the feed's delayed view. Fed the same history,
+//! the daemon's final report is bit-identical to a batch
+//! [`Scenario::execute`] run (pinned by `tests/daemon_smoke.rs`).
+//!
+//! # Wire protocol
+//!
+//! Newline-delimited JSON, one request object per line, one reply object
+//! per line (see `docs/daemon.md` for the full schema):
+//!
+//! | request | reply |
+//! |---|---|
+//! | `{"cmd":"route?","state":"MA"}` | the current per-cluster allocation for that state |
+//! | `{"cmd":"stats"}` | the mid-run [`SimulationReport`] |
+//! | `{"cmd":"snapshot"}` | a lossless [`EngineSnapshot`] of the router state |
+//! | `{"cmd":"shutdown"}` | acknowledges, then the daemon flushes its final report and exits |
+//!
+//! Every reply carries `"ok": true` or `"ok": false` plus an `"error"`
+//! string; a malformed request line gets an error reply rather than a
+//! dropped connection.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use wattroute::engine::{DemandSlice, PriceSlice, SimulationEngine};
+use wattroute::json::{self, JsonValue};
+use wattroute::prelude::*;
+use wattroute::report::SimulationReport;
+use wattroute_geo::UsState;
+use wattroute_market::feed::PriceFeed;
+use wattroute_routing::policy::RoutingPolicy;
+
+/// How [`serve`] paces and terminates the replay loop.
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Where to bind the Unix-domain socket. Created on start, removed on
+    /// shutdown; serving fails if the path is already bound.
+    pub socket_path: PathBuf,
+    /// Wall-clock pause per 5-minute simulation step — the replay
+    /// acceleration knob. `Duration::ZERO` free-runs the trace (useful for
+    /// bit-identity tests); 20ms replays a day of trace in ~5.8 seconds.
+    pub step_wait: Duration,
+    /// After the trace is exhausted, keep serving queries until a
+    /// `shutdown` command arrives (`true`), or flush the final report and
+    /// exit immediately (`false`).
+    pub linger: bool,
+}
+
+impl DaemonOptions {
+    /// Free-running, non-lingering options for a socket path — the
+    /// configuration batch-equivalence tests use.
+    pub fn free_run(socket_path: impl Into<PathBuf>) -> Self {
+        Self { socket_path: socket_path.into(), step_wait: Duration::ZERO, linger: false }
+    }
+}
+
+/// Replay `scenario` through a tick engine, serving queries on a Unix
+/// socket, until the trace ends (and, with [`DaemonOptions::linger`], a
+/// `shutdown` command arrives). Returns the final flushed
+/// [`SimulationReport`] — bit-identical to the batch run of the same
+/// scenario and policy.
+///
+/// # Errors
+/// Returns any socket bind/IO error. Query-connection errors are per
+/// connection and never abort the daemon.
+pub fn serve(
+    scenario: &Scenario,
+    policy: &mut dyn RoutingPolicy,
+    options: &DaemonOptions,
+) -> io::Result<SimulationReport> {
+    let listener = UnixListener::bind(&options.socket_path)?;
+    listener.set_nonblocking(true)?;
+
+    let hubs = scenario.clusters.hub_ids();
+    let series: Vec<_> = hubs
+        .iter()
+        .map(|hub| scenario.prices.for_hub(*hub).expect("scenario covers every cluster hub"))
+        .collect();
+    let mut feed = PriceFeed::new(hubs, scenario.config.reaction_delay_hours);
+
+    let engine = Mutex::new(SimulationEngine::new(
+        &scenario.clusters,
+        &scenario.trace.states,
+        scenario.config.clone(),
+    ));
+    let shutdown = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| accept_loop(&listener, &engine, &shutdown));
+
+        let mut row = Vec::with_capacity(series.len());
+        for (i, step) in scenario.trace.steps().iter().enumerate() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let hour = scenario.trace.step_hour(i);
+            if feed.current_hour() != Some(hour) {
+                row.clear();
+                row.extend(
+                    series.iter().map(|s| s.price_at(hour).expect("series covers the trace")),
+                );
+                feed.ingest(hour, &row).expect("trace hours are contiguous");
+            }
+            {
+                let mut engine = engine.lock().expect("engine lock");
+                engine.set_clamped_lead_hours(feed.clamped_lead_hours());
+                engine.tick(
+                    policy,
+                    PriceSlice::new(
+                        hour,
+                        feed.delayed().expect("ingested above"),
+                        feed.billing().expect("ingested above"),
+                    ),
+                    DemandSlice::new(&step.us_demand),
+                );
+            }
+            if !options.step_wait.is_zero() {
+                std::thread::sleep(options.step_wait);
+            }
+        }
+        if options.linger {
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        } else {
+            shutdown.store(true, Ordering::SeqCst);
+        }
+    });
+
+    let report = engine.into_inner().expect("all threads joined").report();
+    let _ = std::fs::remove_file(&options.socket_path);
+    Ok(report)
+}
+
+/// Accept connections until shutdown, answering each request line against
+/// the shared engine.
+fn accept_loop(
+    listener: &UnixListener,
+    engine: &Mutex<SimulationEngine<'_>>,
+    shutdown: &AtomicBool,
+) {
+    std::thread::scope(|scope| loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // A slow client must not wedge the daemon: each connection
+                // gets its own thread, and bounded reads let every thread
+                // re-check the shutdown flag.
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                scope.spawn(move || {
+                    let _ = handle_connection(stream, engine, shutdown);
+                });
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    });
+}
+
+/// Serve one connection: a sequence of newline-delimited request objects,
+/// answered in order, until EOF or shutdown.
+fn handle_connection(
+    stream: UnixStream,
+    engine: &Mutex<SimulationEngine<'_>>,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {
+                let reply = handle_request(line.trim(), engine, shutdown);
+                writer.write_all(reply.to_string().as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Answer one request line. Always produces a reply object; never panics
+/// on malformed input.
+fn handle_request(
+    line: &str,
+    engine: &Mutex<SimulationEngine<'_>>,
+    shutdown: &AtomicBool,
+) -> JsonValue {
+    if line.is_empty() {
+        return error_reply("empty request line");
+    }
+    let request = match JsonValue::parse(line) {
+        Ok(v) => v,
+        Err(e) => return error_reply(&format!("malformed request: {e}")),
+    };
+    let Some(cmd) = request.get("cmd").and_then(JsonValue::as_str) else {
+        return error_reply("request has no string 'cmd' field");
+    };
+    match cmd {
+        "route?" => {
+            let Some(code) = request.get("state").and_then(JsonValue::as_str) else {
+                return error_reply("route? needs a 'state' field (two-letter postal code)");
+            };
+            let Some(state) = UsState::from_abbreviation(code) else {
+                return error_reply(&format!("unknown state '{code}'"));
+            };
+            let engine = engine.lock().expect("engine lock");
+            route_reply(&engine, state, code)
+        }
+        "stats" => {
+            let engine = engine.lock().expect("engine lock");
+            json::object([
+                ("ok", JsonValue::Bool(true)),
+                ("steps", JsonValue::Number(engine.steps() as f64)),
+                ("report", engine.report().to_json_value()),
+            ])
+        }
+        "snapshot" => {
+            let engine = engine.lock().expect("engine lock");
+            json::object([
+                ("ok", JsonValue::Bool(true)),
+                ("steps", JsonValue::Number(engine.steps() as f64)),
+                ("snapshot", engine.snapshot().to_json_value()),
+            ])
+        }
+        "shutdown" => {
+            shutdown.store(true, Ordering::SeqCst);
+            json::object([("ok", JsonValue::Bool(true)), ("shutting_down", JsonValue::Bool(true))])
+        }
+        other => error_reply(&format!("unknown command '{other}'")),
+    }
+}
+
+/// The `route?` reply: where the allocation in force sends one state's
+/// demand, as hits/second per cluster label.
+fn route_reply(engine: &SimulationEngine<'_>, state: UsState, code: &str) -> JsonValue {
+    let Some(allocation) = engine.current_allocation() else {
+        return error_reply("no allocation yet (no tick has run)");
+    };
+    let Some(s) = engine.states().iter().position(|x| *x == state) else {
+        return error_reply(&format!("state '{code}' is not in this scenario's client set"));
+    };
+    let hour = engine.last_allocation_hour().expect("allocation implies an hour");
+    let per_cluster = json::object_iter(
+        engine
+            .clusters()
+            .clusters()
+            .iter()
+            .zip(allocation.matrix())
+            .map(|(cluster, row)| (cluster.label.as_str(), JsonValue::Number(row[s]))),
+    );
+    json::object([
+        ("ok", JsonValue::Bool(true)),
+        ("state", JsonValue::String(code.to_uppercase())),
+        ("hour", JsonValue::Number(hour.0 as f64)),
+        ("hits_per_sec", per_cluster),
+    ])
+}
+
+fn error_reply(message: &str) -> JsonValue {
+    json::object([
+        ("ok", JsonValue::Bool(false)),
+        ("error", JsonValue::String(message.to_string())),
+    ])
+}
+
+/// A minimal blocking client for the daemon's wire protocol — used by the
+/// `routed query` subcommand and the smoke tests.
+#[derive(Debug)]
+pub struct DaemonClient {
+    stream: BufReader<UnixStream>,
+}
+
+impl DaemonClient {
+    /// Connect to a daemon socket, retrying for up to `timeout` while the
+    /// daemon starts up.
+    pub fn connect(socket_path: &std::path::Path, timeout: Duration) -> io::Result<Self> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match UnixStream::connect(socket_path) {
+                Ok(stream) => return Ok(Self { stream: BufReader::new(stream) }),
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// Send one request line and read the reply line.
+    pub fn request(&mut self, request: &JsonValue) -> io::Result<JsonValue> {
+        let inner = self.stream.get_mut();
+        inner.write_all(request.to_string().as_bytes())?;
+        inner.write_all(b"\n")?;
+        inner.flush()?;
+        let mut reply = String::new();
+        self.stream.read_line(&mut reply)?;
+        JsonValue::parse(reply.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad reply: {e}")))
+    }
+
+    /// Convenience: send a bare `{"cmd": ...}` request.
+    pub fn command(&mut self, cmd: &str) -> io::Result<JsonValue> {
+        self.request(&json::object([("cmd", JsonValue::String(cmd.to_string()))]))
+    }
+}

@@ -17,6 +17,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod daemon;
+
 use wattroute::prelude::*;
 use wattroute::report::SimulationReport;
 use wattroute_energy::model::EnergyModelParams;
@@ -139,7 +141,7 @@ pub fn elasticity_savings_sweep(
             AkamaiLikePolicy::default,
         );
     }
-    let baselines = baselines.run();
+    let baselines = baselines.execute(RunOptions::new());
 
     let mut grid = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
     for (i, (_, params)) in models.iter().enumerate() {
@@ -153,7 +155,7 @@ pub fn elasticity_savings_sweep(
             PriceConsciousPolicy::with_distance_threshold(distance_threshold_km)
         });
     }
-    let grid = grid.run();
+    let grid = grid.execute(RunOptions::new());
 
     // Both sweeps return one run per point in grid order, so rows pair up
     // by index.
@@ -212,7 +214,7 @@ pub fn distance_threshold_sweep(
             move || PriceConsciousPolicy::with_distance_threshold(threshold_km),
         );
     }
-    let report = sweep.run();
+    let report = sweep.execute(RunOptions::new());
     thresholds_km
         .iter()
         .enumerate()
@@ -330,7 +332,7 @@ pub fn reaction_delay_sweep(
             move || PriceConsciousPolicy::with_distance_threshold(distance_threshold_km),
         );
     }
-    let report = sweep.run();
+    let report = sweep.execute(RunOptions::new());
     let reference = report.get("reference").expect("reference ran");
     delays_hours
         .iter()
@@ -388,7 +390,7 @@ pub fn bandwidth_slack_sweep(
         }),
         move || PriceConsciousPolicy::with_distance_threshold(distance_threshold_km),
     );
-    let grid = sweep.run();
+    let grid = sweep.execute(RunOptions::new());
     multipliers
         .iter()
         .enumerate()

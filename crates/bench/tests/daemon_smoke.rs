@@ -1,0 +1,156 @@
+//! In-process smoke and batch-equivalence tests for the `routed` daemon.
+//!
+//! The daemon replays a trace through the incremental tick engine while
+//! serving queries over a Unix socket; these tests pin (a) the wire
+//! protocol — `route?`, `stats`, `snapshot`, `shutdown`, and error replies —
+//! and (b) the headline guarantee that a free-running daemon's final
+//! report is bit-identical to the batch `Scenario::execute` run of the
+//! same scenario and policy.
+
+use std::path::PathBuf;
+use std::time::Duration;
+use wattroute::engine::EngineSnapshot;
+use wattroute::json::{self, JsonValue};
+use wattroute::prelude::*;
+use wattroute::report::SimulationReport;
+use wattroute_bench::daemon::{serve, DaemonClient, DaemonOptions};
+use wattroute_market::time::{HourRange, SimHour};
+
+fn short_scenario(hours: u64) -> Scenario {
+    let start = SimHour::from_date(2008, 12, 19);
+    Scenario::custom_window(42, HourRange::new(start, start.plus_hours(hours)))
+}
+
+/// A unique, short socket path (Unix socket paths have a ~100-byte limit,
+/// so always anchor in the system temp dir).
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("wr_{tag}_{}.sock", std::process::id()))
+}
+
+#[test]
+fn free_running_daemon_matches_the_batch_run_bit_for_bit() {
+    let scenario = short_scenario(48);
+    let path = socket_path("eq");
+    let _ = std::fs::remove_file(&path);
+
+    let mut daemon_policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+    let daemon_report =
+        serve(&scenario, &mut daemon_policy, &DaemonOptions::free_run(&path)).expect("serve");
+
+    let mut batch_policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+    let batch_report = scenario.execute(&mut batch_policy, RunOptions::new());
+
+    assert_eq!(
+        daemon_report, batch_report,
+        "a free-running daemon must reproduce the batch run exactly"
+    );
+    // And byte-identically through the JSON encoding.
+    assert_eq!(daemon_report.to_json_value().to_string(), batch_report.to_json_value().to_string());
+    assert!(!path.exists(), "the daemon must remove its socket on shutdown");
+}
+
+#[test]
+fn wire_protocol_answers_all_commands_mid_run() {
+    let scenario = short_scenario(24);
+    let path = socket_path("wire");
+    let _ = std::fs::remove_file(&path);
+
+    let options = DaemonOptions {
+        socket_path: path.clone(),
+        // Slow enough that queries land mid-trace: 24h × 12 steps × 3ms ≈ 0.9s.
+        step_wait: Duration::from_millis(3),
+        linger: true,
+    };
+    let scenario_ref = &scenario;
+    let final_report = std::thread::scope(|scope| {
+        let server = scope.spawn(move || {
+            let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+            serve(scenario_ref, &mut policy, &options).expect("serve")
+        });
+
+        let mut client = DaemonClient::connect(&path, Duration::from_secs(10)).expect("connect");
+
+        // stats: a mid-run report that parses as a SimulationReport.
+        let stats = client.command("stats").expect("stats");
+        assert_eq!(stats.get("ok").and_then(JsonValue::as_bool), Some(true));
+        let report = SimulationReport::from_json_value(stats.get("report").expect("report field"))
+            .expect("mid-run report decodes");
+        assert_eq!(report.policy, "price-conscious");
+
+        // route?: the current allocation routes Massachusetts somewhere.
+        let route = client
+            .request(&json::object([
+                ("cmd", JsonValue::String("route?".into())),
+                ("state", JsonValue::String("ma".into())),
+            ]))
+            .expect("route?");
+        assert_eq!(route.get("ok").and_then(JsonValue::as_bool), Some(true), "{route}");
+        assert_eq!(route.get("state").and_then(JsonValue::as_str), Some("MA"));
+        let per_cluster = route.get("hits_per_sec").expect("hits_per_sec");
+        let total: f64 = scenario
+            .clusters
+            .clusters()
+            .iter()
+            .map(|c| per_cluster.get(&c.label).and_then(JsonValue::as_f64).expect("every cluster"))
+            .sum();
+        assert!(total >= 0.0);
+
+        // snapshot: losslessly decodable engine state.
+        let snap = client.command("snapshot").expect("snapshot");
+        assert_eq!(snap.get("ok").and_then(JsonValue::as_bool), Some(true));
+        let snapshot = EngineSnapshot::from_json_value(snap.get("snapshot").expect("snapshot"))
+            .expect("snapshot decodes");
+        assert_eq!(snapshot.policy_name(), Some("price-conscious"));
+
+        // Errors are replies, not dropped connections.
+        let bad = client.command("no-such-command").expect("error reply");
+        assert_eq!(bad.get("ok").and_then(JsonValue::as_bool), Some(false));
+        let malformed = client.request(&JsonValue::String("not an object".into()));
+        assert_eq!(malformed.expect("reply").get("ok").and_then(JsonValue::as_bool), Some(false));
+        let unknown_state = client
+            .request(&json::object([
+                ("cmd", JsonValue::String("route?".into())),
+                ("state", JsonValue::String("ZZ".into())),
+            ]))
+            .expect("reply");
+        assert_eq!(unknown_state.get("ok").and_then(JsonValue::as_bool), Some(false));
+
+        // shutdown: acknowledged, then the daemon flushes its final report.
+        let ack = client.command("shutdown").expect("shutdown");
+        assert_eq!(ack.get("ok").and_then(JsonValue::as_bool), Some(true));
+        server.join().expect("server thread")
+    });
+
+    assert!(final_report.steps > 0, "the daemon accumulated ticks before shutdown");
+    assert_eq!(final_report.policy, "price-conscious");
+    assert!(!path.exists(), "socket removed after shutdown");
+}
+
+#[test]
+fn shutdown_mid_trace_flushes_a_partial_report() {
+    let scenario = short_scenario(24);
+    let path = socket_path("part");
+    let _ = std::fs::remove_file(&path);
+
+    let options = DaemonOptions {
+        socket_path: path.clone(),
+        step_wait: Duration::from_millis(10),
+        linger: false,
+    };
+    let scenario_ref = &scenario;
+    let report = std::thread::scope(|scope| {
+        let server = scope.spawn(move || {
+            let mut policy = AkamaiLikePolicy::default();
+            serve(scenario_ref, &mut policy, &options).expect("serve")
+        });
+        let mut client = DaemonClient::connect(&path, Duration::from_secs(10)).expect("connect");
+        // Give the tick loop a moment, then stop it mid-trace.
+        std::thread::sleep(Duration::from_millis(100));
+        client.command("shutdown").expect("shutdown");
+        server.join().expect("server thread")
+    });
+
+    assert!(report.steps > 0, "some ticks ran");
+    assert!(report.steps < scenario.trace.num_steps(), "shutdown interrupted the trace");
+    assert!(report.total_cost_dollars > 0.0);
+}

@@ -9,8 +9,9 @@
 //! pipeline:
 //!
 //! 1. **calibrate** — replay the baseline policy once, recording every
-//!    cluster's five-minute load series (a [`LoadRecorder`] sink on
-//!    [`Simulation::run_with`]), and derive the per-cluster 95th
+//!    cluster's five-minute load series (a [`LoadRecorder`] sink via
+//!    [`RunOptions::record_loads`](crate::run::RunOptions::record_loads)
+//!    on [`Simulation::execute`]), and derive the per-cluster 95th
 //!    percentiles via
 //!    [`BandwidthProfile::from_cluster_loads`](wattroute_workload::bandwidth::BandwidthProfile::from_cluster_loads);
 //! 2. **constrain** — turn those levels (optionally scaled by a slack
@@ -24,6 +25,7 @@
 //! across deployments for the placement optimizer.
 
 use crate::report::SimulationReport;
+use crate::run::RunOptions;
 use crate::scenario::Scenario;
 use crate::simulation::{LoadRecorder, Simulation, SimulationConfig};
 use wattroute_geo::HubId;
@@ -104,7 +106,7 @@ impl CalibratedScenario {
             &scenario.prices,
             scenario.config.clone(),
         );
-        let baseline = sim.run_with(policy, Some(&mut recorder));
+        let baseline = sim.execute(policy, RunOptions::new().record_loads(&mut recorder));
         let profile = recorder
             .bandwidth_profile()
             .expect("a non-empty trace always yields per-cluster load series");
@@ -237,16 +239,18 @@ mod tests {
         let calibrated = CalibratedScenario::calibrate(&s);
         let mut optimizer = PriceConsciousPolicy::with_distance_threshold(2500.0);
 
-        let follow =
-            s.run_with_config(&mut optimizer, calibrated.constrained_config(&s.config, 1.0));
+        let follow = s.execute(
+            &mut optimizer,
+            RunOptions::new().with_config(calibrated.constrained_config(&s.config, 1.0)),
+        );
         assert!(follow.bandwidth_constrained);
         assert!(follow.respects_p95_caps(calibrated.p95_caps(), 0.05));
 
-        let infinite = s.run_with_config(
+        let infinite = s.execute(
             &mut optimizer,
-            calibrated.constrained_config(&s.config, f64::INFINITY),
+            RunOptions::new().with_config(calibrated.constrained_config(&s.config, f64::INFINITY)),
         );
-        let relaxed = s.run(&mut optimizer);
+        let relaxed = s.execute(&mut optimizer, RunOptions::new());
         assert_eq!(infinite, relaxed, "the ∞ point must reproduce the unconstrained run exactly");
         assert!(
             follow.total_cost_dollars >= relaxed.total_cost_dollars - 1e-6,
@@ -276,7 +280,8 @@ mod tests {
         let config = calibrated
             .constrained_config(&s.config, 1.0)
             .with_bandwidth_tariff(BandwidthTariff::default_cdn());
-        let report = s.run_with_config(&mut s.static_cheapest_policy(), config);
+        let report =
+            s.execute(&mut s.static_cheapest_policy(), RunOptions::new().with_config(config));
         let idle: Vec<_> = report.clusters.iter().filter(|c| c.total_hits == 0.0).collect();
         assert!(!idle.is_empty(), "the concentrating policy must leave idle clusters");
         for cluster in idle {

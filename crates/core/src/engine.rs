@@ -1,0 +1,782 @@
+//! The incremental tick core of the simulator.
+//!
+//! [`SimulationEngine`] owns everything a long-running router needs between
+//! two routing decisions: the deployment, the constraint set, the power
+//! models, and the accumulating report state. One call to
+//! [`SimulationEngine::tick`] advances the engine by a single 5-minute step,
+//! given only that step's view of the world — a [`PriceSlice`] (this hour's
+//! delayed and billing prices) and a [`DemandSlice`] (this step's per-state
+//! demand). The batch [`Simulation`](crate::simulation::Simulation) drivers
+//! replay a whole trace through `tick` and are bit-identical to the
+//! pre-tick-core loop; the `routed` daemon calls it from a wall-clock ingest
+//! loop instead.
+//!
+//! The accumulated router state is a value: [`SimulationEngine::snapshot`]
+//! captures it, [`SimulationEngine::restore`] reinstates it (into the same
+//! engine or a freshly built one over the same deployment), and
+//! [`EngineSnapshot::to_json_value`] round-trips it losslessly over the
+//! daemon's wire protocol. Replaying the remaining steps after a
+//! snapshot/restore yields a report bit-identical to an uninterrupted run —
+//! the property test in `tests/proptest_tick_equivalence.rs` pins this.
+
+use crate::json::{self, JsonValue};
+use crate::report::{
+    cluster_labels, ClusterReport, DistanceHistogram, ReportDecodeError, SimulationReport,
+};
+use crate::simulation::SimulationConfig;
+use wattroute_energy::cost::energy_cost_dollars;
+use wattroute_energy::model::ClusterPowerModel;
+use wattroute_geo::UsState;
+use wattroute_market::time::SimHour;
+use wattroute_routing::allocation::Allocation;
+use wattroute_routing::constraints::OverflowMode;
+use wattroute_routing::policy::{RoutingContext, RoutingPolicy};
+use wattroute_stats::{quantiles, OnlineStats};
+use wattroute_workload::trace::STEP_SECONDS;
+use wattroute_workload::ClusterSet;
+
+/// One hour's prices, as the engine needs them for a tick: what the router
+/// is allowed to *see* (delayed by the reaction lag) and what the market
+/// actually *charges* (the spot price of the hour). Both slices are aligned
+/// with the engine's cluster order.
+#[derive(Debug, Clone, Copy)]
+pub struct PriceSlice<'p> {
+    /// The simulation hour the tick falls in.
+    pub hour: SimHour,
+    /// Router-visible (delayed) price per cluster in $/MWh.
+    pub delayed: &'p [f64],
+    /// Billing (actual spot) price per cluster in $/MWh.
+    pub billing: &'p [f64],
+}
+
+impl<'p> PriceSlice<'p> {
+    /// Bundle one hour's delayed and billing price rows.
+    pub fn new(hour: SimHour, delayed: &'p [f64], billing: &'p [f64]) -> Self {
+        Self { hour, delayed, billing }
+    }
+}
+
+/// One step's demand, aligned with the engine's client-state order.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandSlice<'d> {
+    /// Demand per US state in hits/second.
+    pub demand: &'d [f64],
+}
+
+impl<'d> DemandSlice<'d> {
+    /// Wrap a per-state demand row.
+    pub fn new(demand: &'d [f64]) -> Self {
+        Self { demand }
+    }
+}
+
+/// The complete accumulated router state of a [`SimulationEngine`]: the
+/// step counter, the cached allocation, and every per-cluster accumulator
+/// the final [`SimulationReport`] is assembled from. A snapshot restored
+/// into an engine over the same deployment — including a freshly
+/// constructed one — continues the run exactly where the snapshot was
+/// taken, bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    step: usize,
+    policy_name: Option<String>,
+    cached_allocation: Option<Allocation>,
+    last_alloc_hour: SimHour,
+    clamped_lead_hours: u64,
+    cost: Vec<f64>,
+    energy_wh: Vec<f64>,
+    hits: Vec<f64>,
+    overflow_hits: Vec<f64>,
+    rejected_hits: Vec<f64>,
+    binding_steps: Vec<usize>,
+    load_series: Vec<Vec<f64>>,
+    util_stats: Vec<OnlineStats>,
+    distances: DistanceHistogram,
+}
+
+/// Sentinel for "no allocation cached yet" (matches the batch loop's
+/// initial `last_alloc_hour`).
+const NO_ALLOC_HOUR: SimHour = SimHour(u64::MAX);
+
+impl EngineSnapshot {
+    fn empty(n_clusters: usize) -> Self {
+        Self {
+            step: 0,
+            policy_name: None,
+            cached_allocation: None,
+            last_alloc_hour: NO_ALLOC_HOUR,
+            clamped_lead_hours: 0,
+            cost: vec![0.0; n_clusters],
+            energy_wh: vec![0.0; n_clusters],
+            hits: vec![0.0; n_clusters],
+            overflow_hits: vec![0.0; n_clusters],
+            rejected_hits: vec![0.0; n_clusters],
+            binding_steps: vec![0; n_clusters],
+            load_series: vec![Vec::new(); n_clusters],
+            util_stats: vec![OnlineStats::new(); n_clusters],
+            distances: DistanceHistogram::default_resolution(),
+        }
+    }
+
+    /// Number of ticks accumulated into this snapshot.
+    pub fn steps(&self) -> usize {
+        self.step
+    }
+
+    /// Number of clusters the snapshot was taken over.
+    pub fn num_clusters(&self) -> usize {
+        self.cost.len()
+    }
+
+    /// The name of the policy that drove the run, once one has ticked.
+    pub fn policy_name(&self) -> Option<&str> {
+        self.policy_name.as_deref()
+    }
+
+    /// Encode the snapshot as a JSON value (the daemon's `snapshot` reply).
+    /// The encoding is lossless: [`Self::from_json_value`] reproduces the
+    /// snapshot exactly, so a run resumed from the decoded snapshot stays
+    /// bit-identical to an uninterrupted one.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut fields = vec![
+            ("step", JsonValue::Number(self.step as f64)),
+            ("clamped_lead_hours", JsonValue::Number(self.clamped_lead_hours as f64)),
+            ("cost", json::number_array(&self.cost)),
+            ("energy_wh", json::number_array(&self.energy_wh)),
+            ("hits", json::number_array(&self.hits)),
+            ("overflow_hits", json::number_array(&self.overflow_hits)),
+            ("rejected_hits", json::number_array(&self.rejected_hits)),
+            (
+                "binding_steps",
+                JsonValue::Array(
+                    self.binding_steps.iter().map(|&b| JsonValue::Number(b as f64)).collect(),
+                ),
+            ),
+            (
+                "load_series",
+                JsonValue::Array(self.load_series.iter().map(|s| json::number_array(s)).collect()),
+            ),
+            ("util_stats", JsonValue::Array(self.util_stats.iter().map(stats_to_json).collect())),
+            ("distances", self.distances.to_json_value()),
+        ];
+        if let Some(name) = &self.policy_name {
+            fields.push(("policy", JsonValue::String(name.clone())));
+        }
+        if let Some(allocation) = &self.cached_allocation {
+            fields.push(("allocation", allocation_to_json(allocation)));
+            fields.push(("last_alloc_hour", JsonValue::Number(self.last_alloc_hour.0 as f64)));
+        }
+        json::object_iter(fields)
+    }
+
+    /// Decode a snapshot produced by [`Self::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, ReportDecodeError> {
+        let cost = f64_vec(v, "cost")?;
+        let n = cost.len();
+        let energy_wh = f64_vec(v, "energy_wh")?;
+        let hits = f64_vec(v, "hits")?;
+        let overflow_hits = f64_vec(v, "overflow_hits")?;
+        let rejected_hits = f64_vec(v, "rejected_hits")?;
+        let binding_steps: Vec<usize> =
+            f64_vec(v, "binding_steps")?.into_iter().map(|b| b as usize).collect();
+        let load_series = v
+            .get("load_series")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ReportDecodeError::new("snapshot field 'load_series' is not an array"))?
+            .iter()
+            .map(|row| {
+                row.as_array()
+                    .ok_or_else(|| {
+                        ReportDecodeError::new("snapshot load_series row is not an array")
+                    })?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64().ok_or_else(|| {
+                            ReportDecodeError::new("snapshot load_series entry is not a number")
+                        })
+                    })
+                    .collect::<Result<Vec<f64>, _>>()
+            })
+            .collect::<Result<Vec<Vec<f64>>, _>>()?;
+        let util_stats = v
+            .get("util_stats")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| ReportDecodeError::new("snapshot field 'util_stats' is not an array"))?
+            .iter()
+            .map(stats_from_json)
+            .collect::<Result<Vec<OnlineStats>, _>>()?;
+        for (name, len) in [
+            ("energy_wh", energy_wh.len()),
+            ("hits", hits.len()),
+            ("overflow_hits", overflow_hits.len()),
+            ("rejected_hits", rejected_hits.len()),
+            ("binding_steps", binding_steps.len()),
+            ("load_series", load_series.len()),
+            ("util_stats", util_stats.len()),
+        ] {
+            if len != n {
+                return Err(ReportDecodeError::new(format!(
+                    "snapshot field '{name}' has {len} entries for {n} clusters"
+                )));
+            }
+        }
+        let cached_allocation = match v.get("allocation") {
+            Some(a) => Some(allocation_from_json(a, n)?),
+            None => None,
+        };
+        let last_alloc_hour = match (&cached_allocation, v.get("last_alloc_hour")) {
+            (Some(_), Some(h)) => SimHour(h.as_f64().ok_or_else(|| {
+                ReportDecodeError::new("snapshot field 'last_alloc_hour' is not a number")
+            })? as u64),
+            (Some(_), None) => {
+                return Err(ReportDecodeError::new(
+                    "snapshot has an allocation but no 'last_alloc_hour'",
+                ))
+            }
+            (None, _) => NO_ALLOC_HOUR,
+        };
+        Ok(Self {
+            step: u64_field(v, "step")? as usize,
+            policy_name: match v.get("policy") {
+                Some(p) => Some(
+                    p.as_str()
+                        .ok_or_else(|| {
+                            ReportDecodeError::new("snapshot field 'policy' is not a string")
+                        })?
+                        .to_string(),
+                ),
+                None => None,
+            },
+            cached_allocation,
+            last_alloc_hour,
+            clamped_lead_hours: u64_field(v, "clamped_lead_hours")?,
+            cost,
+            energy_wh,
+            hits,
+            overflow_hits,
+            rejected_hits,
+            binding_steps,
+            load_series,
+            util_stats,
+            distances: DistanceHistogram::from_json_value(
+                v.get("distances")
+                    .ok_or_else(|| ReportDecodeError::new("snapshot missing field 'distances'"))?,
+            )?,
+        })
+    }
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, ReportDecodeError> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .map(|x| x as u64)
+        .ok_or_else(|| ReportDecodeError::new(format!("snapshot field '{key}' is not a number")))
+}
+
+fn f64_vec(v: &JsonValue, key: &str) -> Result<Vec<f64>, ReportDecodeError> {
+    v.get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ReportDecodeError::new(format!("snapshot field '{key}' is not an array")))?
+        .iter()
+        .map(|x| {
+            x.as_f64().ok_or_else(|| {
+                ReportDecodeError::new(format!("snapshot field '{key}' has a non-number entry"))
+            })
+        })
+        .collect()
+}
+
+fn stats_to_json(stats: &OnlineStats) -> JsonValue {
+    // An empty accumulator carries ±∞ min/max sentinels, which JSON cannot
+    // represent; encode the count alone and rebuild a fresh accumulator on
+    // decode. Non-empty accumulators hold only finite fields (push ignores
+    // non-finite observations), so the round trip is lossless.
+    if stats.count() == 0 {
+        return json::object([("count", JsonValue::Number(0.0))]);
+    }
+    json::object([
+        ("count", JsonValue::Number(stats.count() as f64)),
+        ("mean", JsonValue::Number(stats.mean().expect("non-empty"))),
+        ("m2", JsonValue::Number(stats.m2())),
+        ("min", JsonValue::Number(stats.min().expect("non-empty"))),
+        ("max", JsonValue::Number(stats.max().expect("non-empty"))),
+        ("sum", JsonValue::Number(stats.sum())),
+    ])
+}
+
+fn stats_from_json(v: &JsonValue) -> Result<OnlineStats, ReportDecodeError> {
+    let count = u64_field(v, "count")?;
+    if count == 0 {
+        return Ok(OnlineStats::new());
+    }
+    let get = |key: &str| {
+        v.get(key).and_then(JsonValue::as_f64).ok_or_else(|| {
+            ReportDecodeError::new(format!("snapshot util_stats field '{key}' is not a number"))
+        })
+    };
+    Ok(OnlineStats::from_parts(
+        count,
+        get("mean")?,
+        get("m2")?,
+        get("min")?,
+        get("max")?,
+        get("sum")?,
+    ))
+}
+
+fn allocation_to_json(allocation: &Allocation) -> JsonValue {
+    JsonValue::Array(allocation.matrix().iter().map(|row| json::number_array(row)).collect())
+}
+
+fn allocation_from_json(v: &JsonValue, n_clusters: usize) -> Result<Allocation, ReportDecodeError> {
+    let rows = v
+        .as_array()
+        .ok_or_else(|| ReportDecodeError::new("snapshot allocation is not an array"))?;
+    if rows.len() != n_clusters {
+        return Err(ReportDecodeError::new(format!(
+            "snapshot allocation has {} rows for {n_clusters} clusters",
+            rows.len()
+        )));
+    }
+    let matrix = rows
+        .iter()
+        .map(|row| {
+            row.as_array()
+                .ok_or_else(|| ReportDecodeError::new("snapshot allocation row is not an array"))?
+                .iter()
+                .map(|x| {
+                    x.as_f64().ok_or_else(|| {
+                        ReportDecodeError::new("snapshot allocation entry is not a number")
+                    })
+                })
+                .collect::<Result<Vec<f64>, _>>()
+        })
+        .collect::<Result<Vec<Vec<f64>>, _>>()?;
+    let width = matrix.first().map(Vec::len).unwrap_or(0);
+    if matrix.iter().any(|row| row.len() != width) {
+        return Err(ReportDecodeError::new("snapshot allocation rows have unequal lengths"));
+    }
+    Ok(Allocation::from_matrix(matrix))
+}
+
+/// The incremental routing/accounting core: feed it one [`PriceSlice`] and
+/// [`DemandSlice`] per 5-minute step and it maintains exactly the state the
+/// batch simulator accumulates over a whole trace.
+///
+/// The engine *borrows* the deployment and client-state list (they are
+/// immutable run inputs) and *owns* its configuration and accumulated
+/// state. Accumulation order is identical to the historical batch loop, so
+/// driving a trace through `tick` — in one go, or split across
+/// [`Self::snapshot`]/[`Self::restore`] — produces bit-identical reports.
+#[derive(Debug, Clone)]
+pub struct SimulationEngine<'a> {
+    clusters: &'a ClusterSet,
+    states: &'a [UsState],
+    config: SimulationConfig,
+    power_models: Vec<ClusterPowerModel>,
+    capacities: Vec<f64>,
+    state: EngineSnapshot,
+}
+
+impl<'a> SimulationEngine<'a> {
+    /// Build an engine over a deployment and client-state list.
+    ///
+    /// # Panics
+    /// Panics on an empty deployment or on constraint vectors whose length
+    /// does not match it — configuration errors, not data conditions
+    /// (validate ahead of time with
+    /// [`SimulationConfig::validate_for`](crate::simulation::SimulationConfig::validate_for)
+    /// for a `Result` instead).
+    pub fn new(clusters: &'a ClusterSet, states: &'a [UsState], config: SimulationConfig) -> Self {
+        assert!(!clusters.is_empty(), "deployment has no clusters");
+        config.constraints.validate(clusters.len());
+        let power_models = clusters
+            .clusters()
+            .iter()
+            .map(|c| ClusterPowerModel::new(config.energy, c.servers))
+            .collect();
+        let capacities = clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).collect();
+        let state = EngineSnapshot::empty(clusters.len());
+        Self { clusters, states, config, power_models, capacities, state }
+    }
+
+    /// Record how many leading hours of the price feed are delay-clamped
+    /// (router-visible prices fell before the series began). The batch
+    /// drivers set this once from the compiled table; the daemon updates it
+    /// as its feed ingests. Surfaced verbatim in reports.
+    pub fn with_clamped_lead_hours(mut self, hours: u64) -> Self {
+        self.state.clamped_lead_hours = hours;
+        self
+    }
+
+    /// Like [`Self::with_clamped_lead_hours`], for an engine already built.
+    pub fn set_clamped_lead_hours(&mut self, hours: u64) {
+        self.state.clamped_lead_hours = hours;
+    }
+
+    /// The deployment being routed over.
+    pub fn clusters(&self) -> &ClusterSet {
+        self.clusters
+    }
+
+    /// The client states, defining the demand-vector order.
+    pub fn states(&self) -> &[UsState] {
+        self.states
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Number of ticks accumulated so far.
+    pub fn steps(&self) -> usize {
+        self.state.step
+    }
+
+    /// The allocation currently in force (cached from the last
+    /// reallocation), if any tick has run.
+    pub fn current_allocation(&self) -> Option<&Allocation> {
+        self.state.cached_allocation.as_ref()
+    }
+
+    /// The hour of the last reallocation, if any tick has run.
+    pub fn last_allocation_hour(&self) -> Option<SimHour> {
+        (self.state.last_alloc_hour != NO_ALLOC_HOUR).then_some(self.state.last_alloc_hour)
+    }
+
+    /// Advance the engine by one 5-minute step.
+    ///
+    /// Re-routes through `policy` on the configured interval (and whenever
+    /// the hour changes — see
+    /// [`SimulationConfig::reallocate_every_steps`]), then accounts the
+    /// step's energy, dollars, hits, and distances against the allocation
+    /// in force. Returns that allocation.
+    ///
+    /// # Panics
+    /// Panics if the slice lengths do not match the engine's cluster and
+    /// state counts.
+    pub fn tick(
+        &mut self,
+        policy: &mut dyn RoutingPolicy,
+        prices: PriceSlice<'_>,
+        demand: DemandSlice<'_>,
+    ) -> &Allocation {
+        let n_clusters = self.clusters.len();
+        assert_eq!(prices.delayed.len(), n_clusters, "delayed price length mismatch");
+        assert_eq!(prices.billing.len(), n_clusters, "billing price length mismatch");
+        assert_eq!(demand.demand.len(), self.states.len(), "demand length mismatch");
+
+        let step_hours = STEP_SECONDS as f64 / 3600.0;
+        let constraints = &self.config.constraints;
+        let tariff = self.config.bandwidth_tariff.as_ref();
+        let accounted_caps = tariff.and(constraints.bandwidth_caps());
+
+        let st = &mut self.state;
+        if st.policy_name.is_none() {
+            st.policy_name = Some(policy.name().to_string());
+        }
+        let i = st.step;
+        let hour = prices.hour;
+
+        // Re-route on the configured interval, and additionally whenever
+        // the step crosses an hour boundary: prices change hourly, so a
+        // cached allocation carried across hours would route on the
+        // previous hour's prices.
+        let reallocate = st.cached_allocation.is_none()
+            || i % self.config.reallocate_every_steps == 0
+            || hour != st.last_alloc_hour;
+        if reallocate {
+            let ctx = RoutingContext::new(
+                self.clusters,
+                self.states,
+                demand.demand,
+                prices.delayed,
+                hour,
+            )
+            .with_constraints(constraints);
+            st.cached_allocation = Some(policy.allocate(&ctx));
+            st.last_alloc_hour = hour;
+        }
+        let allocation = st.cached_allocation.as_ref().expect("just populated");
+        let loads = allocation.cluster_loads();
+        let samples = allocation.distance_samples(self.clusters, self.states);
+
+        for c in 0..n_clusters {
+            let cluster = self.clusters.get(c).expect("index in range");
+            let raw_utilization = cluster.utilization(loads[c]);
+            let mut served = loads[c];
+            if raw_utilization > 1.0 {
+                // Demand beyond capacity. The energy model saturates in
+                // both modes; the accounting differs: billed as served
+                // at capacity (overflow), or turned away (rejected).
+                let over = loads[c] - self.capacities[c];
+                match constraints.overflow() {
+                    OverflowMode::BillAtCapacity => {
+                        st.overflow_hits[c] += over * STEP_SECONDS as f64;
+                    }
+                    OverflowMode::Reject => {
+                        st.rejected_hits[c] += over * STEP_SECONDS as f64;
+                        served = self.capacities[c];
+                    }
+                }
+            }
+            let utilization = raw_utilization.min(1.0);
+            let watts = self.power_models[c].power_watts(utilization);
+            let wh = watts * step_hours;
+            st.energy_wh[c] += wh;
+            st.cost[c] += energy_cost_dollars(wh, prices.billing[c]);
+            st.hits[c] += served * STEP_SECONDS as f64;
+            st.util_stats[c].push(utilization);
+            st.load_series[c].push(loads[c]);
+            if let Some(caps) = accounted_caps {
+                // A step is "binding" when the allocation sits at (or,
+                // through spill, above) the cluster's 95/5 ceiling —
+                // hours where the constraint actually shaped routing. An
+                // idle cluster is never binding, even at a zero cap
+                // (calibrations against concentrating baselines leave
+                // unused clusters with p95 = 0).
+                if caps[c].is_finite() && loads[c] > 0.0 && loads[c] >= caps[c] * (1.0 - 1e-9) {
+                    st.binding_steps[c] += 1;
+                }
+            }
+        }
+
+        for (distance_km, weight) in samples {
+            st.distances.add(distance_km, weight * STEP_SECONDS as f64);
+        }
+
+        st.step += 1;
+        st.cached_allocation.as_ref().expect("populated above")
+    }
+
+    /// Assemble a [`SimulationReport`] from the state accumulated so far.
+    /// Valid mid-run (the daemon's `stats` query) as well as at the end of
+    /// a trace; a report taken after the final tick is bit-identical to
+    /// what the batch simulator produces for the same inputs.
+    pub fn report(&self) -> SimulationReport {
+        let st = &self.state;
+        let n_clusters = self.clusters.len();
+        let n_steps = st.step;
+        let tariff = self.config.bandwidth_tariff.as_ref();
+        let accounted_caps = tariff.and(self.config.constraints.bandwidth_caps());
+        let labels = cluster_labels(self.clusters);
+        let clusters = (0..n_clusters)
+            .map(|c| {
+                let p95 = quantiles::percentile(&st.load_series[c], 95.0).unwrap_or(0.0);
+                ClusterReport {
+                    label: labels[c].clone(),
+                    cost_dollars: st.cost[c],
+                    energy_mwh: st.energy_wh[c] / 1.0e6,
+                    mean_utilization: st.util_stats[c].mean().unwrap_or(0.0),
+                    p95_hits_per_sec: p95,
+                    peak_hits_per_sec: st.load_series[c].iter().copied().fold(0.0, f64::max),
+                    total_hits: st.hits[c],
+                    overflow_hits: st.overflow_hits[c],
+                    rejected_hits: st.rejected_hits[c],
+                    bandwidth_cap_hits_per_sec: accounted_caps
+                        .map(|caps| caps[c])
+                        .filter(|cap| cap.is_finite()),
+                    bandwidth_binding_hours: st.binding_steps[c] as f64 * STEP_SECONDS as f64
+                        / 3600.0,
+                    bandwidth_cost_dollars: tariff.map_or(0.0, |t| t.bill_dollars(p95, n_steps)),
+                }
+            })
+            .collect::<Vec<_>>();
+
+        SimulationReport {
+            policy: st.policy_name.clone().unwrap_or_default(),
+            steps: n_steps,
+            reaction_delay_hours: self.config.reaction_delay_hours,
+            bandwidth_constrained: self.config.constraints.is_bandwidth_constrained(),
+            total_cost_dollars: st.cost.iter().sum(),
+            total_energy_mwh: st.energy_wh.iter().sum::<f64>() / 1.0e6,
+            total_overflow_hits: st.overflow_hits.iter().sum(),
+            total_rejected_hits: st.rejected_hits.iter().sum(),
+            total_bandwidth_binding_hours: clusters.iter().map(|c| c.bandwidth_binding_hours).sum(),
+            total_bandwidth_cost_dollars: clusters.iter().map(|c| c.bandwidth_cost_dollars).sum(),
+            delay_clamped_hours: st.clamped_lead_hours,
+            clusters,
+            mean_distance_km: st.distances.mean_km().unwrap_or(0.0),
+            p99_distance_km: st.distances.percentile_km(99.0).unwrap_or(0.0),
+            distances: st.distances.clone(),
+        }
+    }
+
+    /// Capture the full accumulated router state.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        self.state.clone()
+    }
+
+    /// Reinstate a previously captured state, discarding whatever this
+    /// engine has accumulated since (or, on a freshly built engine,
+    /// resuming a run another engine started).
+    ///
+    /// # Panics
+    /// Panics if the snapshot's shape does not match this engine's
+    /// deployment and state list.
+    pub fn restore(&mut self, snapshot: &EngineSnapshot) {
+        assert_eq!(snapshot.num_clusters(), self.clusters.len(), "snapshot cluster count mismatch");
+        if let Some(allocation) = &snapshot.cached_allocation {
+            assert_eq!(
+                allocation.num_clusters(),
+                self.clusters.len(),
+                "snapshot allocation cluster count mismatch"
+            );
+            assert_eq!(
+                allocation.num_states(),
+                self.states.len(),
+                "snapshot allocation state count mismatch"
+            );
+        }
+        self.state = snapshot.clone();
+    }
+
+    /// Consume the engine, yielding the raw per-cluster load series
+    /// accumulated so far (`series[cluster][step]`, hits/second at 5-minute
+    /// resolution) — what a [`LoadRecorder`](crate::simulation::LoadRecorder)
+    /// sink receives from the batch drivers.
+    pub fn into_load_series(self) -> Vec<Vec<f64>> {
+        self.state.load_series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wattroute_market::generator::PriceGenerator;
+    use wattroute_market::time::HourRange;
+    use wattroute_routing::prelude::*;
+    use wattroute_workload::SyntheticWorkloadConfig;
+
+    fn setup() -> (ClusterSet, wattroute_workload::trace::Trace, wattroute_market::types::PriceSet)
+    {
+        let clusters = ClusterSet::akamai_like_nine();
+        let start = SimHour::from_date(2008, 12, 19);
+        let range = HourRange::new(start, start.plus_hours(24));
+        let trace = SyntheticWorkloadConfig::default().generate(range);
+        let prices = PriceGenerator::nine_cluster_default(7).realtime_hourly(range);
+        (clusters, trace, prices)
+    }
+
+    #[test]
+    fn fresh_engine_is_empty() {
+        let (clusters, trace, _) = setup();
+        let engine = SimulationEngine::new(&clusters, &trace.states, SimulationConfig::default());
+        assert_eq!(engine.steps(), 0);
+        assert!(engine.current_allocation().is_none());
+        assert_eq!(engine.last_allocation_hour(), None);
+        let report = engine.report();
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.total_cost_dollars, 0.0);
+        assert_eq!(report.policy, "");
+    }
+
+    #[test]
+    fn tick_accumulates_and_reports() {
+        let (clusters, trace, prices) = setup();
+        let sim = crate::simulation::Simulation::new(
+            &clusters,
+            &trace,
+            &prices,
+            SimulationConfig::default(),
+        );
+        let table = sim.price_table();
+        let mut engine =
+            SimulationEngine::new(&clusters, &trace.states, SimulationConfig::default())
+                .with_clamped_lead_hours(table.clamped_lead_hours());
+        let mut policy = NearestClusterPolicy::new();
+        for (i, step) in trace.steps().iter().enumerate() {
+            let hour = trace.step_hour(i);
+            let allocation = engine.tick(
+                &mut policy,
+                PriceSlice::new(
+                    hour,
+                    table.delayed_at(hour).unwrap(),
+                    table.billing_at(hour).unwrap(),
+                ),
+                DemandSlice::new(&step.us_demand),
+            );
+            assert_eq!(allocation.num_clusters(), clusters.len());
+        }
+        assert_eq!(engine.steps(), trace.num_steps());
+        assert_eq!(engine.last_allocation_hour(), Some(trace.step_hour(trace.num_steps() - 1)));
+        let report = engine.report();
+        assert_eq!(report.steps, trace.num_steps());
+        assert!(report.total_cost_dollars > 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let (clusters, trace, prices) = setup();
+        let sim = crate::simulation::Simulation::new(
+            &clusters,
+            &trace,
+            &prices,
+            SimulationConfig::default(),
+        );
+        let table = sim.price_table();
+        let mut engine =
+            SimulationEngine::new(&clusters, &trace.states, SimulationConfig::default());
+        let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+        for (i, step) in trace.steps().iter().enumerate().take(30) {
+            let hour = trace.step_hour(i);
+            engine.tick(
+                &mut policy,
+                PriceSlice::new(
+                    hour,
+                    table.delayed_at(hour).unwrap(),
+                    table.billing_at(hour).unwrap(),
+                ),
+                DemandSlice::new(&step.us_demand),
+            );
+        }
+        let snapshot = engine.snapshot();
+        let json = snapshot.to_json_value().to_string();
+        let decoded = EngineSnapshot::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(decoded, snapshot);
+        assert_eq!(decoded.steps(), 30);
+        assert_eq!(decoded.policy_name(), Some(policy.name()));
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let (clusters, trace, _) = setup();
+        let engine = SimulationEngine::new(&clusters, &trace.states, SimulationConfig::default());
+        let snapshot = engine.snapshot();
+        let json = snapshot.to_json_value().to_string();
+        let decoded = EngineSnapshot::from_json_value(&JsonValue::parse(&json).unwrap()).unwrap();
+        assert_eq!(decoded, snapshot);
+        assert!(!json.contains("allocation"), "no cached allocation before the first tick");
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let (clusters, trace, _) = setup();
+        let engine = SimulationEngine::new(&clusters, &trace.states, SimulationConfig::default());
+        let snapshot = engine.snapshot();
+        let small =
+            ClusterSet::new(clusters.clusters().iter().take(3).cloned().collect::<Vec<_>>());
+        let mut other = SimulationEngine::new(&small, &trace.states, SimulationConfig::default());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            other.restore(&snapshot);
+        }));
+        assert!(result.is_err(), "restoring a 9-cluster snapshot into a 3-cluster engine");
+    }
+
+    #[test]
+    fn malformed_snapshot_json_is_rejected() {
+        let missing = JsonValue::parse(r#"{"step":1}"#).unwrap();
+        assert!(EngineSnapshot::from_json_value(&missing).is_err());
+        let ragged = JsonValue::parse(
+            r#"{"step":0,"clamped_lead_hours":0,"cost":[0,0],"energy_wh":[0],
+               "hits":[0,0],"overflow_hits":[0,0],"rejected_hits":[0,0],
+               "binding_steps":[0,0],"load_series":[[],[]],
+               "util_stats":[{"count":0},{"count":0}],
+               "distances":{"bin_km":25,"weights":[0],"total_weight":0,"weighted_sum":0}}"#,
+        )
+        .unwrap();
+        let err = EngineSnapshot::from_json_value(&ragged).unwrap_err();
+        assert!(err.to_string().contains("energy_wh"), "unexpected error: {err}");
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! A [`SweepReport`](crate::sweep::SweepReport) holds every run in memory,
 //! which is exactly wrong for the grids
-//! [`ScenarioSweep::run_streaming`](crate::sweep::ScenarioSweep) exists
+//! [`ScenarioSweep::execute_streaming`](crate::sweep::ScenarioSweep) exists
 //! for. [`SweepJsonlWriter`] is the matching sink: one compact JSON object
 //! per line per completed cell, appended as workers finish, so a
 //! million-cell grid (or an optimizer search that evaluates thousands of
@@ -19,7 +19,7 @@
 //! let mut sweep = ScenarioSweep::new(&scenario.clusters, &scenario.trace, &scenario.prices);
 //! sweep.add_point("baseline", scenario.config.clone(), AkamaiLikePolicy::default);
 //! let mut sink = SweepJsonlWriter::create("sweep.jsonl").unwrap();
-//! sweep.run_streaming(|cell| sink.write(&cell).unwrap());
+//! sweep.execute_streaming(RunOptions::new(), |cell| sink.write(&cell).unwrap());
 //! sink.finish().unwrap();
 //! ```
 
@@ -89,6 +89,7 @@ pub fn read_sweep_jsonl(path: impl AsRef<Path>) -> Result<Vec<SweepResult>, Repo
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::RunOptions;
     use crate::scenario::Scenario;
     use crate::sweep::ScenarioSweep;
     use wattroute_market::time::{HourRange, SimHour};
@@ -114,10 +115,10 @@ mod tests {
     #[test]
     fn streamed_cells_round_trip_through_a_jsonl_buffer() {
         let s = short_scenario();
-        let reference = build(&s).run();
+        let reference = build(&s).execute(RunOptions::new());
 
         let mut sink = SweepJsonlWriter::new(Vec::<u8>::new());
-        build(&s).run_streaming(|cell| sink.write(&cell).expect("write"));
+        build(&s).execute_streaming(RunOptions::new(), |cell| sink.write(&cell).expect("write"));
         assert_eq!(sink.lines(), reference.runs.len());
         let bytes = sink.finish().expect("flush");
 
@@ -139,7 +140,7 @@ mod tests {
         let path =
             std::env::temp_dir().join(format!("wattroute_jsonl_{}.jsonl", std::process::id()));
         let mut sink = SweepJsonlWriter::create(&path).expect("create");
-        build(&s).run_streaming(|cell| sink.write(&cell).expect("write"));
+        build(&s).execute_streaming(RunOptions::new(), |cell| sink.write(&cell).expect("write"));
         sink.finish().expect("flush");
 
         let cells = read_sweep_jsonl(&path).expect("read back");
@@ -160,7 +161,7 @@ mod tests {
     fn non_integer_indices_are_rejected() {
         let s = short_scenario();
         let mut sink = SweepJsonlWriter::new(Vec::<u8>::new());
-        build(&s).run_streaming(|cell| sink.write(&cell).expect("write"));
+        build(&s).execute_streaming(RunOptions::new(), |cell| sink.write(&cell).expect("write"));
         let text = String::from_utf8(sink.finish().unwrap()).unwrap();
         // A hand-edited index must fail loudly, not saturate or truncate
         // into some other cell's slot.

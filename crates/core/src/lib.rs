@@ -42,7 +42,7 @@
 //!
 //! let baseline = scenario.baseline_report();
 //! let mut optimizer = PriceConsciousPolicy::with_distance_threshold(1500.0);
-//! let optimized = scenario.run(&mut optimizer);
+//! let optimized = scenario.execute(&mut optimizer, RunOptions::new());
 //!
 //! let savings = optimized.savings_percent_vs(&baseline);
 //! assert!(savings > 0.0, "price-conscious routing should save money, got {savings:.2}%");
@@ -52,10 +52,12 @@
 #![warn(missing_docs)]
 
 pub mod constraints;
+pub mod engine;
 pub mod json;
 pub mod jsonl;
 pub mod objective;
 pub mod report;
+pub mod run;
 pub mod scenario;
 pub mod simulation;
 pub mod sweep;
@@ -77,10 +79,15 @@ pub use wattroute_workload as workload;
 /// workspace.
 pub mod prelude {
     pub use crate::constraints::{BandwidthTariff, CalibratedScenario};
+    pub use crate::engine::{DemandSlice, EngineSnapshot, PriceSlice, SimulationEngine};
     pub use crate::objective::{Objective, ObjectiveTerms};
     pub use crate::report::{PolicyComparison, SimulationReport};
+    pub use crate::run::RunOptions;
     pub use crate::scenario::Scenario;
-    pub use crate::simulation::{OverflowMode, Simulation, SimulationConfig};
+    pub use crate::simulation::{
+        ConfigError, LoadRecorder, OverflowMode, Simulation, SimulationConfig,
+        SimulationConfigBuilder,
+    };
     pub use crate::sweep::{ScenarioSweep, SweepReport};
     pub use wattroute_energy::model::EnergyModelParams;
     pub use wattroute_geo::{HubId, Rto, UsState};

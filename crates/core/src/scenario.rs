@@ -8,6 +8,7 @@
 //!   synthetic workload (§6.3).
 
 use crate::report::{PolicyComparison, SimulationReport};
+use crate::run::RunOptions;
 use crate::simulation::{Simulation, SimulationConfig};
 use wattroute_energy::model::EnergyModelParams;
 use wattroute_market::generator::PriceGenerator;
@@ -88,25 +89,55 @@ impl Scenario {
         self
     }
 
+    /// Run an arbitrary policy over this scenario.
+    ///
+    /// Honoured options: [`RunOptions::with_config`] (replacing the
+    /// scenario's default configuration for this run) and
+    /// [`RunOptions::record_loads`]. An artifact cache belongs to the sweep
+    /// layer and panics here (see [`crate::run`]).
+    pub fn execute(
+        &self,
+        policy: &mut dyn RoutingPolicy,
+        options: RunOptions<'_>,
+    ) -> SimulationReport {
+        let RunOptions { config, recorder, artifacts } = options;
+        assert!(
+            artifacts.is_none(),
+            "RunOptions::reuse_artifacts applies to scenario sweeps; \
+             a single scenario run compiles its own price table"
+        );
+        let config = config.unwrap_or_else(|| self.config.clone());
+        let sim = Simulation::new(&self.clusters, &self.trace, &self.prices, config);
+        let mut options = RunOptions::new();
+        if let Some(recorder) = recorder {
+            options = options.record_loads(recorder);
+        }
+        sim.execute(policy, options)
+    }
+
     /// Run an arbitrary policy with this scenario's default configuration.
+    #[deprecated(note = "use `execute(policy, RunOptions::new())` — the unified run surface")]
     pub fn run(&self, policy: &mut dyn RoutingPolicy) -> SimulationReport {
-        Simulation::new(&self.clusters, &self.trace, &self.prices, self.config.clone()).run(policy)
+        self.execute(policy, RunOptions::new())
     }
 
     /// Run an arbitrary policy with an explicit configuration (sharing the
     /// scenario's deployment, trace and prices).
+    #[deprecated(
+        note = "use `execute(policy, RunOptions::new().with_config(config))` — the unified run surface"
+    )]
     pub fn run_with_config(
         &self,
         policy: &mut dyn RoutingPolicy,
         config: SimulationConfig,
     ) -> SimulationReport {
-        Simulation::new(&self.clusters, &self.trace, &self.prices, config).run(policy)
+        self.execute(policy, RunOptions::new().with_config(config))
     }
 
     /// The Akamai-like baseline report for this scenario (the denominator of
     /// every normalised-cost figure).
     pub fn baseline_report(&self) -> SimulationReport {
-        self.run(&mut AkamaiLikePolicy::default())
+        self.execute(&mut AkamaiLikePolicy::default(), RunOptions::new())
     }
 
     /// Per-cluster 95/5 ceilings observed under the baseline allocation —
@@ -143,9 +174,11 @@ impl Scenario {
         let caps: Vec<f64> = baseline.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
 
         let mut optimizer = PriceConsciousPolicy::with_distance_threshold(distance_threshold_km);
-        let relaxed = self.run(&mut optimizer);
-        let constrained =
-            self.run_with_config(&mut optimizer, self.config.clone().with_bandwidth_caps(caps));
+        let relaxed = self.execute(&mut optimizer, RunOptions::new());
+        let constrained = self.execute(
+            &mut optimizer,
+            RunOptions::new().with_config(self.config.clone().with_bandwidth_caps(caps)),
+        );
 
         PolicyComparison { baseline, alternatives: vec![relaxed, constrained] }
     }
@@ -192,7 +225,7 @@ mod tests {
         assert_eq!(means.len(), 9);
         assert!(means.iter().all(|m| *m > 10.0 && *m < 200.0));
         let mut static_policy = s.static_cheapest_policy();
-        let report = s.run(&mut static_policy);
+        let report = s.execute(&mut static_policy, RunOptions::new());
         assert_eq!(report.policy, "static-cheapest-hub");
     }
 
@@ -202,7 +235,7 @@ mod tests {
         let s = Scenario::synthetic_over(5, HourRange::new(start, start.plus_hours(7 * 24)));
         assert_eq!(s.config.reallocate_every_steps, 12);
         assert_eq!(s.trace.num_steps(), 7 * 24 * 12);
-        let report = s.run(&mut NearestClusterPolicy::new());
+        let report = s.execute(&mut NearestClusterPolicy::new(), RunOptions::new());
         assert!(report.total_cost_dollars > 0.0);
     }
 

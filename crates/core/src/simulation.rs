@@ -9,18 +9,18 @@
 //! client–server distance statistics.
 
 use crate::constraints::BandwidthTariff;
-use crate::report::{cluster_labels, ClusterReport, DistanceHistogram, SimulationReport};
+use crate::engine::{DemandSlice, PriceSlice, SimulationEngine};
+use crate::report::SimulationReport;
+use crate::run::RunOptions;
 use std::borrow::Cow;
-use wattroute_energy::cost::energy_cost_dollars;
-use wattroute_energy::model::{ClusterPowerModel, EnergyModelParams};
+use wattroute_energy::model::EnergyModelParams;
 use wattroute_market::price_table::PriceTable;
-use wattroute_market::time::{HourRange, SimHour};
+use wattroute_market::time::HourRange;
 use wattroute_market::types::PriceSet;
 use wattroute_routing::constraints::ConstraintSet;
-use wattroute_routing::policy::{RoutingContext, RoutingPolicy};
-use wattroute_stats::{quantiles, OnlineStats};
+use wattroute_routing::policy::RoutingPolicy;
 use wattroute_workload::bandwidth::BandwidthProfile;
-use wattroute_workload::trace::{Trace, STEPS_PER_HOUR, STEP_SECONDS};
+use wattroute_workload::trace::{Trace, STEPS_PER_HOUR};
 use wattroute_workload::ClusterSet;
 
 // The overflow mode now lives with the rest of the constraint vocabulary
@@ -116,6 +116,232 @@ impl SimulationConfig {
     pub fn with_bandwidth_tariff(mut self, tariff: BandwidthTariff) -> Self {
         self.bandwidth_tariff = Some(tariff);
         self
+    }
+
+    /// Start a validating [`SimulationConfigBuilder`] from the defaults.
+    /// Unlike the `with_*` chain on the config itself (which panics on
+    /// invalid values for historical compatibility), the builder defers
+    /// every check to [`SimulationConfigBuilder::build`] /
+    /// [`build_for`](SimulationConfigBuilder::build_for) and returns a
+    /// [`ConfigError`] instead of panicking.
+    pub fn builder() -> SimulationConfigBuilder {
+        SimulationConfigBuilder::default()
+    }
+
+    /// Turn this config back into a builder (e.g. to re-validate after
+    /// editing fields directly).
+    pub fn into_builder(self) -> SimulationConfigBuilder {
+        SimulationConfigBuilder { config: self }
+    }
+
+    /// Check this configuration against a deployment, returning every
+    /// inconsistency as a [`ConfigError`] instead of panicking: a
+    /// non-positive reallocation interval, constraint vectors whose length
+    /// does not match the deployment, or negative ceilings/caps.
+    pub fn validate_for(&self, clusters: &ClusterSet) -> Result<(), ConfigError> {
+        self.validate_shape()?;
+        if clusters.is_empty() {
+            return Err(ConfigError::EmptyDeployment);
+        }
+        let n = clusters.len();
+        if let Some(caps) = self.constraints.bandwidth_caps() {
+            if caps.len() != n {
+                return Err(ConfigError::BandwidthCapLength { caps: caps.len(), clusters: n });
+            }
+        }
+        if let Some(ceilings) = self.constraints.capacity_ceilings() {
+            if ceilings.len() != n {
+                return Err(ConfigError::CapacityCeilingLength {
+                    ceilings: ceilings.len(),
+                    clusters: n,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The deployment-independent half of [`Self::validate_for`].
+    fn validate_shape(&self) -> Result<(), ConfigError> {
+        if self.reallocate_every_steps < 1 {
+            return Err(ConfigError::ZeroReallocationInterval);
+        }
+        if let Some(caps) = self.constraints.bandwidth_caps() {
+            if let Some(i) = caps.iter().position(|c| c.is_nan() || *c < 0.0) {
+                return Err(ConfigError::NegativeBandwidthCap { cluster: i });
+            }
+        }
+        if let Some(ceilings) = self.constraints.capacity_ceilings() {
+            if let Some(i) = ceilings.iter().position(|c| c.is_nan() || *c < 0.0) {
+                return Err(ConfigError::NegativeCapacityCeiling { cluster: i });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An inconsistency between a [`SimulationConfig`] and the deployment it is
+/// applied to, reported by [`SimulationConfigBuilder::build`] /
+/// [`build_for`](SimulationConfigBuilder::build_for) and
+/// [`SimulationConfig::validate_for`] instead of the panics the historical
+/// `with_*` chain raises.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The deployment has no clusters to route over.
+    EmptyDeployment,
+    /// The reallocation interval is zero (the router would never route).
+    ZeroReallocationInterval,
+    /// The 95/5 bandwidth cap vector does not match the deployment size.
+    BandwidthCapLength {
+        /// Entries in the cap vector.
+        caps: usize,
+        /// Clusters in the deployment.
+        clusters: usize,
+    },
+    /// The capacity ceiling vector does not match the deployment size.
+    CapacityCeilingLength {
+        /// Entries in the ceiling vector.
+        ceilings: usize,
+        /// Clusters in the deployment.
+        clusters: usize,
+    },
+    /// A bandwidth cap is negative or NaN (a cap of zero or `+∞` is valid).
+    NegativeBandwidthCap {
+        /// Index of the offending cluster.
+        cluster: usize,
+    },
+    /// A capacity ceiling is negative or NaN.
+    NegativeCapacityCeiling {
+        /// Index of the offending cluster.
+        cluster: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyDeployment => write!(f, "deployment has no clusters"),
+            ConfigError::ZeroReallocationInterval => {
+                write!(f, "reallocation interval must be at least one step")
+            }
+            ConfigError::BandwidthCapLength { caps, clusters } => {
+                write!(f, "{caps} bandwidth caps for {clusters} clusters")
+            }
+            ConfigError::CapacityCeilingLength { ceilings, clusters } => {
+                write!(f, "{ceilings} capacity ceilings for {clusters} clusters")
+            }
+            ConfigError::NegativeBandwidthCap { cluster } => {
+                write!(f, "bandwidth cap for cluster {cluster} is negative or NaN")
+            }
+            ConfigError::NegativeCapacityCeiling { cluster } => {
+                write!(f, "capacity ceiling for cluster {cluster} is negative or NaN")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A validating builder for [`SimulationConfig`].
+///
+/// The chain mirrors the config's own `with_*` methods but defers all
+/// checking to the build step, which returns a [`ConfigError`] instead of
+/// panicking mid-chain:
+///
+/// ```
+/// use wattroute::prelude::*;
+///
+/// let clusters = ClusterSet::akamai_like_nine();
+/// let config = SimulationConfig::builder()
+///     .with_reaction_delay(2)
+///     .with_bandwidth_caps(vec![1.0e6; clusters.len()])
+///     .with_overflow(OverflowMode::Reject)
+///     .build_for(&clusters)
+///     .expect("consistent configuration");
+/// assert_eq!(config.reaction_delay_hours, 2);
+///
+/// // An inconsistent combination is an Err, not a panic:
+/// let err = SimulationConfig::builder()
+///     .with_bandwidth_caps(vec![1.0e6; 3])
+///     .build_for(&clusters)
+///     .unwrap_err();
+/// assert_eq!(err, ConfigError::BandwidthCapLength { caps: 3, clusters: 9 });
+/// ```
+///
+/// Invariants enforced at build time:
+/// - the reallocation interval is at least one step;
+/// - bandwidth caps and capacity ceilings are non-negative (zero and `+∞`
+///   are meaningful: "send nothing here" and "unconstrained");
+/// - with [`Self::build_for`], every positional constraint vector matches
+///   the deployment's cluster count and the deployment is non-empty.
+#[derive(Debug, Clone, Default)]
+pub struct SimulationConfigBuilder {
+    config: SimulationConfig,
+}
+
+impl SimulationConfigBuilder {
+    /// Replace the energy model.
+    pub fn with_energy(mut self, energy: EnergyModelParams) -> Self {
+        self.config.energy = energy;
+        self
+    }
+
+    /// Set the reaction delay in hours.
+    pub fn with_reaction_delay(mut self, hours: u64) -> Self {
+        self.config.reaction_delay_hours = hours;
+        self
+    }
+
+    /// Replace the whole constraint set.
+    pub fn with_constraints(mut self, constraints: ConstraintSet) -> Self {
+        self.config.constraints = constraints;
+        self
+    }
+
+    /// Attach 95/5 bandwidth ceilings (keeping the rest of the constraint
+    /// set).
+    pub fn with_bandwidth_caps(mut self, caps: Vec<f64>) -> Self {
+        self.config.constraints = self.config.constraints.with_bandwidth_caps(caps);
+        self
+    }
+
+    /// Attach capacity ceilings that tighten the clusters' nominal
+    /// capacities (keeping the rest of the constraint set).
+    pub fn with_capacity_ceilings(mut self, ceilings: Vec<f64>) -> Self {
+        self.config.constraints = self.config.constraints.with_capacity_ceilings(ceilings);
+        self
+    }
+
+    /// Set the re-allocation interval in 5-minute steps.
+    pub fn with_reallocation_interval(mut self, steps: usize) -> Self {
+        self.config.reallocate_every_steps = steps;
+        self
+    }
+
+    /// Set the overflow mode (what happens to over-capacity demand).
+    pub fn with_overflow(mut self, overflow: OverflowMode) -> Self {
+        self.config.constraints = self.config.constraints.with_overflow(overflow);
+        self
+    }
+
+    /// Attach a 95/5 bandwidth tariff so reports carry a bandwidth bill.
+    pub fn with_bandwidth_tariff(mut self, tariff: BandwidthTariff) -> Self {
+        self.config.bandwidth_tariff = Some(tariff);
+        self
+    }
+
+    /// Validate the deployment-independent invariants and produce the
+    /// config. Positional lengths cannot be checked without a deployment —
+    /// use [`Self::build_for`] when one is at hand.
+    pub fn build(self) -> Result<SimulationConfig, ConfigError> {
+        self.config.validate_shape()?;
+        Ok(self.config)
+    }
+
+    /// Validate everything — including positional constraint vectors —
+    /// against a concrete deployment, and produce the config.
+    pub fn build_for(self, clusters: &ClusterSet) -> Result<SimulationConfig, ConfigError> {
+        self.config.validate_for(clusters)?;
+        Ok(self.config)
     }
 }
 
@@ -236,179 +462,73 @@ impl<'a> Simulation<'a> {
         &self.table
     }
 
-    /// Run a policy over the whole trace and produce a report.
-    pub fn run(&self, policy: &mut dyn RoutingPolicy) -> SimulationReport {
-        self.run_with(policy, None)
+    /// Run a policy over the whole trace and produce a report — the batch
+    /// driver over the incremental tick core
+    /// ([`SimulationEngine`]): one `tick`
+    /// per trace step, prices looked up in the compiled table. Bit-identical
+    /// to the historical monolithic loop.
+    ///
+    /// Honoured options: [`RunOptions::record_loads`]. A configuration
+    /// override or artifact cache belongs to the scenario and sweep layers
+    /// respectively and panics here (see [`crate::run`]).
+    pub fn execute(
+        &self,
+        policy: &mut dyn RoutingPolicy,
+        options: RunOptions<'_>,
+    ) -> SimulationReport {
+        let RunOptions { config, recorder, artifacts } = options;
+        assert!(
+            config.is_none(),
+            "RunOptions::with_config overrides a scenario's configuration; \
+             a Simulation is already bound to one — build it with the desired config instead"
+        );
+        assert!(
+            artifacts.is_none(),
+            "RunOptions::reuse_artifacts applies to scenario sweeps; \
+             a Simulation already binds one compiled price table"
+        );
+
+        let mut engine =
+            SimulationEngine::new(self.clusters, &self.trace.states, self.config.clone())
+                .with_clamped_lead_hours(self.table.clamped_lead_hours());
+        for (i, step) in self.trace.steps().iter().enumerate() {
+            let hour = self.trace.step_hour(i);
+            let prices = PriceSlice::new(
+                hour,
+                self.table.delayed_at(hour).expect("table covers the trace"),
+                // Spot prices used for billing are the *actual* prices of
+                // this hour (the delay only affects what the router saw).
+                self.table.billing_at(hour).expect("table covers the trace"),
+            );
+            engine.tick(policy, prices, DemandSlice::new(&step.us_demand));
+        }
+        let report = engine.report();
+        if let Some(recorder) = recorder {
+            recorder.cluster_loads = engine.into_load_series();
+        }
+        report
     }
 
-    /// Like [`Self::run`], but optionally recording the per-step
-    /// per-cluster load series into a [`LoadRecorder`] — the calibration
-    /// pass of the calibrate → constrain → account pipeline uses this to
-    /// derive 95/5 caps from a baseline run. Recording does not change the
-    /// report.
+    /// Run a policy over the whole trace and produce a report.
+    #[deprecated(note = "use `execute(policy, RunOptions::new())` — the unified run surface")]
+    pub fn run(&self, policy: &mut dyn RoutingPolicy) -> SimulationReport {
+        self.execute(policy, RunOptions::new())
+    }
+
+    /// Like [`Self::execute`] with an optional [`LoadRecorder`] sink.
+    #[deprecated(
+        note = "use `execute(policy, RunOptions::new().record_loads(recorder))` — the unified run surface"
+    )]
     pub fn run_with(
         &self,
         policy: &mut dyn RoutingPolicy,
         recorder: Option<&mut LoadRecorder>,
     ) -> SimulationReport {
-        let n_clusters = self.clusters.len();
-        let n_steps = self.trace.num_steps();
-        let step_hours = STEP_SECONDS as f64 / 3600.0;
-
-        let power_models: Vec<ClusterPowerModel> = self
-            .clusters
-            .clusters()
-            .iter()
-            .map(|c| ClusterPowerModel::new(self.config.energy, c.servers))
-            .collect();
-
-        let capacities: Vec<f64> =
-            self.clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).collect();
-
-        let mut cost = vec![0.0f64; n_clusters];
-        let mut energy_wh = vec![0.0f64; n_clusters];
-        let mut hits = vec![0.0f64; n_clusters];
-        let mut overflow_hits = vec![0.0f64; n_clusters];
-        let mut rejected_hits = vec![0.0f64; n_clusters];
-        let mut binding_steps = vec![0usize; n_clusters];
-        let mut load_series: Vec<Vec<f64>> = vec![Vec::with_capacity(n_steps); n_clusters];
-        let mut util_stats = vec![OnlineStats::new(); n_clusters];
-        let mut distances = DistanceHistogram::default_resolution();
-
-        // The one constraint set of the run: every routing context borrows
-        // it (no per-step cap cloning on this path).
-        let constraints = &self.config.constraints;
-        let tariff = self.config.bandwidth_tariff.as_ref();
-        // 95/5 accounting (per-cluster cap echo, binding hours, bandwidth
-        // bill) is opt-in via the tariff: without one, every new report
-        // field stays absent/zero and reports are bit-identical to
-        // pre-accounting ones — including on cap-constrained runs.
-        let accounted_caps = tariff.and(constraints.bandwidth_caps());
-
-        let mut cached_allocation = None;
-        let mut last_alloc_hour = SimHour(u64::MAX);
-
-        for (i, step) in self.trace.steps().iter().enumerate() {
-            let hour = self.trace.step_hour(i);
-
-            // Re-route on the configured interval, and additionally whenever
-            // the step crosses an hour boundary: prices change hourly, so a
-            // cached allocation carried across hours would route on the
-            // previous hour's prices.
-            let reallocate = cached_allocation.is_none()
-                || i % self.config.reallocate_every_steps == 0
-                || hour != last_alloc_hour;
-            if reallocate {
-                let delayed_prices = self.table.delayed_at(hour).expect("table covers the trace");
-                let ctx = RoutingContext::new(
-                    self.clusters,
-                    &self.trace.states,
-                    &step.us_demand,
-                    delayed_prices,
-                    hour,
-                )
-                .with_constraints(constraints);
-                cached_allocation = Some(policy.allocate(&ctx));
-                last_alloc_hour = hour;
-            }
-            let allocation = cached_allocation.as_ref().expect("just populated");
-
-            // Spot prices used for billing are the *actual* prices of this
-            // hour (the delay only affects what the router saw).
-            let billing_prices = self.table.billing_at(hour).expect("table covers the trace");
-
-            let loads = allocation.cluster_loads();
-            for c in 0..n_clusters {
-                let cluster = self.clusters.get(c).expect("index in range");
-                let raw_utilization = cluster.utilization(loads[c]);
-                let mut served = loads[c];
-                if raw_utilization > 1.0 {
-                    // Demand beyond capacity. The energy model saturates in
-                    // both modes; the accounting differs: billed as served
-                    // at capacity (overflow), or turned away (rejected).
-                    let over = loads[c] - capacities[c];
-                    match constraints.overflow() {
-                        OverflowMode::BillAtCapacity => {
-                            overflow_hits[c] += over * STEP_SECONDS as f64;
-                        }
-                        OverflowMode::Reject => {
-                            rejected_hits[c] += over * STEP_SECONDS as f64;
-                            served = capacities[c];
-                        }
-                    }
-                }
-                let utilization = raw_utilization.min(1.0);
-                let watts = power_models[c].power_watts(utilization);
-                let wh = watts * step_hours;
-                energy_wh[c] += wh;
-                cost[c] += energy_cost_dollars(wh, billing_prices[c]);
-                hits[c] += served * STEP_SECONDS as f64;
-                util_stats[c].push(utilization);
-                load_series[c].push(loads[c]);
-                if let Some(caps) = accounted_caps {
-                    // A step is "binding" when the allocation sits at (or,
-                    // through spill, above) the cluster's 95/5 ceiling —
-                    // hours where the constraint actually shaped routing. An
-                    // idle cluster is never binding, even at a zero cap
-                    // (calibrations against concentrating baselines leave
-                    // unused clusters with p95 = 0).
-                    if caps[c].is_finite() && loads[c] > 0.0 && loads[c] >= caps[c] * (1.0 - 1e-9) {
-                        binding_steps[c] += 1;
-                    }
-                }
-            }
-
-            for (distance_km, weight) in
-                allocation.distance_samples(self.clusters, &self.trace.states)
-            {
-                distances.add(distance_km, weight * STEP_SECONDS as f64);
-            }
-        }
-
-        let labels = cluster_labels(self.clusters);
-        let clusters = (0..n_clusters)
-            .map(|c| {
-                let p95 = quantiles::percentile(&load_series[c], 95.0).unwrap_or(0.0);
-                ClusterReport {
-                    label: labels[c].clone(),
-                    cost_dollars: cost[c],
-                    energy_mwh: energy_wh[c] / 1.0e6,
-                    mean_utilization: util_stats[c].mean().unwrap_or(0.0),
-                    p95_hits_per_sec: p95,
-                    peak_hits_per_sec: load_series[c].iter().copied().fold(0.0, f64::max),
-                    total_hits: hits[c],
-                    overflow_hits: overflow_hits[c],
-                    rejected_hits: rejected_hits[c],
-                    bandwidth_cap_hits_per_sec: accounted_caps
-                        .map(|caps| caps[c])
-                        .filter(|cap| cap.is_finite()),
-                    bandwidth_binding_hours: binding_steps[c] as f64 * STEP_SECONDS as f64 / 3600.0,
-                    bandwidth_cost_dollars: tariff.map_or(0.0, |t| t.bill_dollars(p95, n_steps)),
-                }
-            })
-            .collect::<Vec<_>>();
-
+        let mut options = RunOptions::new();
         if let Some(recorder) = recorder {
-            recorder.cluster_loads = load_series;
+            options = options.record_loads(recorder);
         }
-
-        SimulationReport {
-            policy: policy.name().to_string(),
-            steps: n_steps,
-            reaction_delay_hours: self.config.reaction_delay_hours,
-            bandwidth_constrained: constraints.is_bandwidth_constrained(),
-            total_cost_dollars: cost.iter().sum(),
-            total_energy_mwh: energy_wh.iter().sum::<f64>() / 1.0e6,
-            total_overflow_hits: overflow_hits.iter().sum(),
-            total_rejected_hits: rejected_hits.iter().sum(),
-            total_bandwidth_binding_hours: clusters.iter().map(|c| c.bandwidth_binding_hours).sum(),
-            total_bandwidth_cost_dollars: clusters.iter().map(|c| c.bandwidth_cost_dollars).sum(),
-            delay_clamped_hours: self.table.clamped_lead_hours(),
-            clusters,
-            mean_distance_km: distances.mean_km().unwrap_or(0.0),
-            p99_distance_km: distances.percentile_km(99.0).unwrap_or(0.0),
-            distances,
-        }
+        self.execute(policy, options)
     }
 }
 
@@ -435,7 +555,7 @@ mod tests {
     fn energy_and_cost_are_positive_and_consistent() {
         let (clusters, trace, prices) = small_setup();
         let sim = Simulation::new(&clusters, &trace, &prices, SimulationConfig::default());
-        let report = sim.run(&mut NearestClusterPolicy::new());
+        let report = sim.execute(&mut NearestClusterPolicy::new(), RunOptions::new());
         assert_eq!(report.steps, trace.num_steps());
         assert!(report.total_cost_dollars > 0.0);
         assert!(report.total_energy_mwh > 0.0);
@@ -452,8 +572,9 @@ mod tests {
         let config =
             SimulationConfig::default().with_energy(EnergyModelParams::optimistic_future());
         let sim = Simulation::new(&clusters, &trace, &prices, config);
-        let baseline = sim.run(&mut AkamaiLikePolicy::default());
-        let optimized = sim.run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
+        let baseline = sim.execute(&mut AkamaiLikePolicy::default(), RunOptions::new());
+        let optimized = sim
+            .execute(&mut PriceConsciousPolicy::with_distance_threshold(1500.0), RunOptions::new());
         assert!(
             optimized.total_cost_dollars < baseline.total_cost_dollars,
             "optimizer {} should beat baseline {}",
@@ -479,13 +600,13 @@ mod tests {
         let mut optimizer = PriceConsciousPolicy::with_distance_threshold(1500.0);
 
         let elastic_savings = {
-            let base = elastic_sim.run(&mut baseline);
-            let opt = elastic_sim.run(&mut optimizer);
+            let base = elastic_sim.execute(&mut baseline, RunOptions::new());
+            let opt = elastic_sim.execute(&mut optimizer, RunOptions::new());
             opt.savings_percent_vs(&base)
         };
         let inelastic_savings = {
-            let base = inelastic_sim.run(&mut baseline);
-            let opt = inelastic_sim.run(&mut optimizer);
+            let base = inelastic_sim.execute(&mut baseline, RunOptions::new());
+            let opt = inelastic_sim.execute(&mut optimizer, RunOptions::new());
             opt.savings_percent_vs(&base)
         };
         assert!(
@@ -500,15 +621,15 @@ mod tests {
         let (clusters, trace, prices) = small_setup();
         let unconstrained_cfg = SimulationConfig::default();
         let sim = Simulation::new(&clusters, &trace, &prices, unconstrained_cfg.clone());
-        let baseline = sim.run(&mut AkamaiLikePolicy::default());
+        let baseline = sim.execute(&mut AkamaiLikePolicy::default(), RunOptions::new());
 
         let caps: Vec<f64> = baseline.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
         let constrained_cfg = unconstrained_cfg.with_bandwidth_caps(caps.clone());
         let constrained_sim = Simulation::new(&clusters, &trace, &prices, constrained_cfg);
 
         let mut optimizer = PriceConsciousPolicy::with_distance_threshold(2500.0);
-        let unconstrained = sim.run(&mut optimizer);
-        let constrained = constrained_sim.run(&mut optimizer);
+        let unconstrained = sim.execute(&mut optimizer, RunOptions::new());
+        let constrained = constrained_sim.execute(&mut optimizer, RunOptions::new());
 
         assert!(constrained.bandwidth_constrained);
         assert!(!unconstrained.bandwidth_constrained);
@@ -538,8 +659,10 @@ mod tests {
         let per_step_cfg = SimulationConfig::default();
         let hourly_cfg = SimulationConfig::default().with_reallocation_interval(12);
         let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
-        let a = Simulation::new(&clusters, &trace, &prices, per_step_cfg).run(&mut policy);
-        let b = Simulation::new(&clusters, &trace, &prices, hourly_cfg).run(&mut policy);
+        let a = Simulation::new(&clusters, &trace, &prices, per_step_cfg)
+            .execute(&mut policy, RunOptions::new());
+        let b = Simulation::new(&clusters, &trace, &prices, hourly_cfg)
+            .execute(&mut policy, RunOptions::new());
         assert!((a.total_cost_dollars - b.total_cost_dollars).abs() < 1e-6 * a.total_cost_dollars);
     }
 
@@ -549,7 +672,7 @@ mod tests {
         // Shrink the deployment until demand far exceeds total capacity.
         let tiny = clusters.scaled(1e-6);
         let sim = Simulation::new(&tiny, &trace, &prices, SimulationConfig::default());
-        let report = sim.run(&mut NearestClusterPolicy::new());
+        let report = sim.execute(&mut NearestClusterPolicy::new(), RunOptions::new());
         assert!(
             report.total_overflow_hits > 0.0,
             "demand beyond capacity must be reported, not silently billed as served"
@@ -560,7 +683,7 @@ mod tests {
 
         // A comfortably provisioned run reports none.
         let roomy = Simulation::new(&clusters, &trace, &prices, SimulationConfig::default());
-        let ok = roomy.run(&mut NearestClusterPolicy::new());
+        let ok = roomy.execute(&mut NearestClusterPolicy::new(), RunOptions::new());
         assert_eq!(ok.total_overflow_hits, 0.0);
         assert!(ok.clusters.iter().all(|c| c.overflow_hits == 0.0));
     }
@@ -573,9 +696,9 @@ mod tests {
         let reject_cfg = SimulationConfig::default().with_overflow(OverflowMode::Reject);
 
         let billed = Simulation::new(&tiny, &trace, &prices, billed_cfg)
-            .run(&mut NearestClusterPolicy::new());
+            .execute(&mut NearestClusterPolicy::new(), RunOptions::new());
         let rejected = Simulation::new(&tiny, &trace, &prices, reject_cfg)
-            .run(&mut NearestClusterPolicy::new());
+            .execute(&mut NearestClusterPolicy::new(), RunOptions::new());
 
         // The same over-capacity demand lands in exactly one bucket per mode.
         assert!(billed.total_overflow_hits > 0.0);
@@ -603,7 +726,7 @@ mod tests {
         // A comfortably provisioned run rejects nothing in either mode.
         let roomy_cfg = SimulationConfig::default().with_overflow(OverflowMode::Reject);
         let ok = Simulation::new(&clusters, &trace, &prices, roomy_cfg)
-            .run(&mut NearestClusterPolicy::new());
+            .execute(&mut NearestClusterPolicy::new(), RunOptions::new());
         assert_eq!(ok.total_rejected_hits, 0.0);
     }
 
@@ -615,7 +738,7 @@ mod tests {
         // report must say so rather than quietly reusing the first sample.
         let config = SimulationConfig::default().with_reaction_delay(24);
         let sim = Simulation::new(&clusters, &trace, &prices, config);
-        let report = sim.run(&mut NearestClusterPolicy::new());
+        let report = sim.execute(&mut NearestClusterPolicy::new(), RunOptions::new());
         assert_eq!(report.delay_clamped_hours, 24);
 
         // With history extending a day before the trace, nothing clamps.
@@ -623,7 +746,7 @@ mod tests {
         let wide = PriceGenerator::nine_cluster_default(7).realtime_hourly(wide_range);
         let config = SimulationConfig::default().with_reaction_delay(24);
         let sim = Simulation::new(&clusters, &trace, &wide, config);
-        let report = sim.run(&mut NearestClusterPolicy::new());
+        let report = sim.execute(&mut NearestClusterPolicy::new(), RunOptions::new());
         assert_eq!(report.delay_clamped_hours, 0);
     }
 
@@ -645,8 +768,10 @@ mod tests {
         let per_step_cfg = SimulationConfig::default();
         let ragged_cfg = SimulationConfig::default().with_reallocation_interval(5);
         let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
-        let a = Simulation::new(&clusters, &trace, &prices, per_step_cfg).run(&mut policy);
-        let b = Simulation::new(&clusters, &trace, &prices, ragged_cfg).run(&mut policy);
+        let a = Simulation::new(&clusters, &trace, &prices, per_step_cfg)
+            .execute(&mut policy, RunOptions::new());
+        let b = Simulation::new(&clusters, &trace, &prices, ragged_cfg)
+            .execute(&mut policy, RunOptions::new());
         assert!(
             (a.total_cost_dollars - b.total_cost_dollars).abs() < 1e-9 * a.total_cost_dollars,
             "allocations must re-trigger on hour change: {} vs {}",
@@ -668,7 +793,10 @@ mod tests {
             config,
         );
         let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
-        assert_eq!(owned.run(&mut policy), borrowed.run(&mut policy));
+        assert_eq!(
+            owned.execute(&mut policy, RunOptions::new()),
+            borrowed.execute(&mut policy, RunOptions::new())
+        );
     }
 
     #[test]

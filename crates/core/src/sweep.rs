@@ -20,14 +20,16 @@
 //! deployment uses).
 //!
 //! Results come back either as a buffered [`SweepReport`] from
-//! [`ScenarioSweep::run`], or incrementally through
-//! [`ScenarioSweep::run_streaming`], which invokes a callback with each
+//! [`ScenarioSweep::execute`], or incrementally through
+//! [`ScenarioSweep::execute_streaming`], which invokes a callback with each
 //! [`SweepResult`] as workers finish — in completion order, not grid order
 //! — so very large grids can be consumed cell-by-cell without holding every
-//! report in memory. The report serializes through the same
-//! dependency-free JSON module as individual [`SimulationReport`]s — CI
-//! diffs one against a golden file so engine refactors cannot silently
-//! change results.
+//! report in memory. Both take a [`RunOptions`], whose
+//! [`reuse_artifacts`](RunOptions::reuse_artifacts) option shares one
+//! compiled-artifact cache across a sequence of sweeps. The report
+//! serializes through the same dependency-free JSON module as individual
+//! [`SimulationReport`]s — CI diffs one against a golden file so engine
+//! refactors cannot silently change results.
 //!
 //! ```
 //! use wattroute::prelude::*;
@@ -41,13 +43,14 @@
 //!         PriceConsciousPolicy::with_distance_threshold(threshold)
 //!     });
 //! }
-//! let report = sweep.run();
+//! let report = sweep.execute(RunOptions::new());
 //! assert_eq!(report.runs.len(), 2);
 //! assert!(report.get("t1500").unwrap().total_cost_dollars > 0.0);
 //! ```
 
 use crate::json::{self, JsonValue};
 use crate::report::{ReportDecodeError, SimulationReport};
+use crate::run::RunOptions;
 use crate::simulation::{step_coverage, Simulation, SimulationConfig};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
@@ -111,7 +114,7 @@ pub struct SweepPoint {
 /// every run compiled its own preferences and every distinct delay stored
 /// its own copy of the billing matrix.
 ///
-/// The cache **persists across sweeps**: [`ScenarioSweep::run_streaming_with`]
+/// The cache **persists across sweeps**: [`ScenarioSweep::execute_streaming`]
 /// takes one by `&mut` and only compiles what an earlier sweep (over the
 /// same trace and price set) has not already compiled. The deployment
 /// optimizer leans on this — every capacity split over one hub list shares
@@ -139,7 +142,7 @@ pub struct CompiledArtifacts {
 
 impl CompiledArtifacts {
     /// An empty cache, ready to be handed to
-    /// [`ScenarioSweep::run_streaming_with`] (and kept across sweeps).
+    /// [`ScenarioSweep::execute_streaming`] (and kept across sweeps).
     pub fn new() -> Self {
         Self::default()
     }
@@ -428,10 +431,15 @@ impl<'a> ScenarioSweep<'a> {
 
     /// Compile the shared artifacts and execute every grid point, in
     /// parallel, returning reports in grid order.
-    pub fn run(self) -> SweepReport {
+    ///
+    /// Honoured options: [`RunOptions::reuse_artifacts`] (a caller-owned
+    /// compiled-artifact cache shared across sweeps). A configuration
+    /// override or load recorder belongs to the single-run layers and
+    /// panics here (see [`crate::run`]).
+    pub fn execute(self, options: RunOptions<'_>) -> SweepReport {
         let mut slots: Vec<Option<SweepRun>> = Vec::new();
         slots.resize_with(self.points.len(), || None);
-        self.run_streaming(|result| {
+        self.execute_streaming(options, |result| {
             let SweepResult { index, label, deployment, report } = result;
             slots[index] = Some(SweepRun { label, deployment, report });
         });
@@ -442,33 +450,75 @@ impl<'a> ScenarioSweep<'a> {
     /// Compile the shared artifacts and execute every grid point in
     /// parallel, delivering each cell's [`SweepResult`] to `on_result` as
     /// soon as its worker finishes — in completion order, not grid order.
+    /// Takes the same [`RunOptions`] as [`Self::execute`].
     ///
-    /// Unlike [`Self::run`], nothing accumulates: delivery goes through a
-    /// bounded channel holding at most one completed result per worker, so
-    /// a grid of a million cells keeps a handful of reports in flight plus
-    /// whatever the callback retains. The callback runs on the calling
-    /// thread, so it may borrow surrounding state mutably; a callback
-    /// slower than the simulations back-pressures the workers rather than
-    /// buffering results without limit.
+    /// Unlike [`Self::execute`], nothing accumulates: delivery goes
+    /// through a bounded channel holding at most one completed result per
+    /// worker, so a grid of a million cells keeps a handful of reports in
+    /// flight plus whatever the callback retains. The callback runs on the
+    /// calling thread, so it may borrow surrounding state mutably; a
+    /// callback slower than the simulations back-pressures the workers
+    /// rather than buffering results without limit.
+    pub fn execute_streaming<F>(self, options: RunOptions<'_>, on_result: F)
+    where
+        F: FnMut(SweepResult),
+    {
+        let RunOptions { config, recorder, artifacts } = options;
+        assert!(
+            config.is_none(),
+            "RunOptions::with_config applies to single scenario runs; \
+             each sweep point already carries its own configuration"
+        );
+        assert!(
+            recorder.is_none(),
+            "RunOptions::record_loads applies to single simulation runs; \
+             a sweep's cells run in parallel and have no one load series"
+        );
+        match artifacts {
+            Some(cache) => self.stream_into(cache, on_result),
+            None => {
+                let mut fresh = CompiledArtifacts::new();
+                self.stream_into(&mut fresh, on_result);
+            }
+        }
+    }
+
+    /// Compile the shared artifacts and execute every grid point, in
+    /// parallel, returning reports in grid order.
+    #[deprecated(note = "use `execute(RunOptions::new())` — the unified run surface")]
+    pub fn run(self) -> SweepReport {
+        self.execute(RunOptions::new())
+    }
+
+    /// Streaming delivery, as [`Self::execute_streaming`].
+    #[deprecated(
+        note = "use `execute_streaming(RunOptions::new(), on_result)` — the unified run surface"
+    )]
     pub fn run_streaming<F>(self, on_result: F)
     where
         F: FnMut(SweepResult),
     {
-        let mut artifacts = CompiledArtifacts::new();
-        self.run_streaming_with(&mut artifacts, on_result);
+        self.execute_streaming(RunOptions::new(), on_result);
     }
 
-    /// Like [`Self::run_streaming`], but compiling into (and reusing) a
-    /// caller-owned [`CompiledArtifacts`] cache, so a *sequence* of sweeps
-    /// over one trace and price set — the deployment optimizer's
-    /// evaluation batches, for instance — shares billing matrices,
-    /// preference geometries and delayed views across sweeps. A
-    /// deployment whose hub list any earlier sweep compiled is never
-    /// recompiled.
-    ///
-    /// The cache is keyed by hub list only, so every sweep extending one
-    /// cache must use the same trace and price set.
-    pub fn run_streaming_with<F>(self, artifacts: &mut CompiledArtifacts, mut on_result: F)
+    /// Streaming delivery into a caller-owned artifact cache, as
+    /// [`Self::execute_streaming`] with [`RunOptions::reuse_artifacts`].
+    #[deprecated(
+        note = "use `execute_streaming(RunOptions::new().reuse_artifacts(artifacts), on_result)` — the unified run surface"
+    )]
+    pub fn run_streaming_with<F>(self, artifacts: &mut CompiledArtifacts, on_result: F)
+    where
+        F: FnMut(SweepResult),
+    {
+        self.execute_streaming(RunOptions::new().reuse_artifacts(artifacts), on_result);
+    }
+
+    /// The worker pool shared by every execution mode: compile the shared
+    /// artifacts into `artifacts` (reusing whatever earlier sweeps left
+    /// there — the cache is keyed by hub list, so every sweep extending one
+    /// cache must use the same trace and price set), then run every grid
+    /// point and deliver results in completion order.
+    fn stream_into<F>(self, artifacts: &mut CompiledArtifacts, mut on_result: F)
     where
         F: FnMut(SweepResult),
     {
@@ -509,7 +559,7 @@ impl<'a> ScenarioSweep<'a> {
                     );
                     let mut policy = (point.policy)();
                     policy.attach_preferences(artifacts_ref.preferences(point.deployment));
-                    let report = sim.run(policy.as_mut());
+                    let report = sim.execute(policy.as_mut(), RunOptions::new());
                     let result = SweepResult {
                         index: i,
                         label: point.label.clone(),
@@ -530,7 +580,7 @@ impl<'a> ScenarioSweep<'a> {
 }
 
 /// One completed sweep cell as delivered by
-/// [`ScenarioSweep::run_streaming`].
+/// [`ScenarioSweep::execute_streaming`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     /// Position of the cell in grid order (the order points were added).
@@ -708,14 +758,15 @@ mod tests {
                 PriceConsciousPolicy::with_distance_threshold(t)
             });
         }
-        let report = sweep.run();
+        let report = sweep.execute(RunOptions::new());
         assert_eq!(report.runs.len(), 4);
         assert!(report.runs.iter().all(|r| r.deployment == DEFAULT_DEPLOYMENT));
 
-        let sequential_baseline = s.run(&mut AkamaiLikePolicy::default());
+        let sequential_baseline = s.execute(&mut AkamaiLikePolicy::default(), RunOptions::new());
         assert_eq!(report.runs[0].report, sequential_baseline);
         for (i, t) in thresholds.iter().enumerate() {
-            let sequential = s.run(&mut PriceConsciousPolicy::with_distance_threshold(*t));
+            let sequential = s
+                .execute(&mut PriceConsciousPolicy::with_distance_threshold(*t), RunOptions::new());
             assert_eq!(&report.runs[i + 1].report, &sequential, "threshold {t}");
         }
     }
@@ -731,7 +782,7 @@ mod tests {
                 || PriceConsciousPolicy::with_distance_threshold(1500.0),
             );
         }
-        let report = sweep.run();
+        let report = sweep.execute(RunOptions::new());
         assert_eq!(report.runs.len(), 4);
         // Grid order is preserved regardless of which worker finished first.
         assert!(report.runs[0].label.starts_with("d0"));
@@ -759,7 +810,7 @@ mod tests {
                 AkamaiLikePolicy::default()
             });
         }
-        let report = sweep.run();
+        let report = sweep.execute(RunOptions::new());
         assert_eq!(report.runs.len(), 4);
         assert_eq!(report.runs[0].deployment, DEFAULT_DEPLOYMENT);
         assert_eq!(report.runs[2].deployment, "east");
@@ -770,8 +821,11 @@ mod tests {
         // deployment (per-run compile, no sharing).
         for (clusters, label) in [(&s.clusters, "nine"), (&east, "east")] {
             let sim = Simulation::new(clusters, &s.trace, &s.prices, s.config.clone());
-            let pc = sim.run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
-            let base = sim.run(&mut AkamaiLikePolicy::default());
+            let pc = sim.execute(
+                &mut PriceConsciousPolicy::with_distance_threshold(1500.0),
+                RunOptions::new(),
+            );
+            let base = sim.execute(&mut AkamaiLikePolicy::default(), RunOptions::new());
             assert_eq!(report.get(&format!("{label}:pc")), Some(&pc));
             assert_eq!(report.get(&format!("{label}:base")), Some(&base));
         }
@@ -803,13 +857,13 @@ mod tests {
             || PriceConsciousPolicy::with_distance_threshold(1500.0),
         );
         assert_eq!(sweep.len(), 3);
-        let report = sweep.run();
+        let report = sweep.execute(RunOptions::new());
 
         for &m in &multipliers {
             let config = calibrated.constrained_config(&s.config, m);
-            let sequential = s.run_with_config(
+            let sequential = s.execute(
                 &mut PriceConsciousPolicy::with_distance_threshold(1500.0),
-                config,
+                RunOptions::new().with_config(config),
             );
             assert_eq!(report.get(&format!("pc@x{m}")), Some(&sequential), "multiplier {m}");
         }
@@ -837,10 +891,10 @@ mod tests {
         let s = short_scenario();
         let east = east_coast(&s.clusters);
 
-        let buffered = build(&s, &east).run();
+        let buffered = build(&s, &east).execute(RunOptions::new());
 
         let mut streamed: Vec<SweepResult> = Vec::new();
-        build(&s, &east).run_streaming(|r| streamed.push(r));
+        build(&s, &east).execute_streaming(RunOptions::new(), |r| streamed.push(r));
         assert_eq!(streamed.len(), buffered.runs.len());
         // Every index arrives exactly once, and each cell carries exactly
         // the run that the buffered API reports at that index.
@@ -900,7 +954,8 @@ mod tests {
 
         let mut cache = CompiledArtifacts::new();
         let mut first: Vec<SweepResult> = Vec::new();
-        build(&s, &east).run_streaming_with(&mut cache, |r| first.push(r));
+        build(&s, &east)
+            .execute_streaming(RunOptions::new().reuse_artifacts(&mut cache), |r| first.push(r));
         assert_eq!(cache.billing_matrices(), 2);
         assert_eq!(cache.hub_list_misses(), 2);
         assert_eq!(cache.hub_list_hits(), 0);
@@ -908,7 +963,8 @@ mod tests {
         // The second sweep revisits both hub lists: everything is a cache
         // hit, nothing new is compiled, and results are bit-identical.
         let mut second: Vec<SweepResult> = Vec::new();
-        build(&s, &east).run_streaming_with(&mut cache, |r| second.push(r));
+        build(&s, &east)
+            .execute_streaming(RunOptions::new().reuse_artifacts(&mut cache), |r| second.push(r));
         assert_eq!(cache.billing_matrices(), 2);
         assert_eq!(cache.compiled_preferences(), 2);
         assert_eq!(cache.delayed_views(), 2);
@@ -921,7 +977,7 @@ mod tests {
 
         // And a fresh-cache streaming run agrees too.
         let mut fresh: Vec<SweepResult> = Vec::new();
-        build(&s, &east).run_streaming(|r| fresh.push(r));
+        build(&s, &east).execute_streaming(RunOptions::new(), |r| fresh.push(r));
         fresh.sort_by_key(|r| r.index);
         assert_eq!(first, fresh);
     }
@@ -941,10 +997,10 @@ mod tests {
             sweep
         }
         let mut cache = CompiledArtifacts::new();
-        build(&s).run_streaming_with(&mut cache, |_| {});
+        build(&s).execute_streaming(RunOptions::new().reuse_artifacts(&mut cache), |_| {});
         // A different window (and therefore coverage) must be refused —
         // the cache would otherwise serve the first scenario's prices.
-        build(&other).run_streaming_with(&mut cache, |_| {});
+        build(&other).execute_streaming(RunOptions::new().reuse_artifacts(&mut cache), |_| {});
     }
 
     #[test]
@@ -953,7 +1009,7 @@ mod tests {
         let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
         sweep.add_point("only", s.config.clone(), AkamaiLikePolicy::default);
         let mut results: Vec<SweepResult> = Vec::new();
-        sweep.run_streaming(|r| results.push(r));
+        sweep.execute_streaming(RunOptions::new(), |r| results.push(r));
         let cell = &results[0];
         let back = SweepResult::from_json_value(&cell.to_json_value()).expect("round trip");
         assert_eq!(&back, cell);
@@ -964,7 +1020,7 @@ mod tests {
         let s = short_scenario();
         let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
         sweep.add_point("only", s.config.clone(), AkamaiLikePolicy::default);
-        let report = sweep.run();
+        let report = sweep.execute(RunOptions::new());
         let json = report.to_json();
         let back = SweepReport::from_json(&json).expect("round trip");
         assert_eq!(report, back);
@@ -978,7 +1034,7 @@ mod tests {
         let s = short_scenario();
         let mut sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
         sweep.add_point("only", s.config.clone(), AkamaiLikePolicy::default);
-        let report = sweep.run();
+        let report = sweep.execute(RunOptions::new());
         // Strip the deployment key, as a pre-multi-deployment report would be.
         let stripped = report.to_json().replace("\"deployment\":\"default\",", "");
         let back = SweepReport::from_json(&stripped).expect("legacy JSON parses");
@@ -990,7 +1046,7 @@ mod tests {
         let s = short_scenario();
         let sweep = ScenarioSweep::new(&s.clusters, &s.trace, &s.prices);
         assert!(sweep.is_empty());
-        let report = sweep.run();
+        let report = sweep.execute(RunOptions::new());
         assert!(report.runs.is_empty());
     }
 

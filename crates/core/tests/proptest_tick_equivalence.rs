@@ -1,0 +1,111 @@
+//! Property-based bit-identity between the batch driver and the tick core.
+//!
+//! For arbitrary windows, seeds, reaction delays, reallocation intervals
+//! and constraint regimes, replaying a trace one [`SimulationEngine::tick`]
+//! at a time must reproduce `Simulation::execute` **bit for bit** — and
+//! must keep doing so when the run is interrupted at a random mid-trace
+//! step by a snapshot that travels through its JSON wire encoding and is
+//! restored into a *freshly built* engine (the daemon failover story).
+
+use proptest::prelude::*;
+use wattroute::engine::{DemandSlice, EngineSnapshot, PriceSlice, SimulationEngine};
+use wattroute::json::JsonValue;
+use wattroute::prelude::*;
+use wattroute::report::SimulationReport;
+use wattroute_market::time::{HourRange, SimHour};
+use wattroute_routing::policy::RoutingPolicy;
+
+/// Replay `sim`'s trace through a tick engine, snapshotting at `cut`
+/// (step index), JSON-round-tripping the snapshot, and finishing the run
+/// in a freshly built engine restored from the decoded snapshot.
+fn tick_replay_with_handover(
+    scenario: &Scenario,
+    policy_a: &mut dyn RoutingPolicy,
+    policy_b: &mut dyn RoutingPolicy,
+    cut: usize,
+) -> SimulationReport {
+    let sim = Simulation::new(
+        &scenario.clusters,
+        &scenario.trace,
+        &scenario.prices,
+        scenario.config.clone(),
+    );
+    let table = sim.price_table();
+    let trace = &scenario.trace;
+
+    let mut engine =
+        SimulationEngine::new(&scenario.clusters, &trace.states, scenario.config.clone())
+            .with_clamped_lead_hours(table.clamped_lead_hours());
+    for (i, step) in trace.steps().iter().enumerate().take(cut) {
+        let hour = trace.step_hour(i);
+        engine.tick(
+            policy_a,
+            PriceSlice::new(hour, table.delayed_at(hour).unwrap(), table.billing_at(hour).unwrap()),
+            DemandSlice::new(&step.us_demand),
+        );
+    }
+
+    // Hand over through the wire encoding into a brand-new engine (and a
+    // brand-new policy instance — policy caches must not carry results).
+    let encoded = engine.snapshot().to_json_value().to_string();
+    let decoded = EngineSnapshot::from_json_value(&JsonValue::parse(&encoded).expect("valid json"))
+        .expect("lossless snapshot");
+    let mut resumed =
+        SimulationEngine::new(&scenario.clusters, &trace.states, scenario.config.clone());
+    resumed.restore(&decoded);
+
+    for (i, step) in trace.steps().iter().enumerate().skip(cut) {
+        let hour = trace.step_hour(i);
+        resumed.tick(
+            policy_b,
+            PriceSlice::new(hour, table.delayed_at(hour).unwrap(), table.billing_at(hour).unwrap()),
+            DemandSlice::new(&step.us_demand),
+        );
+    }
+    resumed.report()
+}
+
+proptest! {
+    #[test]
+    fn tick_replay_with_snapshot_handover_is_bit_identical_to_batch(
+        seed in 0u64..1000,
+        days in 1u64..4,
+        delay in 0u64..30,
+        realloc in prop::sample::select(vec![1usize, 5, 12]),
+        constrained in prop::sample::select(vec![false, true]),
+        threshold in prop::sample::select(vec![0.0f64, 1500.0, f64::INFINITY]),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let start = SimHour::from_date(2008, 12, 19);
+        let mut scenario =
+            Scenario::custom_window(seed, HourRange::new(start, start.plus_hours(days * 24)));
+        scenario.config = scenario
+            .config
+            .with_reaction_delay(delay)
+            .with_reallocation_interval(realloc);
+        if constrained {
+            let caps = scenario.bandwidth_caps_from_baseline();
+            scenario.config = scenario.config.with_bandwidth_caps(caps);
+        }
+
+        let batch = scenario.execute(
+            &mut PriceConsciousPolicy::with_distance_threshold(threshold),
+            RunOptions::new(),
+        );
+
+        let cut = ((scenario.trace.num_steps() as f64) * cut_frac) as usize;
+        let incremental = tick_replay_with_handover(
+            &scenario,
+            &mut PriceConsciousPolicy::with_distance_threshold(threshold),
+            &mut PriceConsciousPolicy::with_distance_threshold(threshold),
+            cut,
+        );
+
+        prop_assert_eq!(&batch, &incremental, "batch != tick replay (cut at step {})", cut);
+        // Bit-for-bit through the JSON encoding as well.
+        prop_assert_eq!(
+            batch.to_json_value().to_string(),
+            incremental.to_json_value().to_string()
+        );
+    }
+}

@@ -8,6 +8,7 @@
 //! scenarios inside this one test, not as siblings.
 
 use wattroute::prelude::*;
+use wattroute::run::RunOptions;
 use wattroute::sweep::{CompiledArtifacts, ScenarioSweep};
 use wattroute_market::price_table::{BillingMatrix, PriceTable};
 use wattroute_market::time::SimHour;
@@ -55,7 +56,7 @@ fn two_deployments_times_two_delays_compile_each_artifact_once() {
     let views_before = PriceTable::view_count();
     let prefs_before = CompiledPreferences::build_count();
 
-    let report = sweep.run();
+    let report = sweep.execute(RunOptions::new());
 
     assert_eq!(report.runs.len(), 8);
     assert_eq!(
@@ -78,7 +79,7 @@ fn two_deployments_times_two_delays_compile_each_artifact_once() {
     // cell against a fresh, per-run-compiled sequential simulation.
     let config = scenario.config.clone().with_reaction_delay(4);
     let sequential = Simulation::new(&east, &scenario.trace, &scenario.prices, config)
-        .run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
+        .execute(&mut PriceConsciousPolicy::with_distance_threshold(1500.0), RunOptions::new());
     assert_eq!(report.get(&format!("pc:{east_id}:4")), Some(&sequential));
 
     // Scenario 2: a persistent cache across *sequences* of sweeps (what
@@ -111,13 +112,13 @@ fn two_deployments_times_two_delays_compile_each_artifact_once() {
     let prefs_before = CompiledPreferences::build_count();
 
     let mut cache = CompiledArtifacts::new();
-    build_sweep(false).run_streaming_with(&mut cache, |_| {});
+    build_sweep(false).execute_streaming(RunOptions::new().reuse_artifacts(&mut cache), |_| {});
     assert_eq!(BillingMatrix::build_count() - billing_before, 2);
     assert_eq!(PriceTable::view_count() - views_before, 2);
     assert_eq!(CompiledPreferences::build_count() - prefs_before, 2);
     assert_eq!((cache.hub_list_hits(), cache.hub_list_misses()), (0, 2));
 
-    build_sweep(true).run_streaming_with(&mut cache, |_| {});
+    build_sweep(true).execute_streaming(RunOptions::new().reuse_artifacts(&mut cache), |_| {});
     assert_eq!(
         BillingMatrix::build_count() - billing_before,
         2,
@@ -158,7 +159,7 @@ fn two_deployments_times_two_delays_compile_each_artifact_once() {
         || PriceConsciousPolicy::with_distance_threshold(1500.0),
     );
     assert_eq!(sweep.len(), 4);
-    let report = sweep.run();
+    let report = sweep.execute(RunOptions::new());
     assert_eq!(report.runs.len(), 4);
     assert!(report.get("pc@x1").unwrap().bandwidth_constrained);
     assert!(!report.get("pc@xinf").unwrap().bandwidth_constrained);

@@ -1,0 +1,276 @@
+//! Incremental price ingestion for long-running routers.
+//!
+//! A [`PriceTable`](crate::price_table::PriceTable) is compiled once from a
+//! complete price history — the right shape for batch simulation, and the
+//! wrong one for a live daemon that learns each hour's prices only when the
+//! market publishes them. [`PriceFeed`] is the incremental counterpart: it
+//! accepts one row of per-hub prices per hour, in hour order, and at any
+//! moment can answer the two questions one simulation step asks —
+//!
+//! * what prices does the *router* see (the delayed view, `delay_hours`
+//!   behind real time, clamped to the first row while no older history
+//!   exists yet), and
+//! * what prices is the operator *billed* at (the current row)?
+//!
+//! The feed retains only the `delay_hours + 1` most recent rows, so a
+//! daemon that runs for months holds a bounded window no matter how long
+//! the replayed history grows. Fed the same rows a table was compiled
+//! from, the feed reproduces the table's delayed and billing slices
+//! exactly — the equivalence is pinned by tests here and drives the live
+//! daemon's bit-identity with batch runs.
+
+use crate::time::SimHour;
+use crate::types::DollarsPerMwh;
+use std::collections::VecDeque;
+use wattroute_geo::HubId;
+
+/// Why a [`PriceFeed::ingest`] call was rejected. The feed's state is
+/// unchanged after any error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FeedError {
+    /// The row does not carry one price per hub.
+    WidthMismatch {
+        /// Number of hubs the feed was built with.
+        expected: usize,
+        /// Number of prices in the rejected row.
+        got: usize,
+    },
+    /// A price was NaN or infinite.
+    NonFinite {
+        /// Index (in hub order) of the offending price.
+        hub_index: usize,
+    },
+    /// The row's hour is not the next hour the feed expects — feeds accept
+    /// strictly contiguous hourly rows, never gaps or replays.
+    NonContiguous {
+        /// The hour the feed expected next.
+        expected: SimHour,
+        /// The hour the rejected row carried.
+        got: SimHour,
+    },
+}
+
+impl std::fmt::Display for FeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WidthMismatch { expected, got } => {
+                write!(f, "price row has {got} entries for {expected} hubs")
+            }
+            Self::NonFinite { hub_index } => {
+                write!(f, "price for hub index {hub_index} is not finite")
+            }
+            Self::NonContiguous { expected, got } => {
+                write!(
+                    f,
+                    "price row for hour {} arrived when hour {} was expected \
+                     (feeds accept contiguous hourly rows only)",
+                    got.0, expected.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+/// An incremental, bounded-memory ingestor of hourly per-hub price rows.
+///
+/// See the [module docs](self) for the relationship to the batch
+/// [`PriceTable`](crate::price_table::PriceTable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceFeed {
+    hubs: Vec<HubId>,
+    delay_hours: u64,
+    /// The hour of the first row ever ingested (survives eviction — it
+    /// anchors the clamping rule).
+    first_hour: Option<SimHour>,
+    /// The most recent `delay_hours + 1` rows, oldest first. The front row
+    /// is the delayed (router-visible) view, the back row the billing view.
+    rows: VecDeque<(SimHour, Vec<DollarsPerMwh>)>,
+    clamped_lead_hours: u64,
+}
+
+impl PriceFeed {
+    /// A feed for `hubs` (in cluster order) at the router's reaction delay.
+    ///
+    /// # Panics
+    /// Panics on an empty hub list — a feed with no hubs can never produce
+    /// a usable price slice.
+    pub fn new(hubs: Vec<HubId>, delay_hours: u64) -> Self {
+        assert!(!hubs.is_empty(), "a price feed needs at least one hub");
+        Self {
+            hubs,
+            delay_hours,
+            first_hour: None,
+            rows: VecDeque::with_capacity(delay_hours as usize + 1),
+            clamped_lead_hours: 0,
+        }
+    }
+
+    /// The hub order of every row.
+    pub fn hubs(&self) -> &[HubId] {
+        &self.hubs
+    }
+
+    /// The reaction delay between the billing and router-visible views.
+    pub fn delay_hours(&self) -> u64 {
+        self.delay_hours
+    }
+
+    /// The hour of the most recently ingested row, if any.
+    pub fn current_hour(&self) -> Option<SimHour> {
+        self.rows.back().map(|(hour, _)| *hour)
+    }
+
+    /// Number of rows currently retained (at most `delay_hours + 1`).
+    pub fn retained_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// How many ingested hours so far had their delayed view clamped to
+    /// the first row because `delay_hours` of history did not exist yet —
+    /// the live counterpart of
+    /// [`PriceTable::clamped_lead_hours`](crate::price_table::PriceTable::clamped_lead_hours).
+    pub fn clamped_lead_hours(&self) -> u64 {
+        self.clamped_lead_hours
+    }
+
+    /// Ingest the price row for the next hour. The first row fixes the
+    /// feed's start hour; every later row must be for exactly the following
+    /// hour. On any error the feed is unchanged.
+    pub fn ingest(&mut self, hour: SimHour, prices: &[DollarsPerMwh]) -> Result<(), FeedError> {
+        if prices.len() != self.hubs.len() {
+            return Err(FeedError::WidthMismatch { expected: self.hubs.len(), got: prices.len() });
+        }
+        if let Some(bad) = prices.iter().position(|p| !p.is_finite()) {
+            return Err(FeedError::NonFinite { hub_index: bad });
+        }
+        if let Some(current) = self.current_hour() {
+            let expected = SimHour(current.0 + 1);
+            if hour != expected {
+                return Err(FeedError::NonContiguous { expected, got: hour });
+            }
+        }
+        let first = *self.first_hour.get_or_insert(hour);
+        if hour.0 < first.0 + self.delay_hours {
+            self.clamped_lead_hours += 1;
+        }
+        self.rows.push_back((hour, prices.to_vec()));
+        // Keep exactly the rows the delayed view can still reach: the row
+        // for `hour - delay` (clamped to the first row) through `hour`.
+        while self.rows.len() > self.delay_hours as usize + 1 {
+            self.rows.pop_front();
+        }
+        Ok(())
+    }
+
+    /// The per-hub prices the *router* sees at the current hour: the row
+    /// from `delay_hours` ago, or the oldest available row while that much
+    /// history does not exist yet. `None` before the first ingest.
+    pub fn delayed(&self) -> Option<&[DollarsPerMwh]> {
+        self.rows.front().map(|(_, row)| row.as_slice())
+    }
+
+    /// The per-hub prices the operator is *billed* at for the current
+    /// hour. `None` before the first ingest.
+    pub fn billing(&self) -> Option<&[DollarsPerMwh]> {
+        self.rows.back().map(|(_, row)| row.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::PriceGenerator;
+    use crate::price_table::PriceTable;
+    use crate::time::HourRange;
+
+    fn nine_hub_window(hours: u64) -> (crate::types::PriceSet, HourRange) {
+        let start = SimHour::from_date(2008, 12, 19);
+        let range = HourRange::new(start, start.plus_hours(hours));
+        (PriceGenerator::nine_cluster_default(7).realtime_hourly(range), range)
+    }
+
+    #[test]
+    fn feed_reproduces_the_compiled_table_row_for_row() {
+        let (set, range) = nine_hub_window(72);
+        let hubs = set.hubs();
+        for delay in [0u64, 1, 3, 24] {
+            let table = PriceTable::build(&set, &hubs, range, delay);
+            let mut feed = PriceFeed::new(hubs.clone(), delay);
+            for h in range.start.0..range.end.0 {
+                let hour = SimHour(h);
+                feed.ingest(hour, table.billing_at(hour).unwrap()).unwrap();
+                assert_eq!(feed.current_hour(), Some(hour));
+                assert_eq!(
+                    feed.delayed().unwrap(),
+                    table.delayed_at(hour).unwrap(),
+                    "delayed view diverged at hour {h} (delay {delay})"
+                );
+                assert_eq!(feed.billing().unwrap(), table.billing_at(hour).unwrap());
+            }
+            assert_eq!(feed.clamped_lead_hours(), table.clamped_lead_hours());
+            assert!(feed.retained_rows() <= delay as usize + 1);
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_by_the_delay_window() {
+        let (set, range) = nine_hub_window(200);
+        let hubs = set.hubs();
+        let mut feed = PriceFeed::new(hubs.clone(), 5);
+        for h in range.start.0..range.end.0 {
+            let hour = SimHour(h);
+            let row: Vec<f64> =
+                hubs.iter().map(|hub| set.for_hub(*hub).unwrap().price_at(hour).unwrap()).collect();
+            feed.ingest(hour, &row).unwrap();
+        }
+        assert_eq!(feed.retained_rows(), 6);
+        assert_eq!(feed.clamped_lead_hours(), 5);
+    }
+
+    #[test]
+    fn empty_feed_answers_none() {
+        let feed = PriceFeed::new(vec![HubId::BostonMa], 2);
+        assert_eq!(feed.current_hour(), None);
+        assert_eq!(feed.delayed(), None);
+        assert_eq!(feed.billing(), None);
+        assert_eq!(feed.clamped_lead_hours(), 0);
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected_and_leave_the_feed_unchanged() {
+        let mut feed = PriceFeed::new(vec![HubId::BostonMa, HubId::ChicagoIl], 1);
+        feed.ingest(SimHour(10), &[40.0, 50.0]).unwrap();
+        let before = feed.clone();
+
+        assert_eq!(
+            feed.ingest(SimHour(11), &[40.0]),
+            Err(FeedError::WidthMismatch { expected: 2, got: 1 })
+        );
+        assert_eq!(
+            feed.ingest(SimHour(11), &[40.0, f64::NAN]),
+            Err(FeedError::NonFinite { hub_index: 1 })
+        );
+        assert_eq!(
+            feed.ingest(SimHour(13), &[40.0, 50.0]),
+            Err(FeedError::NonContiguous { expected: SimHour(11), got: SimHour(13) })
+        );
+        assert_eq!(
+            feed.ingest(SimHour(10), &[40.0, 50.0]),
+            Err(FeedError::NonContiguous { expected: SimHour(11), got: SimHour(10) })
+        );
+        assert_eq!(feed, before, "a rejected row must not mutate the feed");
+
+        // Errors render readably for daemon logs.
+        let rendered =
+            format!("{}", FeedError::NonContiguous { expected: SimHour(11), got: SimHour(13) });
+        assert!(rendered.contains("11") && rendered.contains("13"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hub")]
+    fn empty_hub_list_panics() {
+        let _ = PriceFeed::new(Vec::new(), 1);
+    }
+}

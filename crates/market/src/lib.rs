@@ -52,6 +52,7 @@ pub mod auction;
 pub mod csv;
 pub mod demand_response;
 pub mod differential;
+pub mod feed;
 pub mod generator;
 pub mod model;
 pub mod price_table;
@@ -62,6 +63,7 @@ pub mod types;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use crate::differential::{Differential, DifferentialStats};
+    pub use crate::feed::{FeedError, PriceFeed};
     pub use crate::generator::PriceGenerator;
     pub use crate::model::MarketModel;
     pub use crate::price_table::PriceTable;

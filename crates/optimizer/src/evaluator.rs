@@ -4,7 +4,7 @@
 //! that must all be simulated over the same trace and price history. A
 //! [`SweepEvaluator`] turns each batch into one
 //! [`ScenarioSweep`] and runs it through
-//! [`run_streaming_with`](ScenarioSweep::run_streaming_with) against a
+//! [`execute_streaming`](ScenarioSweep::execute_streaming) against a
 //! **persistent** [`CompiledArtifacts`] cache, so:
 //!
 //! * the batch executes in parallel on the sweep's worker pool
@@ -18,6 +18,7 @@
 
 use std::sync::Arc;
 use wattroute::report::SimulationReport;
+use wattroute::run::RunOptions;
 use wattroute::simulation::SimulationConfig;
 use wattroute::sweep::{CompiledArtifacts, ScenarioSweep};
 use wattroute_market::types::PriceSet;
@@ -164,7 +165,7 @@ impl<'a> SweepEvaluator<'a> {
             row
         });
         // Points were added candidate-major: index = candidate × policies + policy.
-        sweep.run_streaming_with(&mut self.artifacts, |result| {
+        sweep.execute_streaming(RunOptions::new().reuse_artifacts(&mut self.artifacts), |result| {
             slots[result.index % policies.len()][result.index / policies.len()] =
                 Some(result.report);
         });
@@ -206,7 +207,10 @@ mod tests {
         assert_eq!(reports.len(), 2);
         for (candidate, report) in [(&nine, &reports[0]), (&rescaled, &reports[1])] {
             let sequential = Simulation::new(candidate, &s.trace, &s.prices, s.config.clone())
-                .run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
+                .execute(
+                    &mut PriceConsciousPolicy::with_distance_threshold(1500.0),
+                    RunOptions::new(),
+                );
             assert_eq!(report, &sequential);
         }
         // Both candidates share one hub list: one miss, one hit.
@@ -266,8 +270,10 @@ mod tests {
         for (candidate, report) in [(&nine, &reports[0]), (&east, &reports[1])] {
             let config = constrained.candidate_config(candidate);
             assert_eq!(config.constraints.bandwidth_caps(), Some(&hub_caps.resolve(candidate)[..]));
-            let sequential = Simulation::new(candidate, &s.trace, &s.prices, config)
-                .run(&mut PriceConsciousPolicy::with_distance_threshold(1500.0));
+            let sequential = Simulation::new(candidate, &s.trace, &s.prices, config).execute(
+                &mut PriceConsciousPolicy::with_distance_threshold(1500.0),
+                RunOptions::new(),
+            );
             assert_eq!(report, &sequential);
         }
 

@@ -65,9 +65,28 @@ impl OnlineStats {
         self.count += weight.max(1.0) as u64;
     }
 
+    /// Rebuild an accumulator from its raw parts — the inverse of reading
+    /// [`Self::count`]/[`Self::mean`]/[`Self::m2`]/[`Self::min`]/
+    /// [`Self::max`]/[`Self::sum`]. Callers that persist an accumulator
+    /// (e.g. an engine snapshot) round-trip through this; a zero `count`
+    /// yields an accumulator equal to [`Self::new`] regardless of the other
+    /// arguments.
+    pub fn from_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64, sum: f64) -> Self {
+        if count == 0 {
+            return Self::new();
+        }
+        Self { count, mean, m2, min, max, sum }
+    }
+
     /// Number of (finite) observations pushed.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// The raw second-moment accumulator (Σ·(x−mean)² mass), exposed so the
+    /// accumulator can be persisted losslessly via [`Self::from_parts`].
+    pub fn m2(&self) -> f64 {
+        self.m2
     }
 
     /// Sum of observations (weighted where applicable).

@@ -31,7 +31,7 @@ fn main() {
 
     // Price-conscious routing.
     let mut price_policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
-    let price_report = scenario.run(&mut price_policy);
+    let price_report = scenario.execute(&mut price_policy, RunOptions::new());
 
     // Carbon-aware routing: the policy needs per-cluster intensities; we use
     // the scenario's mean prices as a (stable) proxy for each grid's typical
@@ -39,7 +39,7 @@ fn main() {
     let intensities: Vec<f64> =
         scenario.mean_prices().iter().map(|p| carbon_intensity_for(*p)).collect();
     let mut carbon_policy = CarbonAwarePolicy::new(1500.0, intensities.clone());
-    let carbon_report = scenario.run(&mut carbon_policy);
+    let carbon_report = scenario.execute(&mut carbon_policy, RunOptions::new());
 
     // Estimate tons of CO₂ for a report: energy per cluster × intensity.
     let tons = |report: &wattroute::report::SimulationReport| -> f64 {

@@ -36,7 +36,7 @@ fn main() {
     );
     for threshold in [0.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0] {
         let mut policy = PriceConsciousPolicy::with_distance_threshold(threshold);
-        let report = scenario.run(&mut policy);
+        let report = scenario.execute(&mut policy, RunOptions::new());
         println!(
             "{:<22} {:>12.3} {:>14.0} {:>12.0}",
             format!("{threshold:.0} km"),
@@ -48,9 +48,9 @@ fn main() {
 
     println!("\n== Does a static move to the cheapest market do as well? ==\n");
     let mut static_policy = scenario.static_cheapest_policy();
-    let static_report = scenario.run(&mut static_policy);
+    let static_report = scenario.execute(&mut static_policy, RunOptions::new());
     let mut dynamic = PriceConsciousPolicy::unconstrained_distance();
-    let dynamic_report = scenario.run(&mut dynamic);
+    let dynamic_report = scenario.execute(&mut dynamic, RunOptions::new());
     println!(
         "static cheapest-hub:     {:>5.1}% savings",
         static_report.savings_percent_vs(&baseline)

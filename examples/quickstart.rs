@@ -38,7 +38,7 @@ fn main() {
 
     // 2. The paper's price-conscious optimizer at a 1500 km distance threshold.
     let mut optimizer = PriceConsciousPolicy::with_distance_threshold(1500.0);
-    let optimized = scenario.run(&mut optimizer);
+    let optimized = scenario.execute(&mut optimizer, RunOptions::new());
     println!("\nPrice-conscious routing (1500 km threshold, 95/5 relaxed):");
     println!("  electricity cost: ${:.0}", optimized.total_cost_dollars);
     println!("  savings:          {:.1}%", optimized.savings_percent_vs(&baseline));
@@ -50,8 +50,10 @@ fn main() {
     // 3. Same policy, but never exceeding the baseline's 95th-percentile
     //    per-cluster load (the 95/5 bandwidth billing constraint).
     let caps = scenario.bandwidth_caps_from_baseline();
-    let constrained =
-        scenario.run_with_config(&mut optimizer, scenario.config.clone().with_bandwidth_caps(caps));
+    let constrained = scenario.execute(
+        &mut optimizer,
+        RunOptions::new().with_config(scenario.config.clone().with_bandwidth_caps(caps)),
+    );
     println!("\nPrice-conscious routing (following the original 95/5 constraints):");
     println!("  electricity cost: ${:.0}", constrained.total_cost_dollars);
     println!("  savings:          {:.1}%", constrained.savings_percent_vs(&baseline));

@@ -15,7 +15,7 @@ fn full_pipeline_produces_consistent_reports() {
 
     let baseline = scenario.baseline_report();
     let mut optimizer = PriceConsciousPolicy::with_distance_threshold(1500.0);
-    let optimized = scenario.run(&mut optimizer);
+    let optimized = scenario.execute(&mut optimizer, RunOptions::new());
 
     // Reports are internally consistent.
     for report in [&baseline, &optimized] {
@@ -48,12 +48,14 @@ fn bandwidth_constrained_run_respects_baseline_p95() {
     let caps: Vec<f64> = baseline.clusters.iter().map(|c| c.p95_hits_per_sec).collect();
 
     let mut optimizer = PriceConsciousPolicy::with_distance_threshold(2500.0);
-    let constrained = scenario
-        .run_with_config(&mut optimizer, scenario.config.clone().with_bandwidth_caps(caps.clone()));
+    let constrained = scenario.execute(
+        &mut optimizer,
+        RunOptions::new().with_config(scenario.config.clone().with_bandwidth_caps(caps.clone())),
+    );
     assert!(constrained.bandwidth_constrained);
     assert!(constrained.respects_p95_caps(&caps, 0.05));
 
-    let relaxed = scenario.run(&mut optimizer);
+    let relaxed = scenario.execute(&mut optimizer, RunOptions::new());
     assert!(relaxed.total_cost_dollars <= constrained.total_cost_dollars + 1e-6);
 }
 
@@ -63,11 +65,11 @@ fn different_policies_are_ranked_sensibly_under_full_elasticity() {
         .with_energy(EnergyModelParams::optimistic_future());
     let baseline = scenario.baseline_report();
 
-    let nearest = scenario.run(&mut NearestClusterPolicy::new());
+    let nearest = scenario.execute(&mut NearestClusterPolicy::new(), RunOptions::new());
     let mut price = PriceConsciousPolicy::unconstrained_distance();
-    let price_report = scenario.run(&mut price);
+    let price_report = scenario.execute(&mut price, RunOptions::new());
     let mut static_policy = scenario.static_cheapest_policy();
-    let static_report = scenario.run(&mut static_policy);
+    let static_report = scenario.execute(&mut static_policy, RunOptions::new());
 
     // Nearest routing is cheaper than the Akamai-like baseline (shorter
     // allocation is also more concentrated), and pure price routing is the
@@ -87,11 +89,11 @@ fn carbon_and_joint_policies_run_end_to_end() {
     let scenario = Scenario::custom_window(5, short_range());
     let intensities = vec![0.5; scenario.clusters.len()];
     let mut carbon = CarbonAwarePolicy::new(1500.0, intensities);
-    let carbon_report = scenario.run(&mut carbon);
+    let carbon_report = scenario.execute(&mut carbon, RunOptions::new());
     assert!(carbon_report.total_cost_dollars > 0.0);
 
     let mut joint = JointCostPolicy::new(0.01);
-    let joint_report = scenario.run(&mut joint);
+    let joint_report = scenario.execute(&mut joint, RunOptions::new());
     assert!(joint_report.total_cost_dollars > 0.0);
     assert_eq!(joint_report.policy, "joint-price-distance");
 }

@@ -54,7 +54,7 @@ fn cost_falls_and_distance_rises_with_the_threshold() {
     let mut distances = Vec::new();
     for threshold in [0.0, 1000.0, 2500.0] {
         let mut policy = PriceConsciousPolicy::with_distance_threshold(threshold);
-        let report = scenario.run(&mut policy);
+        let report = scenario.execute(&mut policy, RunOptions::new());
         costs.push(report.normalized_cost_vs(&baseline));
         distances.push(report.mean_distance_km);
         assert!(report.normalized_cost_vs(&baseline) <= last_cost + 1e-9);
@@ -78,9 +78,11 @@ fn dynamic_beats_static_over_a_long_horizon() {
     let baseline = scenario.baseline_report();
 
     let mut dynamic = PriceConsciousPolicy::unconstrained_distance();
-    let dynamic_savings = scenario.run(&mut dynamic).savings_percent_vs(&baseline);
+    let dynamic_savings =
+        scenario.execute(&mut dynamic, RunOptions::new()).savings_percent_vs(&baseline);
     let mut static_policy = scenario.static_cheapest_policy();
-    let static_savings = scenario.run(&mut static_policy).savings_percent_vs(&baseline);
+    let static_savings =
+        scenario.execute(&mut static_policy, RunOptions::new()).savings_percent_vs(&baseline);
 
     assert!(dynamic_savings > 0.0);
     assert!(
@@ -99,10 +101,16 @@ fn reaction_delay_increases_cost() {
 
     let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
     let immediate = scenario
-        .run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(0))
+        .execute(
+            &mut policy,
+            RunOptions::new().with_config(scenario.config.clone().with_reaction_delay(0)),
+        )
         .total_cost_dollars;
     let delayed_12h = scenario
-        .run_with_config(&mut policy, scenario.config.clone().with_reaction_delay(12))
+        .execute(
+            &mut policy,
+            RunOptions::new().with_config(scenario.config.clone().with_reaction_delay(12)),
+        )
         .total_cost_dollars;
     assert!(
         delayed_12h > immediate,
