@@ -3,10 +3,12 @@
 //! Two subcommands:
 //!
 //! * `routed serve --socket PATH [--hours N] [--seed N] [--step-ms M]
-//!   [--policy pc|baseline] [--linger]` — replay a synthetic scenario in
-//!   accelerated wall-clock time, serving `route?` / `stats` / `snapshot` /
-//!   `shutdown` queries over the Unix socket (newline-delimited JSON; see
-//!   `docs/daemon.md`). On shutdown, prints the final flushed
+//!   [--policy pc|baseline] [--linger] [--max-conns N]` — replay a
+//!   synthetic scenario in accelerated wall-clock time, serving `route?` /
+//!   `stats` / `snapshot` / `shutdown` queries over the Unix socket
+//!   (newline-delimited JSON; see `docs/daemon.md`). At most `--max-conns`
+//!   query connections are served concurrently; one past the cap receives
+//!   a single `"ok": false` error reply and is closed. On shutdown, prints the final flushed
 //!   [`SimulationReport`] as one JSON
 //!   line on stdout — bit-identical to the batch run of the same scenario.
 //!
@@ -19,7 +21,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 use wattroute::json::JsonValue;
 use wattroute::prelude::*;
-use wattroute_bench::daemon::{serve, DaemonClient, DaemonOptions};
+use wattroute_bench::daemon::{serve, DaemonClient, DaemonOptions, DEFAULT_MAX_CONNECTIONS};
 use wattroute_market::time::{HourRange, SimHour};
 use wattroute_routing::policy::RoutingPolicy;
 
@@ -29,7 +31,7 @@ fn main() -> ExitCode {
         Some("serve") => run_serve(&args[1..]),
         Some("query") => run_query(&args[1..]),
         _ => {
-            eprintln!("usage: routed serve --socket PATH [--hours N] [--seed N] [--step-ms M] [--policy pc|baseline] [--linger]");
+            eprintln!("usage: routed serve --socket PATH [--hours N] [--seed N] [--step-ms M] [--policy pc|baseline] [--linger] [--max-conns N]");
             eprintln!("       routed query --socket PATH <REQUEST_JSON>");
             ExitCode::from(2)
         }
@@ -50,6 +52,12 @@ fn run_serve(args: &[String]) -> ExitCode {
     let seed: u64 = flag_value(args, "--seed").map_or(42, |v| v.parse().expect("--seed N"));
     let step_ms: u64 = flag_value(args, "--step-ms").map_or(0, |v| v.parse().expect("--step-ms M"));
     let linger = args.iter().any(|a| a == "--linger");
+    let max_conns: usize = flag_value(args, "--max-conns")
+        .map_or(DEFAULT_MAX_CONNECTIONS, |v| v.parse().expect("--max-conns N"));
+    if max_conns == 0 {
+        eprintln!("routed serve: --max-conns must be at least 1");
+        return ExitCode::from(2);
+    }
 
     let start = SimHour::from_date(2008, 12, 19);
     let scenario = Scenario::custom_window(seed, HourRange::new(start, start.plus_hours(hours)));
@@ -66,6 +74,7 @@ fn run_serve(args: &[String]) -> ExitCode {
         socket_path: PathBuf::from(socket),
         step_wait: Duration::from_millis(step_ms),
         linger,
+        max_connections: max_conns,
     };
     eprintln!(
         "routed: serving {hours}h trace (seed {seed}) on {socket}, {step_ms}ms/step{}",

@@ -29,7 +29,7 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 use wattroute::engine::{DemandSlice, PriceSlice, SimulationEngine};
@@ -54,13 +54,34 @@ pub struct DaemonOptions {
     /// `shutdown` command arrives (`true`), or flush the final report and
     /// exit immediately (`false`).
     pub linger: bool,
+    /// Most query connections served concurrently. A connection beyond the
+    /// cap is answered with a single `"ok": false` error reply and closed
+    /// instead of being given a handler thread, so a connection flood
+    /// cannot exhaust the daemon's threads.
+    pub max_connections: usize,
 }
+
+/// Default [`DaemonOptions::max_connections`]: generous for interactive
+/// use, small enough that a runaway client loop fails fast.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
 
 impl DaemonOptions {
     /// Free-running, non-lingering options for a socket path — the
     /// configuration batch-equivalence tests use.
     pub fn free_run(socket_path: impl Into<PathBuf>) -> Self {
-        Self { socket_path: socket_path.into(), step_wait: Duration::ZERO, linger: false }
+        Self {
+            socket_path: socket_path.into(),
+            step_wait: Duration::ZERO,
+            linger: false,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+        }
+    }
+
+    /// Override the concurrent-connection cap (minimum 1).
+    pub fn with_max_connections(mut self, max_connections: usize) -> Self {
+        assert!(max_connections >= 1, "the daemon needs at least one connection slot");
+        self.max_connections = max_connections;
+        self
     }
 }
 
@@ -96,7 +117,7 @@ pub fn serve(
     let shutdown = AtomicBool::new(false);
 
     std::thread::scope(|scope| {
-        scope.spawn(|| accept_loop(&listener, &engine, &shutdown));
+        scope.spawn(|| accept_loop(&listener, &engine, &shutdown, options.max_connections));
 
         let mut row = Vec::with_capacity(series.len());
         for (i, step) in scenario.trace.steps().iter().enumerate() {
@@ -143,22 +164,36 @@ pub fn serve(
 }
 
 /// Accept connections until shutdown, answering each request line against
-/// the shared engine.
+/// the shared engine. At most `max_connections` handler threads are live
+/// at once; a connection beyond the cap gets one JSON error reply and is
+/// closed.
 fn accept_loop(
     listener: &UnixListener,
     engine: &Mutex<SimulationEngine<'_>>,
     shutdown: &AtomicBool,
+    max_connections: usize,
 ) {
+    let live = AtomicUsize::new(0);
+    let live = &live;
     std::thread::scope(|scope| loop {
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok((mut stream, _)) => {
                 // A slow client must not wedge the daemon: each connection
                 // gets its own thread, and bounded reads let every thread
                 // re-check the shutdown flag.
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-                scope.spawn(move || {
-                    let _ = handle_connection(stream, engine, shutdown);
-                });
+                if live.fetch_add(1, Ordering::SeqCst) >= max_connections {
+                    live.fetch_sub(1, Ordering::SeqCst);
+                    let reply =
+                        error_reply(&format!("connection limit reached ({max_connections})"));
+                    let _ = stream.write_all(reply.to_string().as_bytes());
+                    let _ = stream.write_all(b"\n");
+                } else {
+                    scope.spawn(move || {
+                        let _ = handle_connection(stream, engine, shutdown);
+                        live.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
                 if shutdown.load(Ordering::SeqCst) {
                     break;
                 }
@@ -239,11 +274,19 @@ fn handle_request(
         }
         "stats" => {
             let engine = engine.lock().expect("engine lock");
-            json::object([
-                ("ok", JsonValue::Bool(true)),
-                ("steps", JsonValue::Number(engine.steps() as f64)),
-                ("report", engine.report().to_json_value()),
-            ])
+            match tier_load_reply(&engine) {
+                Some(tier_load) => json::object([
+                    ("ok", JsonValue::Bool(true)),
+                    ("steps", JsonValue::Number(engine.steps() as f64)),
+                    ("report", engine.report().to_json_value()),
+                    ("tier_load", tier_load),
+                ]),
+                None => json::object([
+                    ("ok", JsonValue::Bool(true)),
+                    ("steps", JsonValue::Number(engine.steps() as f64)),
+                    ("report", engine.report().to_json_value()),
+                ]),
+            }
         }
         "snapshot" => {
             let engine = engine.lock().expect("engine lock");
@@ -271,20 +314,51 @@ fn route_reply(engine: &SimulationEngine<'_>, state: UsState, code: &str) -> Jso
         return error_reply(&format!("state '{code}' is not in this scenario's client set"));
     };
     let hour = engine.last_allocation_hour().expect("allocation implies an hour");
-    let per_cluster = json::object_iter(
-        engine
-            .clusters()
-            .clusters()
-            .iter()
-            .zip(allocation.matrix())
-            .map(|(cluster, row)| (cluster.label.as_str(), JsonValue::Number(row[s]))),
-    );
+    let per_cluster =
+        json::object_iter(
+            engine.clusters().clusters().iter().enumerate().map(|(c, cluster)| {
+                (cluster.label.as_str(), JsonValue::Number(allocation.row(c)[s]))
+            }),
+        );
     json::object([
         ("ok", JsonValue::Bool(true)),
         ("state", JsonValue::String(code.to_uppercase())),
         ("hour", JsonValue::Number(hour.0 as f64)),
         ("hits_per_sec", per_cluster),
     ])
+}
+
+/// The `stats` reply's tier-level view of the allocation in force: the
+/// daemon's flat deployment embedded as a one-region tree, with
+/// [`TierLoads`] aggregating the current per-cluster loads up it. `None`
+/// until the first tick installs an allocation.
+fn tier_load_reply(engine: &SimulationEngine<'_>) -> Option<JsonValue> {
+    let allocation = engine.current_allocation()?;
+    let topology = single_region_of(engine.clusters());
+    let loads = TierLoads::aggregate(&topology, &allocation.cluster_loads());
+    Some(json::object([
+        (
+            "metros",
+            json::object_iter(
+                topology
+                    .metro_labels()
+                    .iter()
+                    .zip(&loads.metro)
+                    .map(|(label, load)| (label.as_str(), JsonValue::Number(*load))),
+            ),
+        ),
+        (
+            "regions",
+            json::object_iter(
+                topology
+                    .region_labels()
+                    .iter()
+                    .zip(&loads.region)
+                    .map(|(label, load)| (label.as_str(), JsonValue::Number(*load))),
+            ),
+        ),
+        ("total_hits_per_sec", JsonValue::Number(loads.total)),
+    ]))
 }
 
 fn error_reply(message: &str) -> JsonValue {

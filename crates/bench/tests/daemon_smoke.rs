@@ -13,7 +13,7 @@ use wattroute::engine::EngineSnapshot;
 use wattroute::json::{self, JsonValue};
 use wattroute::prelude::*;
 use wattroute::report::SimulationReport;
-use wattroute_bench::daemon::{serve, DaemonClient, DaemonOptions};
+use wattroute_bench::daemon::{serve, DaemonClient, DaemonOptions, DEFAULT_MAX_CONNECTIONS};
 use wattroute_market::time::{HourRange, SimHour};
 
 fn short_scenario(hours: u64) -> Scenario {
@@ -60,6 +60,7 @@ fn wire_protocol_answers_all_commands_mid_run() {
         // Slow enough that queries land mid-trace: 24h × 12 steps × 3ms ≈ 0.9s.
         step_wait: Duration::from_millis(3),
         linger: true,
+        max_connections: DEFAULT_MAX_CONNECTIONS,
     };
     let scenario_ref = &scenario;
     let final_report = std::thread::scope(|scope| {
@@ -76,6 +77,13 @@ fn wire_protocol_answers_all_commands_mid_run() {
         let report = SimulationReport::from_json_value(stats.get("report").expect("report field"))
             .expect("mid-run report decodes");
         assert_eq!(report.policy, "price-conscious");
+        // The policy name proves a tick ran, so an allocation is in force
+        // and the stats reply carries its tier-level aggregation.
+        let tier_load = stats.get("tier_load").expect("tier_load field");
+        let total = tier_load.get("total_hits_per_sec").and_then(JsonValue::as_f64).expect("total");
+        assert!(total >= 0.0);
+        let regions = tier_load.get("regions").expect("regions object");
+        assert!(regions.get("US").and_then(JsonValue::as_f64).is_some(), "one-region embedding");
 
         // route?: the current allocation routes Massachusetts somewhere.
         let route = client
@@ -127,6 +135,55 @@ fn wire_protocol_answers_all_commands_mid_run() {
 }
 
 #[test]
+fn connections_beyond_the_cap_get_an_error_reply_and_are_closed() {
+    use std::io::BufRead;
+
+    let scenario = short_scenario(24);
+    let path = socket_path("cap");
+    let _ = std::fs::remove_file(&path);
+
+    let options = DaemonOptions {
+        socket_path: path.clone(),
+        step_wait: Duration::from_millis(3),
+        linger: true,
+        max_connections: 1,
+    };
+    std::thread::scope(|scope| {
+        let scenario_ref = &scenario;
+        let options_ref = &options;
+        let server = scope.spawn(move || {
+            let mut policy = AkamaiLikePolicy::default();
+            serve(scenario_ref, &mut policy, options_ref).expect("serve")
+        });
+
+        // The first client occupies the single slot; a served request
+        // proves its handler thread is live (not merely queued).
+        let mut first = DaemonClient::connect(&path, Duration::from_secs(10)).expect("connect");
+        let stats = first.command("stats").expect("stats");
+        assert_eq!(stats.get("ok").and_then(JsonValue::as_bool), Some(true));
+
+        // The second connection is rejected with a parseable reply — no
+        // request needs to be sent — and then closed.
+        let second = std::os::unix::net::UnixStream::connect(&path).expect("connect second");
+        let mut reader = std::io::BufReader::new(second);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("rejection reply");
+        let reply = JsonValue::parse(line.trim()).expect("reply is JSON");
+        assert_eq!(reply.get("ok").and_then(JsonValue::as_bool), Some(false), "{reply}");
+        let error = reply.get("error").and_then(JsonValue::as_str).expect("error string");
+        assert!(error.contains("connection limit"), "unexpected error: {error}");
+        line.clear();
+        assert_eq!(reader.read_line(&mut line).expect("EOF"), 0, "rejected stream is closed");
+
+        // The admitted client still works, and freeing its slot admits a
+        // successor.
+        let ack = first.command("shutdown").expect("shutdown");
+        assert_eq!(ack.get("ok").and_then(JsonValue::as_bool), Some(true));
+        server.join().expect("server thread")
+    });
+}
+
+#[test]
 fn shutdown_mid_trace_flushes_a_partial_report() {
     let scenario = short_scenario(24);
     let path = socket_path("part");
@@ -136,6 +193,7 @@ fn shutdown_mid_trace_flushes_a_partial_report() {
         socket_path: path.clone(),
         step_wait: Duration::from_millis(10),
         linger: false,
+        max_connections: DEFAULT_MAX_CONNECTIONS,
     };
     let scenario_ref = &scenario;
     let report = std::thread::scope(|scope| {

@@ -600,6 +600,7 @@ impl<'a> SimulationEngine<'a> {
             mean_distance_km: st.distances.mean_km().unwrap_or(0.0),
             p99_distance_km: st.distances.percentile_km(99.0).unwrap_or(0.0),
             distances: st.distances.clone(),
+            tiers: None,
         }
     }
 

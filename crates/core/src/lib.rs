@@ -53,6 +53,7 @@
 
 pub mod constraints;
 pub mod engine;
+pub mod hierarchy;
 pub mod json;
 pub mod jsonl;
 pub mod objective;
@@ -80,13 +81,13 @@ pub use wattroute_workload as workload;
 pub mod prelude {
     pub use crate::constraints::{BandwidthTariff, CalibratedScenario};
     pub use crate::engine::{DemandSlice, EngineSnapshot, PriceSlice, SimulationEngine};
+    pub use crate::hierarchy::{HierarchicalReplay, PolicyFactory};
     pub use crate::objective::{Objective, ObjectiveTerms};
     pub use crate::report::{PolicyComparison, SimulationReport};
     pub use crate::run::RunOptions;
     pub use crate::scenario::Scenario;
     pub use crate::simulation::{
-        ConfigError, LoadRecorder, OverflowMode, Simulation, SimulationConfig,
-        SimulationConfigBuilder,
+        ConfigError, LoadRecorder, Simulation, SimulationConfig, SimulationConfigBuilder,
     };
     pub use crate::sweep::{ScenarioSweep, SweepReport};
     pub use wattroute_energy::model::EnergyModelParams;

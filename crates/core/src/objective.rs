@@ -16,7 +16,7 @@
 //!
 //! The SLA term consumes the engine's explicit over-capacity accounting —
 //! [`rejected_hits`](crate::report::ClusterReport::rejected_hits) under
-//! [`OverflowMode::Reject`](crate::simulation::OverflowMode) or
+//! [`OverflowMode::Reject`](wattroute_routing::constraints::OverflowMode) or
 //! `overflow_hits` under the default billing mode — so under-provisioned
 //! candidates price their unserved demand instead of looking cheap. The
 //! distance term prices the performance cost of chasing cheap power with
@@ -236,6 +236,7 @@ mod tests {
             mean_distance_km: mean_km,
             p99_distance_km: mean_km * 2.0,
             distances: DistanceHistogram::default_resolution(),
+            tiers: None,
         }
     }
 

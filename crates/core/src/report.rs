@@ -182,7 +182,7 @@ pub struct ClusterReport {
     /// Total hits served over the run.
     pub total_hits: f64,
     /// Hits assigned beyond the cluster's capacity under
-    /// [`OverflowMode::BillAtCapacity`](crate::simulation::OverflowMode),
+    /// [`OverflowMode::BillAtCapacity`](wattroute_routing::constraints::OverflowMode),
     /// summed over all steps where the cluster was over-subscribed. The
     /// engine bills such demand as if served at capacity (the energy model
     /// saturates), so a nonzero value means the cost figures understate
@@ -191,7 +191,7 @@ pub struct ClusterReport {
     /// [`Self::rejected_hits`] instead.
     pub overflow_hits: f64,
     /// Hits assigned beyond the cluster's capacity under
-    /// [`OverflowMode::Reject`](crate::simulation::OverflowMode): turned
+    /// [`OverflowMode::Reject`](wattroute_routing::constraints::OverflowMode): turned
     /// away rather than billed at capacity, and excluded from
     /// [`Self::total_hits`]. Always zero under the default
     /// `OverflowMode::BillAtCapacity`. The JSON encoding omits the field
@@ -281,6 +281,114 @@ impl ClusterReport {
     }
 }
 
+/// Additive accounting for one tier node (a metro or a region): the sums
+/// of its sites' costs, energy, and hit counts. Only additive quantities
+/// appear — a tier's 95th percentile is not the sum of its sites' 95th
+/// percentiles, so percentile-like fields stay per-cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierNodeReport {
+    /// Node label (e.g. a metro's hub code or a region's RTO abbreviation).
+    pub label: String,
+    /// Number of sites under this node.
+    pub sites: usize,
+    /// Total electricity cost in dollars, summed over the node's sites.
+    pub cost_dollars: f64,
+    /// Total energy in MWh, summed over the node's sites.
+    pub energy_mwh: f64,
+    /// Total hits served, summed over the node's sites.
+    pub total_hits: f64,
+    /// Overflow hits, summed over the node's sites.
+    pub overflow_hits: f64,
+    /// Rejected hits, summed over the node's sites.
+    pub rejected_hits: f64,
+    /// Mean utilization over the node's (site × step) observations, folded
+    /// from the sites' online accumulators.
+    pub mean_utilization: f64,
+    /// The aggregate tier bandwidth cap in force (hits/second), when the
+    /// topology carried a finite one.
+    pub cap_hits_per_sec: Option<f64>,
+}
+
+impl TierNodeReport {
+    /// Encode as a JSON value. Like [`ClusterReport::to_json_value`],
+    /// zero `rejected_hits` and absent caps are omitted.
+    pub fn to_json_value(&self) -> JsonValue {
+        let mut fields = vec![
+            ("label", JsonValue::String(self.label.clone())),
+            ("sites", JsonValue::Number(self.sites as f64)),
+            ("cost_dollars", JsonValue::Number(self.cost_dollars)),
+            ("energy_mwh", JsonValue::Number(self.energy_mwh)),
+            ("total_hits", JsonValue::Number(self.total_hits)),
+            ("overflow_hits", JsonValue::Number(self.overflow_hits)),
+            ("mean_utilization", JsonValue::Number(self.mean_utilization)),
+        ];
+        if self.rejected_hits != 0.0 {
+            fields.push(("rejected_hits", JsonValue::Number(self.rejected_hits)));
+        }
+        if let Some(cap) = self.cap_hits_per_sec {
+            fields.push(("cap_hits_per_sec", JsonValue::Number(cap)));
+        }
+        json::object_iter(fields)
+    }
+
+    /// Decode from a JSON value produced by [`Self::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, ReportDecodeError> {
+        Ok(Self {
+            label: str_field(v, "label")?,
+            sites: f64_field(v, "sites")? as usize,
+            cost_dollars: f64_field(v, "cost_dollars")?,
+            energy_mwh: f64_field(v, "energy_mwh")?,
+            total_hits: f64_field(v, "total_hits")?,
+            overflow_hits: f64_field(v, "overflow_hits")?,
+            mean_utilization: f64_field(v, "mean_utilization")?,
+            rejected_hits: v.get("rejected_hits").and_then(JsonValue::as_f64).unwrap_or(0.0),
+            cap_hits_per_sec: v.get("cap_hits_per_sec").and_then(JsonValue::as_f64),
+        })
+    }
+}
+
+/// Per-tier rollups of a hierarchical run: metro and region accounting, in
+/// tree index order. Flat runs carry `None` in
+/// [`SimulationReport::tiers`], and the JSON encoding omits the field, so
+/// flat reports — including trivial single-region embeddings — are
+/// byte-identical to pre-hierarchy reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TierRollup {
+    /// Per-metro accounting, in metro index order.
+    pub metros: Vec<TierNodeReport>,
+    /// Per-region accounting, in region index order.
+    pub regions: Vec<TierNodeReport>,
+}
+
+impl TierRollup {
+    /// Encode as a JSON value.
+    pub fn to_json_value(&self) -> JsonValue {
+        json::object([
+            (
+                "metros",
+                JsonValue::Array(self.metros.iter().map(TierNodeReport::to_json_value).collect()),
+            ),
+            (
+                "regions",
+                JsonValue::Array(self.regions.iter().map(TierNodeReport::to_json_value).collect()),
+            ),
+        ])
+    }
+
+    /// Decode from a JSON value produced by [`Self::to_json_value`].
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, ReportDecodeError> {
+        let nodes = |key: &str| -> Result<Vec<TierNodeReport>, ReportDecodeError> {
+            field(v, key)?
+                .as_array()
+                .ok_or_else(|| ReportDecodeError(format!("field '{key}' is not an array")))?
+                .iter()
+                .map(TierNodeReport::from_json_value)
+                .collect()
+        };
+        Ok(Self { metros: nodes("metros")?, regions: nodes("regions")? })
+    }
+}
+
 /// The result of simulating one routing policy over one scenario.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationReport {
@@ -303,7 +411,7 @@ pub struct SimulationReport {
     pub total_overflow_hits: f64,
     /// Total hits turned away across the whole run (the sum of every
     /// cluster's [`ClusterReport::rejected_hits`]). Nonzero only under
-    /// [`OverflowMode::Reject`](crate::simulation::OverflowMode); like the
+    /// [`OverflowMode::Reject`](wattroute_routing::constraints::OverflowMode); like the
     /// per-cluster field, the JSON encoding omits it when zero so
     /// default-mode reports are unchanged on disk.
     pub total_rejected_hits: f64,
@@ -330,6 +438,12 @@ pub struct SimulationReport {
     pub p99_distance_km: f64,
     /// The distance histogram itself (for further analysis).
     pub distances: DistanceHistogram,
+    /// Per-tier rollups when the run was hierarchical (a real tree with
+    /// metros holding several sites, or tier caps in force). `None` on flat
+    /// runs and on trivial single-region embeddings — those *are* the flat
+    /// world — and omitted from JSON when `None`, so existing goldens stay
+    /// byte-identical.
+    pub tiers: Option<TierRollup>,
 }
 
 impl SimulationReport {
@@ -373,6 +487,9 @@ impl SimulationReport {
                 JsonValue::Number(self.total_bandwidth_cost_dollars),
             ));
         }
+        if let Some(tiers) = &self.tiers {
+            fields.push(("tiers", tiers.to_json_value()));
+        }
         json::object_iter(fields)
     }
 
@@ -414,6 +531,7 @@ impl SimulationReport {
             mean_distance_km: f64_field(v, "mean_distance_km")?,
             p99_distance_km: f64_field(v, "p99_distance_km")?,
             distances: DistanceHistogram::from_json_value(field(v, "distances")?)?,
+            tiers: v.get("tiers").map(TierRollup::from_json_value).transpose()?,
         })
     }
 
@@ -543,6 +661,7 @@ mod tests {
             mean_distance_km: 500.0,
             p99_distance_km: 900.0,
             distances: DistanceHistogram::default_resolution(),
+            tiers: None,
         }
     }
 
@@ -654,6 +773,50 @@ mod tests {
         assert_eq!(report.clusters[0].bandwidth_cost_dollars, 0.0);
         assert_eq!(report.total_bandwidth_binding_hours, 0.0);
         assert_eq!(report.total_bandwidth_cost_dollars, 0.0);
+    }
+
+    #[test]
+    fn tiers_are_omitted_when_none_and_round_trip_when_not() {
+        // Flat reports (tiers: None) must not mention the field, so
+        // pre-hierarchy goldens stay byte-identical.
+        let flat = dummy_report("x", &[10.0, 20.0]);
+        let flat_json = flat.to_json();
+        assert!(!flat_json.contains("tiers"), "flat reports carry no tiers field");
+        assert_eq!(SimulationReport::from_json(&flat_json).unwrap(), flat);
+
+        // A hierarchical report round-trips every tier node.
+        let mut tree = dummy_report("y", &[10.0, 20.0]);
+        tree.tiers = Some(TierRollup {
+            metros: vec![TierNodeReport {
+                label: "NYC".to_string(),
+                sites: 2,
+                cost_dollars: 30.0,
+                energy_mwh: 0.5,
+                total_hits: 2.0e9,
+                overflow_hits: 0.0,
+                rejected_hits: 0.0,
+                mean_utilization: 0.3,
+                cap_hits_per_sec: Some(5_000.0),
+            }],
+            regions: vec![TierNodeReport {
+                label: "NYISO".to_string(),
+                sites: 2,
+                cost_dollars: 30.0,
+                energy_mwh: 0.5,
+                total_hits: 2.0e9,
+                overflow_hits: 0.0,
+                rejected_hits: 1.0,
+                mean_utilization: 0.3,
+                cap_hits_per_sec: None,
+            }],
+        });
+        let json = tree.to_json();
+        assert!(json.contains("\"tiers\":{\"metros\":"));
+        assert!(json.contains("\"cap_hits_per_sec\":5000"));
+        let back = SimulationReport::from_json(&json).unwrap();
+        assert_eq!(back, tree);
+        assert_eq!(back.tiers.as_ref().unwrap().regions[0].rejected_hits, 1.0);
+        assert_eq!(back.tiers.as_ref().unwrap().regions[0].cap_hits_per_sec, None);
     }
 
     #[test]

@@ -33,9 +33,9 @@
 //! configuration error and panics with a message naming the right layer —
 //! silently ignoring a requested sink would corrupt calibration passes.
 //!
-//! The historical entry points remain as `#[deprecated]` one-line shims
-//! over the `execute` methods, so downstream code migrates at its own pace
-//! while nothing breaks.
+//! The `execute` methods are the only entry points: the historical
+//! `run`/`run_with`/`run_with_config`/`run_streaming` shims have been
+//! removed after a deprecation cycle.
 
 use crate::simulation::{LoadRecorder, SimulationConfig};
 use crate::sweep::CompiledArtifacts;

@@ -115,25 +115,6 @@ impl Scenario {
         sim.execute(policy, options)
     }
 
-    /// Run an arbitrary policy with this scenario's default configuration.
-    #[deprecated(note = "use `execute(policy, RunOptions::new())` — the unified run surface")]
-    pub fn run(&self, policy: &mut dyn RoutingPolicy) -> SimulationReport {
-        self.execute(policy, RunOptions::new())
-    }
-
-    /// Run an arbitrary policy with an explicit configuration (sharing the
-    /// scenario's deployment, trace and prices).
-    #[deprecated(
-        note = "use `execute(policy, RunOptions::new().with_config(config))` — the unified run surface"
-    )]
-    pub fn run_with_config(
-        &self,
-        policy: &mut dyn RoutingPolicy,
-        config: SimulationConfig,
-    ) -> SimulationReport {
-        self.execute(policy, RunOptions::new().with_config(config))
-    }
-
     /// The Akamai-like baseline report for this scenario (the denominator of
     /// every normalised-cost figure).
     pub fn baseline_report(&self) -> SimulationReport {

@@ -17,16 +17,11 @@ use wattroute_energy::model::EnergyModelParams;
 use wattroute_market::price_table::PriceTable;
 use wattroute_market::time::HourRange;
 use wattroute_market::types::PriceSet;
-use wattroute_routing::constraints::ConstraintSet;
+use wattroute_routing::constraints::{ConstraintSet, OverflowMode};
 use wattroute_routing::policy::RoutingPolicy;
 use wattroute_workload::bandwidth::BandwidthProfile;
 use wattroute_workload::trace::{Trace, STEPS_PER_HOUR};
 use wattroute_workload::ClusterSet;
-
-// The overflow mode now lives with the rest of the constraint vocabulary
-// in `wattroute_routing::constraints`; this re-export keeps the historical
-// `wattroute::simulation::OverflowMode` path (and the prelude) working.
-pub use wattroute_routing::constraints::OverflowMode;
 
 /// Static configuration of a simulation run (everything except the policy).
 #[derive(Debug, Clone, PartialEq)]
@@ -347,7 +342,8 @@ impl SimulationConfigBuilder {
 
 /// An optional sink for the per-step, per-cluster loads a simulation
 /// routes — the raw series a 95/5 calibration pass needs (the report only
-/// keeps distribution statistics). Hand one to [`Simulation::run_with`];
+/// keeps distribution statistics). Hand one to a run via
+/// [`RunOptions::record_loads`](crate::run::RunOptions::record_loads);
 /// afterwards [`LoadRecorder::bandwidth_profile`] derives the per-cluster
 /// 95th-percentile levels that
 /// [`CalibratedScenario`](crate::constraints::CalibratedScenario) turns
@@ -507,28 +503,6 @@ impl<'a> Simulation<'a> {
             recorder.cluster_loads = engine.into_load_series();
         }
         report
-    }
-
-    /// Run a policy over the whole trace and produce a report.
-    #[deprecated(note = "use `execute(policy, RunOptions::new())` — the unified run surface")]
-    pub fn run(&self, policy: &mut dyn RoutingPolicy) -> SimulationReport {
-        self.execute(policy, RunOptions::new())
-    }
-
-    /// Like [`Self::execute`] with an optional [`LoadRecorder`] sink.
-    #[deprecated(
-        note = "use `execute(policy, RunOptions::new().record_loads(recorder))` — the unified run surface"
-    )]
-    pub fn run_with(
-        &self,
-        policy: &mut dyn RoutingPolicy,
-        recorder: Option<&mut LoadRecorder>,
-    ) -> SimulationReport {
-        let mut options = RunOptions::new();
-        if let Some(recorder) = recorder {
-            options = options.record_loads(recorder);
-        }
-        self.execute(policy, options)
     }
 }
 

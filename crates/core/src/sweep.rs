@@ -56,12 +56,14 @@ use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
+use wattroute_geo::topology::Topology;
 use wattroute_market::price_table::{BillingMatrix, PriceTable};
 use wattroute_market::time::HourRange;
 use wattroute_market::types::PriceSet;
-use wattroute_routing::constraints::ConstraintSet;
+use wattroute_routing::constraints::{ConstraintSet, TierCaps};
 use wattroute_routing::policy::RoutingPolicy;
 use wattroute_routing::price_conscious::CompiledPreferences;
+use wattroute_workload::hierarchy::site_clusters;
 use wattroute_workload::trace::Trace;
 use wattroute_workload::ClusterSet;
 
@@ -75,12 +77,16 @@ pub type PolicyFactory = Box<dyn Fn() -> Box<dyn RoutingPolicy> + Send + Sync>;
 pub const DEFAULT_DEPLOYMENT: &str = "default";
 
 /// One deployment registered with a sweep: a label and the cluster set it
-/// names.
+/// names. Most deployments borrow a caller-owned [`ClusterSet`]
+/// (`Cow::Borrowed`); deployments derived on the fly — such as the
+/// site-level flattening of a [`Topology`] registered through
+/// [`ScenarioSweep::add_topology_axis`] — are owned by the sweep itself
+/// (`Cow::Owned`).
 pub struct Deployment<'a> {
     /// Stable label identifying the deployment in run results.
     pub label: String,
     /// The cluster set routed over.
-    pub clusters: &'a ClusterSet,
+    pub clusters: Cow<'a, ClusterSet>,
 }
 
 /// One grid point: a label, the deployment it routes over, a simulation
@@ -194,7 +200,7 @@ impl CompiledArtifacts {
         }
         self.slot_of = vec![None; deployments.len()];
         for &(deployment, delay_hours) in cells {
-            let clusters = deployments[deployment].clusters;
+            let clusters: &ClusterSet = &deployments[deployment].clusters;
             let slot = match self.slot_of[deployment] {
                 Some(slot) => slot,
                 None => {
@@ -298,7 +304,10 @@ impl<'a> ScenarioSweep<'a> {
     /// [`Self::add_deployment`].
     pub fn new(clusters: &'a ClusterSet, trace: &'a Trace, prices: &'a PriceSet) -> Self {
         Self {
-            deployments: vec![Deployment { label: DEFAULT_DEPLOYMENT.into(), clusters }],
+            deployments: vec![Deployment {
+                label: DEFAULT_DEPLOYMENT.into(),
+                clusters: Cow::Borrowed(clusters),
+            }],
             trace,
             prices,
             points: Vec::new(),
@@ -318,7 +327,19 @@ impl<'a> ScenarioSweep<'a> {
     /// [`Self::add_point_on`]. The price set must cover every hub the
     /// deployment uses (validated when the sweep runs).
     pub fn add_deployment(&mut self, label: impl Into<String>, clusters: &'a ClusterSet) -> usize {
-        self.deployments.push(Deployment { label: label.into(), clusters });
+        self.deployments
+            .push(Deployment { label: label.into(), clusters: Cow::Borrowed(clusters) });
+        self.deployments.len() - 1
+    }
+
+    /// Register a deployment the sweep owns (for cluster sets derived on
+    /// the fly rather than borrowed from the caller) and return its index.
+    pub fn add_owned_deployment(
+        &mut self,
+        label: impl Into<String>,
+        clusters: ClusterSet,
+    ) -> usize {
+        self.deployments.push(Deployment { label: label.into(), clusters: Cow::Owned(clusters) });
         self.deployments.len() - 1
     }
 
@@ -387,6 +408,45 @@ impl<'a> ScenarioSweep<'a> {
                 policy.clone(),
             );
         }
+    }
+
+    /// Sweep the **topology regime** as a grid dimension: flatten the
+    /// tree's sites into an owned site-level deployment (one cluster per
+    /// site, metros sharing hubs) and add a `"{label}@flat"` point that
+    /// routes it with sites individually capped only. When the topology
+    /// carries metro/region bandwidth caps a second `"{label}@tiered"`
+    /// point is added whose constraint set enforces them through
+    /// [`TierCaps`], so one grid quantifies what the aggregation layers
+    /// cost. Returns the registered deployment's index so callers can pin
+    /// further points on the same site set.
+    ///
+    /// The price set must cover every hub the topology's metros use; the
+    /// trace is per-client-state and therefore topology-independent.
+    pub fn add_topology_axis<F, P>(
+        &mut self,
+        topology: &Topology,
+        label: impl AsRef<str>,
+        config: SimulationConfig,
+        policy: F,
+    ) -> usize
+    where
+        F: Fn() -> P + Clone + Send + Sync + 'static,
+        P: RoutingPolicy + 'static,
+    {
+        let label = label.as_ref();
+        let deployment =
+            self.add_owned_deployment(format!("{label}-sites"), site_clusters(topology));
+        self.add_point_on(deployment, format!("{label}@flat"), config.clone(), policy.clone());
+        if let Some(tiers) = TierCaps::from_topology(topology) {
+            let constraints = config.constraints.clone().with_tier_caps(tiers);
+            self.add_point_on(
+                deployment,
+                format!("{label}@tiered"),
+                config.with_constraints(constraints),
+                policy,
+            );
+        }
+        deployment
     }
 
     /// Add a pre-boxed grid point on the default deployment (for
@@ -483,36 +543,6 @@ impl<'a> ScenarioSweep<'a> {
         }
     }
 
-    /// Compile the shared artifacts and execute every grid point, in
-    /// parallel, returning reports in grid order.
-    #[deprecated(note = "use `execute(RunOptions::new())` — the unified run surface")]
-    pub fn run(self) -> SweepReport {
-        self.execute(RunOptions::new())
-    }
-
-    /// Streaming delivery, as [`Self::execute_streaming`].
-    #[deprecated(
-        note = "use `execute_streaming(RunOptions::new(), on_result)` — the unified run surface"
-    )]
-    pub fn run_streaming<F>(self, on_result: F)
-    where
-        F: FnMut(SweepResult),
-    {
-        self.execute_streaming(RunOptions::new(), on_result);
-    }
-
-    /// Streaming delivery into a caller-owned artifact cache, as
-    /// [`Self::execute_streaming`] with [`RunOptions::reuse_artifacts`].
-    #[deprecated(
-        note = "use `execute_streaming(RunOptions::new().reuse_artifacts(artifacts), on_result)` — the unified run surface"
-    )]
-    pub fn run_streaming_with<F>(self, artifacts: &mut CompiledArtifacts, on_result: F)
-    where
-        F: FnMut(SweepResult),
-    {
-        self.execute_streaming(RunOptions::new().reuse_artifacts(artifacts), on_result);
-    }
-
     /// The worker pool shared by every execution mode: compile the shared
     /// artifacts into `artifacts` (reusing whatever earlier sweeps left
     /// there — the cache is keyed by hub list, so every sweep extending one
@@ -552,7 +582,7 @@ impl<'a> ScenarioSweep<'a> {
                     let table =
                         artifacts_ref.table(point.deployment, point.config.reaction_delay_hours);
                     let sim = Simulation::with_price_table(
-                        deployment.clusters,
+                        &deployment.clusters,
                         trace,
                         Cow::Borrowed(table),
                         point.config.clone(),
@@ -908,14 +938,63 @@ mod tests {
     }
 
     #[test]
+    fn topology_axis_adds_flat_and_tiered_points_that_match_sequential_runs() {
+        use wattroute_geo::topology::Topology;
+        use wattroute_market::generator::PriceGenerator;
+        use wattroute_market::model::MarketModel;
+        use wattroute_workload::hierarchy::site_clusters;
+        use wattroute_workload::SyntheticWorkloadConfig;
+
+        let start = SimHour::from_date(2008, 12, 19);
+        let range = HourRange::new(start, start.plus_hours(30));
+        let trace = SyntheticWorkloadConfig::default().generate(range);
+        let prices = PriceGenerator::new(MarketModel::calibrated(), 11).realtime_hourly(range);
+        let nine = ClusterSet::akamai_like_nine();
+        let config = SimulationConfig::default();
+
+        let capped = Topology::synthetic(5, 40).with_tier_slack(0.8);
+        let uncapped = Topology::synthetic(5, 40);
+
+        let mut sweep = ScenarioSweep::new(&nine, &trace, &prices).with_threads(2);
+        sweep.add_topology_axis(&capped, "tree", config.clone(), || {
+            PriceConsciousPolicy::with_distance_threshold(1500.0)
+        });
+        sweep.add_topology_axis(&uncapped, "open", config.clone(), || {
+            PriceConsciousPolicy::with_distance_threshold(1500.0)
+        });
+        // Capped tree contributes flat+tiered, uncapped only flat.
+        assert_eq!(sweep.len(), 3);
+        let report = sweep.execute(RunOptions::new());
+        assert!(report.get_on("open-sites", "open@tiered").is_none());
+
+        // The flat point is bit-identical to a sequential run over the
+        // flattened site deployment; the tiered point to one with the
+        // tree's caps installed.
+        let sites = site_clusters(&capped);
+        let flat_sim = Simulation::new(&sites, &trace, &prices, config.clone());
+        let flat = flat_sim
+            .execute(&mut PriceConsciousPolicy::with_distance_threshold(1500.0), RunOptions::new());
+        assert_eq!(report.get_on("tree-sites", "tree@flat"), Some(&flat));
+
+        let tiers = wattroute_routing::constraints::TierCaps::from_topology(&capped)
+            .expect("capped tree has tier caps");
+        let tiered_config =
+            config.clone().with_constraints(config.constraints.clone().with_tier_caps(tiers));
+        let tiered_sim = Simulation::new(&sites, &trace, &prices, tiered_config);
+        let tiered = tiered_sim
+            .execute(&mut PriceConsciousPolicy::with_distance_threshold(1500.0), RunOptions::new());
+        assert_eq!(report.get_on("tree-sites", "tree@tiered"), Some(&tiered));
+    }
+
+    #[test]
     fn artifacts_compile_once_per_deployment_and_delay() {
         let s = short_scenario();
         let east = east_coast(&s.clusters);
         let scaled = s.clusters.scaled(0.5); // same hub list as the default
         let deployments = [
-            Deployment { label: "nine".into(), clusters: &s.clusters },
-            Deployment { label: "east".into(), clusters: &east },
-            Deployment { label: "scaled".into(), clusters: &scaled },
+            Deployment { label: "nine".into(), clusters: Cow::Borrowed(&s.clusters) },
+            Deployment { label: "east".into(), clusters: Cow::Borrowed(&east) },
+            Deployment { label: "scaled".into(), clusters: Cow::Borrowed(&scaled) },
         ];
         // 3 deployments × 2 delays, every cell listed twice over.
         let mut cells = Vec::new();

@@ -42,9 +42,11 @@ pub mod hubs;
 pub mod latlon;
 pub mod rto;
 pub mod state;
+pub mod topology;
 
 pub use distance::{hub_to_hub_km, state_to_hub_km};
 pub use hubs::{Hub, HubId};
 pub use latlon::LatLon;
 pub use rto::Rto;
 pub use state::UsState;
+pub use topology::{Topology, TopologyBuilder};

@@ -88,7 +88,7 @@ impl<'a> DeploymentOptimizer<'a> {
     /// even starting split.
     ///
     /// Run candidates under
-    /// [`OverflowMode::Reject`](wattroute::simulation::OverflowMode) (set
+    /// [`OverflowMode::Reject`](wattroute_routing::constraints::OverflowMode) (set
     /// it on `config`) so under-provisioned placements surface
     /// `rejected_hits` for the objective's SLA term to price.
     pub fn new(

@@ -7,17 +7,24 @@ use wattroute_workload::ClusterSet;
 
 /// A per-step assignment of demand to clusters.
 ///
-/// `loads[cluster][state]` is the demand (hits/second) from `states[state]`
-/// served by `clusters[cluster]`.
+/// Entry `(cluster, state)` is the demand (hits/second) from
+/// `states[state]` served by `clusters[cluster]`. Storage is one flat
+/// row-major buffer (`num_states` is the row stride): a policy allocates
+/// exactly once per reallocation however many clusters it routes, and the
+/// row scans in [`Self::cluster_loads`] / [`Self::distance_samples`] stay
+/// on contiguous memory — this is the allocation-epoch hot path of both
+/// the batch engine and the hierarchical replay shards.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Allocation {
-    loads: Vec<Vec<f64>>,
+    num_clusters: usize,
+    num_states: usize,
+    loads: Vec<f64>,
 }
 
 impl Allocation {
     /// An empty allocation for a given number of clusters and states.
     pub fn zeros(num_clusters: usize, num_states: usize) -> Self {
-        Self { loads: vec![vec![0.0; num_states]; num_clusters] }
+        Self { num_clusters, num_states, loads: vec![0.0; num_clusters * num_states] }
     }
 
     /// Build from an explicit matrix (`loads[cluster][state]`).
@@ -25,51 +32,81 @@ impl Allocation {
     /// # Panics
     /// Panics if rows are ragged or any entry is negative / non-finite.
     pub fn from_matrix(loads: Vec<Vec<f64>>) -> Self {
-        if let Some(first) = loads.first() {
-            let width = first.len();
-            for (c, row) in loads.iter().enumerate() {
-                assert_eq!(row.len(), width, "ragged allocation row for cluster {c}");
-                assert!(
-                    row.iter().all(|x| x.is_finite() && *x >= 0.0),
-                    "allocation for cluster {c} contains negative or non-finite demand"
-                );
-            }
+        let width = loads.first().map(Vec::len).unwrap_or(0);
+        for (c, row) in loads.iter().enumerate() {
+            assert_eq!(row.len(), width, "ragged allocation row for cluster {c}");
+            assert!(
+                row.iter().all(|x| x.is_finite() && *x >= 0.0),
+                "allocation for cluster {c} contains negative or non-finite demand"
+            );
         }
-        Self { loads }
+        Self {
+            num_clusters: loads.len(),
+            num_states: width,
+            loads: loads.into_iter().flatten().collect(),
+        }
     }
 
     /// Number of clusters.
     pub fn num_clusters(&self) -> usize {
-        self.loads.len()
+        self.num_clusters
     }
 
     /// Number of client states.
     pub fn num_states(&self) -> usize {
-        self.loads.first().map(|r| r.len()).unwrap_or(0)
+        if self.num_clusters == 0 {
+            0
+        } else {
+            self.num_states
+        }
     }
 
     /// Add demand from a state to a cluster.
     pub fn add(&mut self, cluster: usize, state: usize, hits_per_sec: f64) {
         assert!(hits_per_sec >= 0.0 && hits_per_sec.is_finite());
-        self.loads[cluster][state] += hits_per_sec;
+        assert!(cluster < self.num_clusters && state < self.num_states, "index out of range");
+        self.loads[cluster * self.num_states + state] += hits_per_sec;
     }
 
-    /// The raw matrix.
-    pub fn matrix(&self) -> &[Vec<f64>] {
-        &self.loads
+    /// One cluster's per-state loads.
+    pub fn row(&self, cluster: usize) -> &[f64] {
+        &self.loads[cluster * self.num_states..(cluster + 1) * self.num_states]
+    }
+
+    /// The matrix as nested rows (`matrix[cluster][state]`), materialized.
+    /// Convenient for tests and serialization; hot paths should use
+    /// [`Self::row`] or the aggregate accessors instead.
+    pub fn matrix(&self) -> Vec<Vec<f64>> {
+        self.loads.chunks(self.num_states.max(1)).map(<[f64]>::to_vec).collect()
     }
 
     /// Total load per cluster in hits/second.
     pub fn cluster_loads(&self) -> Vec<f64> {
-        self.loads.iter().map(|row| row.iter().sum()).collect()
+        let mut out = Vec::new();
+        self.cluster_loads_into(&mut out);
+        out
+    }
+
+    /// [`Self::cluster_loads`] into a caller-owned buffer (cleared first),
+    /// so per-epoch accounting loops can reuse one allocation.
+    pub fn cluster_loads_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.num_clusters);
+        if self.num_states == 0 {
+            out.extend((0..self.num_clusters).map(|_| 0.0));
+            return;
+        }
+        out.extend(self.loads.chunks_exact(self.num_states).map(|row| row.iter().sum::<f64>()));
     }
 
     /// Total load per state in hits/second (how much of each state's demand
     /// was served).
     pub fn state_loads(&self) -> Vec<f64> {
-        let n_states = self.num_states();
-        let mut out = vec![0.0; n_states];
-        for row in &self.loads {
+        let mut out = vec![0.0; self.num_states()];
+        if self.num_states == 0 {
+            return out;
+        }
+        for row in self.loads.chunks_exact(self.num_states) {
             for (s, v) in row.iter().enumerate() {
                 out[s] += v;
             }
@@ -79,7 +116,7 @@ impl Allocation {
 
     /// Total demand served, hits/second.
     pub fn total_load(&self) -> f64 {
-        self.loads.iter().flatten().sum()
+        self.loads.iter().sum()
     }
 
     /// Demand-weighted client–server distance statistics for this
@@ -89,10 +126,26 @@ impl Allocation {
     /// returned so callers can accumulate 99th percentiles across steps
     /// (Figure 17).
     pub fn distance_samples(&self, clusters: &ClusterSet, states: &[UsState]) -> Vec<(f64, f64)> {
+        let mut samples = Vec::new();
+        self.distance_samples_into(clusters, states, &mut samples);
+        samples
+    }
+
+    /// [`Self::distance_samples`] into a caller-owned buffer (cleared
+    /// first), so per-epoch accounting loops can reuse one allocation.
+    pub fn distance_samples_into(
+        &self,
+        clusters: &ClusterSet,
+        states: &[UsState],
+        samples: &mut Vec<(f64, f64)>,
+    ) {
         assert_eq!(self.num_clusters(), clusters.len(), "cluster count mismatch");
         assert_eq!(self.num_states(), states.len(), "state count mismatch");
-        let mut samples = Vec::new();
-        for (c, row) in self.loads.iter().enumerate() {
+        samples.clear();
+        if self.num_states == 0 {
+            return;
+        }
+        for (c, row) in self.loads.chunks_exact(self.num_states).enumerate() {
             let hub = hubs::hub(clusters.get(c).expect("validated").hub);
             for (s, &load) in row.iter().enumerate() {
                 if load > 0.0 {
@@ -100,7 +153,6 @@ impl Allocation {
                 }
             }
         }
-        samples
     }
 
     /// Demand-weighted mean client–server distance in km, or `None` if the

@@ -110,8 +110,9 @@ impl RoutingPolicy for AkamaiLikePolicy {
         });
 
         for c in 0..n_clusters {
+            let (primary_row, secondary_row) = (primary.row(c), secondary.row(c));
             for s in 0..n_states {
-                let total = primary.matrix()[c][s] + secondary.matrix()[c][s];
+                let total = primary_row[s] + secondary_row[s];
                 if total > 0.0 {
                     merged.add(c, s, total);
                 }

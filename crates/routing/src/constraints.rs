@@ -19,6 +19,7 @@
 //! keys the same caps by [`HubId`] and resolves them against any cluster
 //! set, so one calibration pass can constrain an entire search.
 
+use wattroute_geo::topology::Topology;
 use wattroute_geo::HubId;
 use wattroute_workload::ClusterSet;
 
@@ -44,6 +45,92 @@ pub enum OverflowMode {
     Reject,
 }
 
+/// Aggregate bandwidth ceilings for the metro and region tiers of a
+/// hierarchical deployment, in tree-indexed SoA form: each site (cluster
+/// position) carries its parent metro and region index, and each tier
+/// carries one cap per node (`f64::INFINITY` = uncapped).
+///
+/// A tier cap constrains the *sum* of loads over the tier's sites, so the
+/// effective ceiling of a site is `site ∧ metro ∧ region ∧ 95/5` — the
+/// router pours demand into a site only while all three tiers have
+/// headroom. Flat deployments never carry tier caps and pay nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierCaps {
+    /// Parent metro of each site (cluster position).
+    site_metro: Vec<usize>,
+    /// Parent region of each site (cluster position).
+    site_region: Vec<usize>,
+    /// Aggregate cap per metro in hits/second (`∞` = uncapped).
+    metro_caps: Vec<f64>,
+    /// Aggregate cap per region in hits/second (`∞` = uncapped).
+    region_caps: Vec<f64>,
+}
+
+impl TierCaps {
+    /// Build from explicit parent vectors and per-tier caps.
+    ///
+    /// # Panics
+    /// Panics when the parent vectors differ in length, a parent index is
+    /// out of range, or a cap is NaN or negative.
+    pub fn new(
+        site_metro: Vec<usize>,
+        site_region: Vec<usize>,
+        metro_caps: Vec<f64>,
+        region_caps: Vec<f64>,
+    ) -> Self {
+        assert_eq!(site_metro.len(), site_region.len(), "one parent pair per site required");
+        assert!(site_metro.iter().all(|&m| m < metro_caps.len()), "site metro index out of range");
+        assert!(
+            site_region.iter().all(|&r| r < region_caps.len()),
+            "site region index out of range"
+        );
+        let valid = |c: &f64| !c.is_nan() && *c >= 0.0;
+        assert!(metro_caps.iter().all(valid), "metro caps must be >= 0");
+        assert!(region_caps.iter().all(valid), "region caps must be >= 0");
+        Self { site_metro, site_region, metro_caps, region_caps }
+    }
+
+    /// Lift a topology's metro/region caps into routing form. Returns
+    /// `None` when every cap is infinite — an uncapped tree routes on the
+    /// flat (and cheaper) path, bit-identical to a flat deployment.
+    pub fn from_topology(topology: &Topology) -> Option<Self> {
+        if !topology.has_tier_caps() {
+            return None;
+        }
+        Some(Self::new(
+            topology.site_metros().to_vec(),
+            topology.site_regions().to_vec(),
+            (0..topology.num_metros()).map(|m| topology.metro_cap_hits_per_sec(m)).collect(),
+            (0..topology.num_regions()).map(|r| topology.region_cap_hits_per_sec(r)).collect(),
+        ))
+    }
+
+    /// Number of sites the parent vectors describe.
+    pub fn num_sites(&self) -> usize {
+        self.site_metro.len()
+    }
+
+    /// Parent metro index of each site, in cluster order.
+    pub fn site_metros(&self) -> &[usize] {
+        &self.site_metro
+    }
+
+    /// Parent region index of each site, in cluster order.
+    pub fn site_regions(&self) -> &[usize] {
+        &self.site_region
+    }
+
+    /// Aggregate caps per metro.
+    pub fn metro_caps(&self) -> &[f64] {
+        &self.metro_caps
+    }
+
+    /// Aggregate caps per region.
+    pub fn region_caps(&self) -> &[f64] {
+        &self.region_caps
+    }
+}
+
 /// Everything a routing decision must respect, for one deployment.
 ///
 /// The set is cheap when unconstrained (no vectors allocated) and
@@ -59,6 +146,10 @@ pub struct ConstraintSet {
     /// typically derived from a baseline calibration pass ("follow
     /// original 95/5 constraints"). `None` relaxes the constraint.
     bandwidth_caps: Option<Vec<f64>>,
+    /// Optional aggregate metro/region tier caps for hierarchical
+    /// deployments. `None` (every flat deployment) routes on the
+    /// per-cluster-only path.
+    tier_caps: Option<TierCaps>,
     /// What happens to demand beyond every ceiling.
     overflow: OverflowMode,
 }
@@ -89,6 +180,18 @@ impl ConstraintSet {
         self
     }
 
+    /// Attach aggregate metro/region tier caps (hierarchical deployments).
+    pub fn with_tier_caps(mut self, tier_caps: TierCaps) -> Self {
+        self.tier_caps = Some(tier_caps);
+        self
+    }
+
+    /// Remove the tier caps (back to per-cluster-only constraints).
+    pub fn without_tier_caps(mut self) -> Self {
+        self.tier_caps = None;
+        self
+    }
+
     /// Set the overflow mode (what happens to over-capacity demand).
     pub fn with_overflow(mut self, overflow: OverflowMode) -> Self {
         self.overflow = overflow;
@@ -103,6 +206,11 @@ impl ConstraintSet {
     /// The per-cluster capacity ceilings, if any.
     pub fn capacity_ceilings(&self) -> Option<&[f64]> {
         self.capacity_ceilings.as_deref()
+    }
+
+    /// The aggregate metro/region tier caps, if any.
+    pub fn tier_caps(&self) -> Option<&TierCaps> {
+        self.tier_caps.as_ref()
     }
 
     /// The overflow mode in force.
@@ -156,6 +264,9 @@ impl ConstraintSet {
         }
         if let Some(ceilings) = &self.capacity_ceilings {
             assert_eq!(ceilings.len(), n_clusters, "capacity ceiling length mismatch");
+        }
+        if let Some(tiers) = &self.tier_caps {
+            assert_eq!(tiers.num_sites(), n_clusters, "tier cap site count mismatch");
         }
     }
 }
@@ -320,6 +431,47 @@ mod tests {
         assert!(by_hub.entries().iter().all(|&(_, c)| c.is_infinite()));
         let relaxed = by_hub.apply(&nine, &ConstraintSet::unconstrained());
         assert!(!relaxed.is_bandwidth_constrained());
+    }
+
+    #[test]
+    fn tier_caps_validate_and_travel_with_the_set() {
+        let tiers =
+            TierCaps::new(vec![0, 0, 1], vec![0, 0, 0], vec![500.0, f64::INFINITY], vec![800.0]);
+        assert_eq!(tiers.num_sites(), 3);
+        assert_eq!(tiers.metro_caps()[0], 500.0);
+        let set = ConstraintSet::unconstrained().with_tier_caps(tiers.clone());
+        set.validate(3);
+        assert_eq!(set.tier_caps(), Some(&tiers));
+        assert!(set.clone().without_tier_caps().tier_caps().is_none());
+        // Tier caps survive bandwidth-cap scaling and hub-cap application.
+        let scaled = set.clone().with_bandwidth_caps_scaled(2.0);
+        assert_eq!(scaled.tier_caps(), Some(&tiers));
+    }
+
+    #[test]
+    #[should_panic(expected = "tier cap site count mismatch")]
+    fn tier_caps_length_checked_by_validate() {
+        let tiers = TierCaps::new(vec![0], vec![0], vec![100.0], vec![100.0]);
+        ConstraintSet::unconstrained().with_tier_caps(tiers).validate(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "metro index out of range")]
+    fn tier_caps_reject_bad_parent_index() {
+        let _ = TierCaps::new(vec![2], vec![0], vec![100.0], vec![100.0]);
+    }
+
+    #[test]
+    fn tier_caps_from_topology() {
+        use wattroute_geo::topology::Topology;
+        let uncapped = Topology::synthetic(1, 50);
+        assert!(TierCaps::from_topology(&uncapped).is_none());
+        let capped = uncapped.with_tier_slack(0.8);
+        let tiers = TierCaps::from_topology(&capped).expect("finite caps present");
+        assert_eq!(tiers.num_sites(), 50);
+        assert_eq!(tiers.metro_caps().len(), 29);
+        assert_eq!(tiers.region_caps().len(), 6);
+        assert!(tiers.metro_caps().iter().all(|c| c.is_finite()));
     }
 
     #[test]

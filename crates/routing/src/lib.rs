@@ -55,7 +55,7 @@ pub mod price_conscious;
 pub mod prelude {
     pub use crate::allocation::Allocation;
     pub use crate::baseline::{AkamaiLikePolicy, NearestClusterPolicy, StaticCheapestPolicy};
-    pub use crate::constraints::{ConstraintSet, HubBandwidthCaps, OverflowMode};
+    pub use crate::constraints::{ConstraintSet, HubBandwidthCaps, OverflowMode, TierCaps};
     pub use crate::extensions::{CarbonAwarePolicy, JointCostPolicy};
     pub use crate::policy::{RoutingContext, RoutingPolicy};
     pub use crate::price_conscious::{CompiledPreferences, PriceConsciousPolicy};

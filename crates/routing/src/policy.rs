@@ -124,10 +124,20 @@ pub trait RoutingPolicy {
 /// the most remaining ceiling (and, if every ceiling is exhausted, onto the
 /// first candidate regardless — requests must be served somewhere, which
 /// mirrors the paper's treatment of capacity as a soft planning constraint).
+///
+/// When the context's constraints carry [`TierCaps`](crate::constraints::TierCaps),
+/// the pour additionally respects each candidate's metro and region
+/// aggregate ceilings — the effective headroom of a site is
+/// `site ∧ metro ∧ region` — and the spill target is the cluster with the
+/// most *tier-aware* headroom. Flat deployments (no tier caps) take the
+/// original per-cluster path, byte-identical to before.
 pub fn assign_by_preference<F>(ctx: &RoutingContext<'_>, mut preferences: F) -> Allocation
 where
     F: FnMut(usize, UsState) -> Vec<usize>,
 {
+    if ctx.constraints.tier_caps().is_some() {
+        return assign_by_preference_tiered(ctx, preferences);
+    }
     let n_clusters = ctx.clusters.len();
     let n_states = ctx.states.len();
     let mut allocation = Allocation::zeros(n_clusters, n_states);
@@ -172,6 +182,84 @@ where
                 .unwrap_or(0);
             allocation.add(spill_target, state_idx, unserved);
             remaining_cap[spill_target] -= unserved;
+        }
+    }
+
+    debug_assert!(allocation.serves_demand(ctx.demand, 1e-6));
+    allocation
+}
+
+/// The tier-aware variant of [`assign_by_preference`]: identical pour
+/// order, but each take is bounded by the candidate's site, metro, and
+/// region headroom simultaneously, all three tiers are drawn down in SoA
+/// vectors as demand lands, and spill targets maximise the min-of-three
+/// headroom.
+fn assign_by_preference_tiered<F>(ctx: &RoutingContext<'_>, mut preferences: F) -> Allocation
+where
+    F: FnMut(usize, UsState) -> Vec<usize>,
+{
+    let tiers = ctx.constraints.tier_caps().expect("caller checked tier caps");
+    let n_clusters = ctx.clusters.len();
+    let n_states = ctx.states.len();
+    let mut allocation = Allocation::zeros(n_clusters, n_states);
+    let mut remaining_cap: Vec<f64> = (0..n_clusters).map(|c| ctx.effective_cap(c)).collect();
+    let mut metro_rem: Vec<f64> = tiers.metro_caps().to_vec();
+    let mut region_rem: Vec<f64> = tiers.region_caps().to_vec();
+    let site_metro = tiers.site_metros();
+    let site_region = tiers.site_regions();
+
+    // Tier-aware headroom of one site: the least of what the site, its
+    // metro, and its region can still absorb.
+    let headroom = |cap: &[f64], metro: &[f64], region: &[f64], c: usize| -> f64 {
+        cap[c].min(metro[site_metro[c]]).min(region[site_region[c]])
+    };
+
+    let mut order: Vec<usize> = (0..n_states).collect();
+    order.sort_by(|&a, &b| ctx.demand[b].partial_cmp(&ctx.demand[a]).expect("finite demand"));
+
+    for state_idx in order {
+        let mut unserved = ctx.demand[state_idx];
+        if unserved <= 0.0 {
+            continue;
+        }
+        let candidates = preferences(state_idx, ctx.states[state_idx]);
+        debug_assert!(
+            candidates.iter().all(|&c| c < n_clusters),
+            "preference list contains an out-of-range cluster index"
+        );
+
+        for &cluster in &candidates {
+            if unserved <= 0.0 {
+                break;
+            }
+            let take =
+                unserved.min(headroom(&remaining_cap, &metro_rem, &region_rem, cluster).max(0.0));
+            if take > 0.0 {
+                allocation.add(cluster, state_idx, take);
+                remaining_cap[cluster] -= take;
+                metro_rem[site_metro[cluster]] -= take;
+                region_rem[site_region[cluster]] -= take;
+                unserved -= take;
+            }
+        }
+
+        if unserved > 0.0 {
+            // Spill onto the site with the most tier-aware headroom; when
+            // every tier is exhausted, onto the first candidate regardless
+            // (demand must be served somewhere).
+            let spill_target = (0..n_clusters)
+                .max_by(|&a, &b| {
+                    headroom(&remaining_cap, &metro_rem, &region_rem, a)
+                        .partial_cmp(&headroom(&remaining_cap, &metro_rem, &region_rem, b))
+                        .expect("finite caps")
+                })
+                .filter(|&c| headroom(&remaining_cap, &metro_rem, &region_rem, c) > 0.0)
+                .or_else(|| candidates.first().copied())
+                .unwrap_or(0);
+            allocation.add(spill_target, state_idx, unserved);
+            remaining_cap[spill_target] -= unserved;
+            metro_rem[site_metro[spill_target]] -= unserved;
+            region_rem[site_region[spill_target]] -= unserved;
         }
     }
 
@@ -256,6 +344,79 @@ mod tests {
         let ctx = two_state_ctx(&clusters, &states, &demand, &prices);
         let allocation = assign_by_preference(&ctx, |_, _| vec![0]);
         assert_eq!(allocation.total_load(), 100.0);
+    }
+
+    #[test]
+    fn metro_cap_binds_across_sites_sharing_a_metro() {
+        use crate::constraints::{ConstraintSet, TierCaps};
+        // Nine clusters; put the first two in one capped metro, the rest in
+        // an uncapped second metro. One region, uncapped.
+        let clusters = ClusterSet::akamai_like_nine();
+        let site_metro: Vec<usize> = (0..9).map(|c| usize::from(c >= 2)).collect();
+        let tiers = TierCaps::new(
+            site_metro,
+            vec![0; 9],
+            vec![5_000.0, f64::INFINITY],
+            vec![f64::INFINITY],
+        );
+        let constraints = ConstraintSet::unconstrained().with_tier_caps(tiers);
+        let states = [UsState::MA];
+        let demand = [20_000.0];
+        let prices = vec![50.0; 9];
+        let ctx = RoutingContext::new(&clusters, &states, &demand, &prices, SimHour(0))
+            .with_constraints(&constraints);
+        // Preference order 0, 1, 2: both metro-0 sites together may absorb
+        // only 5 000 despite ample per-site capacity.
+        let allocation = assign_by_preference(&ctx, |_, _| vec![0, 1, 2]);
+        let loads = allocation.cluster_loads();
+        assert!((loads[0] - 5_000.0).abs() < 1e-9, "metro cap bounds the first site");
+        assert_eq!(loads[1], 0.0, "metro headroom already spent");
+        assert!((loads[2] - 15_000.0).abs() < 1e-9, "rest flows to the uncapped metro");
+        assert!(allocation.serves_demand(&demand, 1e-6));
+    }
+
+    #[test]
+    fn region_cap_binds_and_exhausted_tiers_still_serve() {
+        use crate::constraints::{ConstraintSet, TierCaps};
+        let clusters = ClusterSet::akamai_like_nine();
+        // Every site its own metro; one region capped below total demand.
+        let tiers =
+            TierCaps::new((0..9).collect(), vec![0; 9], vec![f64::INFINITY; 9], vec![1_000.0]);
+        let constraints = ConstraintSet::unconstrained().with_tier_caps(tiers);
+        let states = [UsState::NY];
+        let demand = [4_000.0];
+        let prices = vec![50.0; 9];
+        let ctx = RoutingContext::new(&clusters, &states, &demand, &prices, SimHour(0))
+            .with_constraints(&constraints);
+        let allocation = assign_by_preference(&ctx, |_, _| vec![3]);
+        let loads = allocation.cluster_loads();
+        // 1 000 fits under the region cap via the preferred site; the
+        // remaining 3 000 has nowhere with headroom and spills onto the
+        // first candidate — demand is always served.
+        assert!((loads[3] - 4_000.0).abs() < 1e-9);
+        assert!(allocation.serves_demand(&demand, 1e-6));
+    }
+
+    #[test]
+    fn uncapped_tiers_match_flat_assignment() {
+        use crate::constraints::{ConstraintSet, TierCaps};
+        let clusters = ClusterSet::akamai_like_nine();
+        let states = [UsState::MA, UsState::CA, UsState::TX];
+        let demand = [9_000.0, 2.0e6, 3.0e5];
+        let prices = vec![50.0; 9];
+        let flat_ctx = RoutingContext::new(&clusters, &states, &demand, &prices, SimHour(0));
+        let flat = assign_by_preference(&flat_ctx, |i, _| vec![i % 9, (i + 3) % 9]);
+        let tiers = TierCaps::new(
+            (0..9).collect(),
+            vec![0; 9],
+            vec![f64::INFINITY; 9],
+            vec![f64::INFINITY],
+        );
+        let constraints = ConstraintSet::unconstrained().with_tier_caps(tiers);
+        let tiered_ctx = RoutingContext::new(&clusters, &states, &demand, &prices, SimHour(0))
+            .with_constraints(&constraints);
+        let tiered = assign_by_preference(&tiered_ctx, |i, _| vec![i % 9, (i + 3) % 9]);
+        assert_eq!(flat.matrix(), tiered.matrix(), "infinite tier caps change nothing");
     }
 
     #[test]

@@ -163,7 +163,11 @@ impl SampleReservoir {
         if !x.is_finite() {
             return;
         }
-        if self.seen % self.stride as u64 == 0 {
+        // The stride starts at 1 and only ever doubles, so it is always a
+        // power of two and the stride test is a mask, not a division —
+        // this is the hottest branch in long replays.
+        debug_assert!(self.stride.is_power_of_two());
+        if self.seen & (self.stride as u64 - 1) == 0 {
             if self.samples.len() >= self.cap {
                 // Decimate: keep every other retained sample and double the stride.
                 let mut kept = Vec::with_capacity(self.cap / 2 + 1);
@@ -174,7 +178,7 @@ impl SampleReservoir {
                 }
                 self.samples = kept;
                 self.stride *= 2;
-                if self.seen % self.stride as u64 == 0 {
+                if self.seen & (self.stride as u64 - 1) == 0 {
                     self.samples.push(x);
                 }
             } else {

@@ -74,6 +74,16 @@ impl ClusterSet {
         Self { clusters }
     }
 
+    /// Build a deployment that may place several clusters at the same hub.
+    ///
+    /// Hierarchical deployments put many edge sites in one metro, all buying
+    /// power at that metro's hub — the one-cluster-per-hub aggregation rule
+    /// of [`Self::new`] does not apply to them. Flat paper-style deployments
+    /// should keep using [`Self::new`] and its duplicate-hub check.
+    pub fn with_shared_hubs(clusters: Vec<Cluster>) -> Self {
+        Self { clusters }
+    }
+
     /// The nine-cluster Akamai-like deployment used throughout the paper's
     /// simulations. Server counts are synthetic but sized so that the whole
     /// deployment runs at roughly 30 % average utilization under the

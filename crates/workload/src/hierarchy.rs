@@ -1,0 +1,161 @@
+//! Hierarchical deployments: trees of sites as routable cluster sets, and
+//! conservation-checked per-tier load aggregation.
+//!
+//! The bridge between [`wattroute_geo::topology::Topology`] (the pure tree)
+//! and the flat per-cluster world the simulator routes over:
+//!
+//! * [`site_clusters`] flattens a tree's sites, in site order, into a
+//!   [`ClusterSet`] (several sites may share a hub);
+//! * [`single_region_of`] goes the other way — it embeds a flat deployment
+//!   as a trivial one-region tree, losslessly;
+//! * [`TierLoads`] aggregates a per-site load vector up the tree, and can
+//!   check that nothing was lost or invented at any tier.
+
+use crate::cluster::{Cluster, ClusterSet};
+use wattroute_geo::topology::{Topology, TopologyBuilder};
+
+/// Flatten a topology's sites, in site order, into the [`ClusterSet`] the
+/// simulator routes over. Sites in one metro share that metro's hub, so the
+/// set is built with [`ClusterSet::with_shared_hubs`].
+pub fn site_clusters(topology: &Topology) -> ClusterSet {
+    let clusters = (0..topology.num_sites())
+        .map(|s| Cluster {
+            label: topology.site_labels()[s].clone(),
+            hub: topology.site_hub(s),
+            servers: topology.site_servers(s),
+            hits_per_server_per_sec: topology.site_hits_per_server(s),
+            public: true,
+        })
+        .collect();
+    ClusterSet::with_shared_hubs(clusters)
+}
+
+/// Embed a flat deployment as a trivial one-region tree: one region (`US`),
+/// one metro per cluster (labelled by the cluster label), one site per
+/// metro, no tier caps. The embedding is lossless — replaying it through
+/// the hierarchical core is bit-identical to the flat engine, and
+/// [`Topology::is_flat_embedding`] holds for the result.
+pub fn single_region_of(clusters: &ClusterSet) -> Topology {
+    let mut builder = TopologyBuilder::new();
+    builder.add_region("US");
+    for cluster in clusters.clusters() {
+        builder.add_metro(cluster.label.clone());
+        builder.add_site(
+            cluster.label.clone(),
+            cluster.hub,
+            cluster.servers,
+            cluster.hits_per_server_per_sec,
+        );
+    }
+    builder.build()
+}
+
+/// Per-tier load rollup: the given per-site loads aggregated to metros,
+/// regions, and the deployment total, each in tree index order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierLoads {
+    /// Per-site loads, as given (hits/second).
+    pub site: Vec<f64>,
+    /// Per-metro sums over each metro's contiguous site range.
+    pub metro: Vec<f64>,
+    /// Per-region sums over each region's contiguous site range.
+    pub region: Vec<f64>,
+    /// Deployment-wide total.
+    pub total: f64,
+}
+
+impl TierLoads {
+    /// Aggregate per-site loads up the tree. Each tier sums its children's
+    /// contiguous ranges in order, so the rollup is deterministic.
+    ///
+    /// # Panics
+    /// Panics when `site_loads` does not have one entry per site.
+    pub fn aggregate(topology: &Topology, site_loads: &[f64]) -> Self {
+        assert_eq!(site_loads.len(), topology.num_sites(), "one load entry per site required");
+        let metro: Vec<f64> = (0..topology.num_metros())
+            .map(|m| {
+                let (s0, s1) = topology.metro_sites(m);
+                site_loads[s0..s1].iter().sum()
+            })
+            .collect();
+        let region: Vec<f64> = (0..topology.num_regions())
+            .map(|r| {
+                let (m0, m1) = topology.region_metros(r);
+                metro[m0..m1].iter().sum()
+            })
+            .collect();
+        let total = region.iter().sum();
+        Self { site: site_loads.to_vec(), metro, region, total }
+    }
+
+    /// The largest relative conservation error across all tiers: every
+    /// metro, every region, and the total are re-summed directly from the
+    /// site loads and compared against the rollup. Zero means every tier
+    /// accounts for exactly what its children carry (up to float
+    /// re-association, which this measures).
+    pub fn max_conservation_error(&self, topology: &Topology) -> f64 {
+        let rel = |sum: f64, direct: f64| {
+            let scale = direct.abs().max(1.0);
+            (sum - direct).abs() / scale
+        };
+        let mut worst: f64 = 0.0;
+        for m in 0..topology.num_metros() {
+            let (s0, s1) = topology.metro_sites(m);
+            let direct: f64 = self.site[s0..s1].iter().sum();
+            worst = worst.max(rel(self.metro[m], direct));
+        }
+        for r in 0..topology.num_regions() {
+            let (s0, s1) = topology.region_sites(r);
+            let direct: f64 = self.site[s0..s1].iter().sum();
+            worst = worst.max(rel(self.region[r], direct));
+        }
+        let direct_total: f64 = self.site.iter().sum();
+        worst.max(rel(self.total, direct_total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_embedding_round_trips() {
+        let nine = ClusterSet::akamai_like_nine();
+        let tree = single_region_of(&nine);
+        assert!(tree.is_flat_embedding());
+        assert_eq!(tree.num_sites(), 9);
+        let back = site_clusters(&tree);
+        assert_eq!(back, nine);
+    }
+
+    #[test]
+    fn site_clusters_preserves_order_and_capacity() {
+        let tree = Topology::synthetic(11, 200);
+        let clusters = site_clusters(&tree);
+        assert_eq!(clusters.len(), 200);
+        for (s, cluster) in clusters.clusters().iter().enumerate() {
+            assert_eq!(cluster.label, tree.site_labels()[s]);
+            assert_eq!(cluster.hub, tree.site_hub(s));
+            assert_eq!(cluster.capacity_hits_per_sec(), tree.site_capacity_hits_per_sec(s));
+        }
+    }
+
+    #[test]
+    fn tier_loads_conserve() {
+        let tree = Topology::synthetic(5, 137);
+        let loads: Vec<f64> = (0..tree.num_sites()).map(|s| (s as f64) * 13.7 + 1.0).collect();
+        let tiers = TierLoads::aggregate(&tree, &loads);
+        assert_eq!(tiers.metro.len(), 29);
+        assert_eq!(tiers.region.len(), 6);
+        assert!(tiers.max_conservation_error(&tree) < 1e-12);
+        let direct: f64 = loads.iter().sum();
+        assert!((tiers.total - direct).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one load entry per site")]
+    fn wrong_length_rejected() {
+        let tree = Topology::synthetic(1, 10);
+        let _ = TierLoads::aggregate(&tree, &[1.0, 2.0]);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod bandwidth;
 pub mod cluster;
 pub mod derive;
+pub mod hierarchy;
 pub mod synthetic;
 pub mod trace;
 
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use crate::bandwidth::{percentile_95, BandwidthProfile};
     pub use crate::cluster::{Cluster, ClusterSet};
     pub use crate::derive::WeeklyProfile;
+    pub use crate::hierarchy::{single_region_of, site_clusters, TierLoads};
     pub use crate::synthetic::SyntheticWorkloadConfig;
     pub use crate::trace::{Trace, TraceStep};
 }
