@@ -1,0 +1,53 @@
+//! Criterion benchmark: Monte Carlo path-replay throughput.
+//!
+//! One day of trace, replayed over seeded price paths at three path
+//! budgets on one worker, plus the 64-path budget on two workers. Per-path
+//! cost should stay flat as the budget grows — workspaces (generator,
+//! engine snapshot, billing buffer, compiled preferences) are reused, so
+//! drawing more paths compiles nothing and allocates almost nothing new.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wattroute::montecarlo::MonteCarlo;
+use wattroute::prelude::*;
+use wattroute_market::time::SimHour;
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo");
+    group.sample_size(10);
+
+    let start = SimHour::from_date(2008, 12, 19);
+    let scenario = Scenario::custom_window(7, HourRange::new(start, start.plus_hours(24)));
+    let model = MarketModel::calibrated().restricted_to(&scenario.clusters.hub_ids());
+
+    for paths in [16usize, 64, 256] {
+        group.bench_function(&format!("one_day_{paths}_paths_1_thread"), |b| {
+            let mc = MonteCarlo::new(
+                &scenario.clusters,
+                &scenario.trace,
+                model.clone(),
+                scenario.config.clone(),
+                7,
+            )
+            .with_paths(paths)
+            .with_threads(1);
+            b.iter(|| mc.run());
+        });
+    }
+    group.bench_function("one_day_64_paths_2_threads", |b| {
+        let mc = MonteCarlo::new(
+            &scenario.clusters,
+            &scenario.trace,
+            model.clone(),
+            scenario.config.clone(),
+            7,
+        )
+        .with_paths(64)
+        .with_threads(2);
+        b.iter(|| mc.run());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_monte_carlo);
+criterion_main!(benches);

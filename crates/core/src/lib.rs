@@ -56,6 +56,7 @@ pub mod engine;
 pub mod hierarchy;
 pub mod json;
 pub mod jsonl;
+pub mod montecarlo;
 pub mod objective;
 pub mod report;
 pub mod run;
@@ -82,6 +83,9 @@ pub mod prelude {
     pub use crate::constraints::{BandwidthTariff, CalibratedScenario};
     pub use crate::engine::{DemandSlice, EngineSnapshot, PriceSlice, SimulationEngine};
     pub use crate::hierarchy::{HierarchicalReplay, PolicyFactory};
+    pub use crate::montecarlo::{
+        BandSummary, ClusterBand, MonteCarlo, PathOutcome, PathPolicyFactory, SavingsDistribution,
+    };
     pub use crate::objective::{Objective, ObjectiveTerms};
     pub use crate::report::{PolicyComparison, SimulationReport};
     pub use crate::run::RunOptions;

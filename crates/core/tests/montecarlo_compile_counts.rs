@@ -1,0 +1,81 @@
+//! Compile-count instrumentation test for the Monte Carlo engine.
+//!
+//! This file intentionally holds a single `#[test]` so it runs as the only
+//! code in its process: the build counters on [`BillingMatrix`],
+//! [`PriceTable`] and [`CompiledPreferences`] are process-global, and any
+//! concurrently running test that compiles artifacts would make exact
+//! assertions racy. Keep it that way — add further Monte Carlo
+//! compile-count scenarios inside this one test, not as siblings.
+
+use wattroute::montecarlo::MonteCarlo;
+use wattroute::prelude::*;
+use wattroute_market::price_table::{BillingMatrix, PriceTable};
+use wattroute_market::time::SimHour;
+use wattroute_routing::price_conscious::CompiledPreferences;
+
+/// A Monte Carlo run compiles the ranked preference geometry exactly once
+/// (shared by every worker's policies) and *no* price artifacts at all —
+/// paths fill a reused flat billing buffer, bypassing the
+/// [`BillingMatrix`]/[`PriceTable`] pipeline entirely. Drawing more paths
+/// on more threads changes nothing.
+#[test]
+fn monte_carlo_compiles_one_preference_geometry_and_zero_price_artifacts() {
+    let start = SimHour::from_date(2008, 6, 1);
+    let scenario = Scenario::custom_window(42, HourRange::new(start, start.plus_hours(24)));
+    let model = MarketModel::calibrated().restricted_to(&scenario.clusters.hub_ids());
+    let mc = |paths: usize, threads: usize| {
+        MonteCarlo::new(
+            &scenario.clusters,
+            &scenario.trace,
+            model.clone(),
+            scenario.config.clone(),
+            2009,
+        )
+        .with_paths(paths)
+        .with_threads(threads)
+        .run()
+    };
+
+    let billing_before = BillingMatrix::build_count();
+    let views_before = PriceTable::view_count();
+    let prefs_before = CompiledPreferences::build_count();
+
+    let dist = mc(8, 2);
+    assert_eq!(dist.per_path.len(), 8);
+
+    assert_eq!(
+        BillingMatrix::build_count() - billing_before,
+        0,
+        "Monte Carlo paths must not compile billing matrices"
+    );
+    assert_eq!(
+        PriceTable::view_count() - views_before,
+        0,
+        "Monte Carlo paths must not build delayed price views"
+    );
+    assert_eq!(
+        CompiledPreferences::build_count() - prefs_before,
+        1,
+        "one preference geometry per run, shared across workers and paths"
+    );
+
+    // Four times the paths, twice the workers: still one compile per run.
+    let prefs_mid = CompiledPreferences::build_count();
+    let wide = mc(32, 4);
+    assert_eq!(wide.per_path.len(), 32);
+    assert_eq!(
+        BillingMatrix::build_count() - billing_before,
+        0,
+        "path count must not change billing compile counts"
+    );
+    assert_eq!(
+        PriceTable::view_count() - views_before,
+        0,
+        "path count must not change view compile counts"
+    );
+    assert_eq!(
+        CompiledPreferences::build_count() - prefs_mid,
+        1,
+        "path and worker counts must not change preference compile counts"
+    );
+}

@@ -64,7 +64,7 @@ pub mod types;
 pub mod prelude {
     pub use crate::differential::{Differential, DifferentialStats};
     pub use crate::feed::{FeedError, PriceFeed};
-    pub use crate::generator::PriceGenerator;
+    pub use crate::generator::{path_seed, PriceGenerator};
     pub use crate::model::MarketModel;
     pub use crate::price_table::PriceTable;
     pub use crate::time::{HourRange, SimHour};

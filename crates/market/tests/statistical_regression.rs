@@ -1,0 +1,155 @@
+//! Statistical regression tests pinning the generator to the paper's
+//! published calibration targets.
+//!
+//! The model replaces the paper's proprietary Platts/RTO archive with a
+//! generative process, so the only way to keep it honest is to regenerate
+//! the 39-month window (January 2006 – March 2009) and re-measure the
+//! statistics the paper publishes:
+//!
+//! * **Figure 6** — 1 %-trimmed mean / standard deviation / kurtosis of
+//!   hourly real-time prices for six named hubs;
+//! * **Figure 7** — hour-to-hour price changes are near-zero-mean and far
+//!   heavier-tailed than a Gaussian;
+//! * **Figure 8** — hubs correlate much more strongly within an RTO than
+//!   across RTOs, with the LA ↔ Palo Alto pair around 0.94.
+//!
+//! Tolerances are deliberately loose enough to survive reseeding the
+//! generator (the targets are distributional, not golden numbers) but tight
+//! enough that a calibration regression — a lost spike process, a broken
+//! regional factor, a rescaled base price — fails loudly.
+//!
+//! One documented deviation (see `docs/paper_fidelity.md`): the synthetic
+//! spike process concentrates essentially all tail mass in the outer 1 % of
+//! hours, so *trimmed* kurtosis lands near-Gaussian (~2.6–3.0) where
+//! Figure 6 reports 4.6–11.9 — while *untrimmed* kurtosis (11–35) clears
+//! every published target. The tests pin both sides of that trade.
+
+use wattroute_geo::{hubs, HubId, Rto};
+use wattroute_market::generator::PriceGenerator;
+use wattroute_market::model::MarketModel;
+use wattroute_market::time::HourRange;
+use wattroute_market::types::PriceSet;
+use wattroute_stats as stats;
+
+/// Figure 6 rows: hub, trimmed mean, trimmed std dev, trimmed kurtosis.
+const FIGURE_6: [(HubId, f64, f64, f64); 6] = [
+    (HubId::BostonMa, 66.5, 25.8, 5.7),
+    (HubId::NewYorkNy, 77.9, 40.3, 7.9),
+    (HubId::ChicagoIl, 40.6, 26.9, 4.6),
+    (HubId::RichmondVa, 57.8, 39.2, 6.6),
+    (HubId::IndianapolisIn, 44.0, 28.3, 5.8),
+    (HubId::PaloAltoCa, 54.0, 34.2, 11.9),
+];
+
+/// One 39-month generation shared by every check in this file. The seed is
+/// fixed, so every measured statistic below is exactly reproducible.
+fn paper_window_prices() -> PriceSet {
+    PriceGenerator::new(MarketModel::calibrated(), 2009)
+        .realtime_hourly(HourRange::paper_39_months())
+}
+
+#[test]
+fn figure_6_trimmed_moments_match_calibration_targets() {
+    let set = paper_window_prices();
+    for (hub, mean, std_dev, kurtosis) in FIGURE_6 {
+        let series = set.for_hub(hub).expect("calibrated model covers the figure hubs");
+        let t = stats::trimmed(&series.prices, 0.01).expect("non-empty series");
+        assert!(
+            (t.mean - mean).abs() < mean * 0.15,
+            "{hub:?}: trimmed mean {:.1} vs Figure 6 target {mean}",
+            t.mean
+        );
+        assert!(
+            (t.std_dev - std_dev).abs() < std_dev * 0.35,
+            "{hub:?}: trimmed std dev {:.1} vs Figure 6 target {std_dev}",
+            t.std_dev
+        );
+        // The model's spikes live almost entirely in the trimmed 1 % tails:
+        // untrimmed kurtosis must clear the published target, while trimmed
+        // kurtosis stays in the near-Gaussian band the bulk process
+        // produces (the documented deviation from Figure 6's trimmed rows).
+        let full_kurtosis = stats::kurtosis(&series.prices).expect("non-empty series");
+        assert!(
+            full_kurtosis > kurtosis,
+            "{hub:?}: untrimmed kurtosis {full_kurtosis:.1} must clear the \
+             Figure 6 target {kurtosis}"
+        );
+        assert!(
+            (2.2..3.6).contains(&t.kurtosis),
+            "{hub:?}: trimmed kurtosis {:.1} left the near-Gaussian bulk band",
+            t.kurtosis
+        );
+    }
+}
+
+#[test]
+fn figure_7_hourly_changes_are_near_zero_mean_and_heavy_tailed() {
+    let set = paper_window_prices();
+    for (hub, ..) in FIGURE_6 {
+        let series = set.for_hub(hub).expect("calibrated model covers the figure hubs");
+        let diffs = stats::diff_series(&series.prices);
+        let mean = stats::mean(&diffs).expect("non-empty diffs");
+        let sd = stats::std_dev(&diffs).expect("non-empty diffs");
+        assert!(
+            mean.abs() < 0.05 * sd,
+            "{hub:?}: hourly changes should be near zero-mean (mean {mean:.3}, sd {sd:.1})"
+        );
+        let kurt = stats::kurtosis(&diffs).expect("non-empty diffs");
+        assert!(
+            kurt > 6.0,
+            "{hub:?}: hourly changes should be far heavier-tailed than Gaussian, kurtosis {kurt:.1}"
+        );
+    }
+}
+
+#[test]
+fn figure_8_intra_rto_correlations_dominate_inter_rto() {
+    let set = paper_window_prices();
+    let rto_of = |hub: HubId| hubs::hub(hub).rto;
+    // Only hubs in hourly markets — the Pacific Northwest has none.
+    let market_hubs: Vec<HubId> = set
+        .series
+        .iter()
+        .map(|s| s.hub)
+        .filter(|&h| rto_of(h) != Rto::NonMarketNorthwest)
+        .collect();
+
+    let mut intra = Vec::new();
+    let mut inter = Vec::new();
+    for (i, &a) in market_hubs.iter().enumerate() {
+        for &b in &market_hubs[i + 1..] {
+            let r = stats::pearson(
+                &set.for_hub(a).expect("series exists").prices,
+                &set.for_hub(b).expect("series exists").prices,
+            )
+            .expect("equal-length series");
+            if rto_of(a) == rto_of(b) {
+                intra.push(r);
+            } else {
+                inter.push(r);
+            }
+        }
+    }
+    let mean = |xs: &[f64]| stats::mean(xs).expect("non-empty");
+    let (intra_mean, inter_mean) = (mean(&intra), mean(&inter));
+    assert!(
+        intra_mean > inter_mean + 0.15,
+        "intra-RTO correlation ({intra_mean:.2}) must clearly dominate inter-RTO ({inter_mean:.2})"
+    );
+    assert!(
+        intra.iter().all(|&r| r > 0.35),
+        "every intra-RTO pair should be strongly correlated (min {:.2})",
+        intra.iter().cloned().fold(f64::INFINITY, f64::min)
+    );
+
+    // §3.2: the two CAISO cluster hubs track each other at ~0.94.
+    let caiso = stats::pearson(
+        &set.for_hub(HubId::LosAngelesCa).expect("series exists").prices,
+        &set.for_hub(HubId::PaloAltoCa).expect("series exists").prices,
+    )
+    .expect("equal-length series");
+    assert!(
+        (caiso - 0.94).abs() < 0.08,
+        "LA ↔ Palo Alto correlation {caiso:.3} vs the paper's 0.94"
+    );
+}

@@ -21,6 +21,9 @@
 //! * an [`wattroute::objective::Objective`] scores each
 //!   simulated report as energy dollars + SLA penalty on rejected or
 //!   overflowed demand + an optional distance-performance penalty;
+//! * a [`RiskEvaluator`] re-scores candidates over Monte Carlo price-path
+//!   distributions ([`wattroute::montecarlo`]), adding a CVaR risk premium
+//!   so robust placements beat fragile ones at equal expected cost;
 //! * two deterministic, seeded [`OptimizerStrategy`] implementations —
 //!   [`GreedyDescent`] and [`LocalSearch`] — search the simplex with
 //!   early termination;
@@ -50,11 +53,13 @@
 
 pub mod evaluator;
 pub mod report;
+pub mod risk;
 pub mod space;
 pub mod strategy;
 
 pub use evaluator::{policy_factory, price_conscious_factory, SharedPolicyFactory, SweepEvaluator};
 pub use report::{CacheStats, CandidateRecord, IterationRecord, OptimizerReport};
+pub use risk::RiskEvaluator;
 pub use space::{CandidateHub, CandidateSplit, SearchSpace};
 pub use strategy::{GreedyDescent, LocalSearch, OptimizerStrategy, ScoredCandidate, SearchBudget};
 

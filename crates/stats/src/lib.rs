@@ -5,8 +5,10 @@
 //! primitives: trimmed means and standard deviations (Figure 6), kurtosis of
 //! price-change distributions (Figure 7), pairwise correlation coefficients
 //! and mutual information (Figure 8), histograms of price differentials
-//! (Figure 10), quantiles / inter-quartile ranges (Figures 11 and 12), and
-//! 95th-percentile bandwidth computations for the 95/5 billing model (§4).
+//! (Figure 10), quantiles / inter-quartile ranges (Figures 11 and 12),
+//! 95th-percentile bandwidth computations for the 95/5 billing model (§4),
+//! and conditional value-at-risk ([`quantiles::cvar`]) for the Monte Carlo
+//! layer's electric-bill distributions.
 //!
 //! This crate implements those primitives with no external numeric
 //! dependencies so that the rest of the workspace can rely on a single,
@@ -47,5 +49,5 @@ pub use correlation::{mutual_information, pearson, spearman};
 pub use descriptive::{kurtosis, mean, skewness, std_dev, trimmed, variance, TrimmedStats};
 pub use histogram::Histogram;
 pub use online::{OnlineStats, SampleReservoir};
-pub use quantiles::{iqr, median, percentile, quartiles};
+pub use quantiles::{cvar, iqr, median, percentile, quantile, quartiles};
 pub use timeseries::{diff_series, window_average};

@@ -49,6 +49,41 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
     quantile(samples, p / 100.0)
 }
 
+/// Conditional value-at-risk (expected shortfall) at level `alpha` in
+/// `[0, 1)`: the expected value of a sample *given* that it falls in the
+/// worst (highest) `1 - alpha` tail. For a cost distribution,
+/// `cvar(bills, 0.95)` answers "when the bill lands in its worst 5% of
+/// outcomes, how much do I pay on average?" — the risk measure the Monte
+/// Carlo layer reports for the electric bill.
+///
+/// Computed with the Rockafellar–Uryasev estimator
+///
+/// ```text
+/// CVaR_α = VaR_α + E[(X − VaR_α)⁺] / (1 − α)
+/// ```
+///
+/// where `VaR_α` is the R-7 [`quantile`] at `alpha`. This form is
+/// continuous in `alpha`, agrees with the closed-form tail mean for
+/// continuous distributions, and degrades gracefully on tiny samples:
+/// a single sample is its own CVaR, an all-equal sample returns the
+/// common value, and `alpha = 0` reduces to the plain mean.
+///
+/// Non-finite samples are ignored. Returns `None` if no finite samples
+/// remain or if `alpha` is outside `[0, 1)`.
+pub fn cvar(samples: &[f64], alpha: f64) -> Option<f64> {
+    if !(0.0..1.0).contains(&alpha) {
+        return None;
+    }
+    let finite: Vec<f64> = samples.iter().copied().filter(|x| x.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    let var = quantile(&finite, alpha).expect("finite non-empty sample has a quantile");
+    let n = finite.len() as f64;
+    let excess: f64 = finite.iter().map(|x| (x - var).max(0.0)).sum::<f64>() / n;
+    Some(var + excess / (1.0 - alpha))
+}
+
 /// Median (50th percentile).
 pub fn median(samples: &[f64]) -> Option<f64> {
     quantile(samples, 0.5)
@@ -231,5 +266,61 @@ mod tests {
         let q = quartiles(&[42.0]).unwrap();
         assert_eq!(q.q1, 42.0);
         assert_eq!(q.q3, 42.0);
+    }
+
+    #[test]
+    fn cvar_closed_form_fixture() {
+        // 1..=100 at α = 0.95: VaR = 95.05 (R-7), excess mass above it is
+        // (0.95 + 1.95 + 2.95 + 3.95 + 4.95)/100 = 0.1475, so
+        // CVaR = 95.05 + 0.1475/0.05 = 98.0 exactly.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_close(cvar(&xs, 0.95).unwrap(), 98.0, 1e-12);
+    }
+
+    #[test]
+    fn cvar_alpha_zero_is_the_mean() {
+        let xs = [10.0, 20.0, 60.0, 30.0];
+        assert_close(cvar(&xs, 0.0).unwrap(), 30.0, 1e-12);
+    }
+
+    #[test]
+    fn cvar_dominates_var_and_orders_with_alpha() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.7).sin() * 30.0 + 60.0).collect();
+        let c90 = cvar(&xs, 0.90).unwrap();
+        let c95 = cvar(&xs, 0.95).unwrap();
+        let v95 = quantile(&xs, 0.95).unwrap();
+        assert!(c95 >= v95, "CVaR must not be below VaR: {c95} vs {v95}");
+        assert!(c95 >= c90, "deeper tails cannot be cheaper: {c95} vs {c90}");
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(c95 <= max + 1e-12, "CVaR cannot exceed the worst outcome");
+    }
+
+    #[test]
+    fn cvar_edge_cases() {
+        // Empty and all-NaN samples have no tail to average.
+        assert_eq!(cvar(&[], 0.95), None);
+        assert_eq!(cvar(&[f64::NAN, f64::INFINITY], 0.95), None);
+        // A single sample is its own worst case.
+        assert_eq!(cvar(&[42.0], 0.95), Some(42.0));
+        // An all-equal sample returns the common value.
+        assert_close(cvar(&[7.0; 12], 0.9).unwrap(), 7.0, 1e-12);
+        // Non-finite samples are ignored, not propagated.
+        assert_close(cvar(&[1.0, 2.0, f64::NAN, 3.0], 0.0).unwrap(), 2.0, 1e-12);
+        // α = 1 would divide by zero; it is rejected, as is anything outside
+        // [0, 1).
+        assert_eq!(cvar(&[1.0, 2.0], 1.0), None);
+        assert_eq!(cvar(&[1.0, 2.0], -0.1), None);
+        assert_eq!(cvar(&[1.0, 2.0], f64::NAN), None);
+    }
+
+    #[test]
+    fn cvar_handles_negative_costs() {
+        // Negative electricity prices are real (§2.2); the estimator must
+        // not assume positivity.
+        let xs = [-50.0, -20.0, -10.0, 0.0, 5.0];
+        let c = cvar(&xs, 0.8).unwrap();
+        // The estimator never exceeds the worst sample (modulo rounding in
+        // the excess/(1−α) division).
+        assert!(c > 0.0 && c <= 5.0 + 1e-9, "tail of {xs:?} is the +5 outcome, got {c}");
     }
 }
