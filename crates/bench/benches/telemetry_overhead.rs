@@ -1,0 +1,65 @@
+//! Criterion benchmark: the cost of telemetry on the replay hot path.
+//!
+//! Three datapoints over the same one-week scenario:
+//!
+//! * `replay_telemetry_off` — the baseline: every instrumentation site
+//!   collapses to one relaxed atomic load per tick.
+//! * `replay_telemetry_on` — spans recording into registry histograms
+//!   (no trace sink; tracing is a diagnostic mode, not the overhead
+//!   claim). The CI gate (`obs_report --check-overhead`) holds the
+//!   on/off ratio under 5%.
+//! * `replay_telemetry_on_traced` — spans *and* the JSONL trace sink,
+//!   for a sense of what full diagnostics cost on top.
+//!
+//! The enabled flag is process-global, so each bench flips it for its
+//! own iterations and restores the off state before finishing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wattroute::prelude::*;
+use wattroute_market::time::SimHour;
+use wattroute_obs::Telemetry;
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+
+    let start = SimHour::from_date(2008, 12, 19);
+    let week = HourRange::new(start, start.plus_hours(7 * 24));
+    let scenario = Scenario::custom_window(1, week);
+
+    group.bench_function("replay_telemetry_off", |b| {
+        Telemetry::disable();
+        b.iter(|| {
+            let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+            scenario.execute(&mut policy, RunOptions::new())
+        });
+    });
+
+    group.bench_function("replay_telemetry_on", |b| {
+        Telemetry::enable();
+        b.iter(|| {
+            let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+            scenario.execute(&mut policy, RunOptions::new())
+        });
+        Telemetry::disable();
+    });
+
+    group.bench_function("replay_telemetry_on_traced", |b| {
+        let path =
+            std::env::temp_dir().join(format!("wr_bench_trace_{}.jsonl", std::process::id()));
+        Telemetry::enable();
+        Telemetry::trace_to(&path).expect("install trace sink");
+        b.iter(|| {
+            let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
+            scenario.execute(&mut policy, RunOptions::new())
+        });
+        Telemetry::trace_close();
+        Telemetry::disable();
+        let _ = std::fs::remove_file(&path);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

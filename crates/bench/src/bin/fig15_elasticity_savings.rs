@@ -5,6 +5,7 @@ use wattroute_bench::{banner, elasticity_savings_sweep, fmt, print_table, scenar
 use wattroute_energy::model::EnergyModelParams;
 
 fn main() {
+    wattroute_obs::Telemetry::enable_from_env();
     banner(
         "Figure 15",
         "24-day savings vs (idle %, PUE), price-conscious routing @ 1500 km threshold",

@@ -7,6 +7,7 @@ use wattroute_bench::{
 use wattroute_energy::model::EnergyModelParams;
 
 fn main() {
+    wattroute_obs::Telemetry::enable_from_env();
     banner("Figure 16", "24-day cost vs distance threshold, (0% idle, 1.1 PUE), normalized to the Akamai-like allocation");
     let scenario = scenario_24_day().with_energy(EnergyModelParams::optimistic_future());
     let baseline = scenario.baseline_report();

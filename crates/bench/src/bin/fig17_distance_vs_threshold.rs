@@ -7,6 +7,7 @@ use wattroute_bench::{
 use wattroute_energy::model::EnergyModelParams;
 
 fn main() {
+    wattroute_obs::Telemetry::enable_from_env();
     banner("Figure 17", "Client-server distance vs distance threshold (24-day scenario)");
     let scenario = scenario_24_day().with_energy(EnergyModelParams::optimistic_future());
     let baseline = scenario.baseline_report();

@@ -8,6 +8,7 @@ use wattroute_bench::{
 use wattroute_energy::model::EnergyModelParams;
 
 fn main() {
+    wattroute_obs::Telemetry::enable_from_env();
     banner(
         "Figure 18",
         "Long-horizon cost vs distance threshold, (0% idle, 1.1 PUE), normalized to the Akamai-like allocation",

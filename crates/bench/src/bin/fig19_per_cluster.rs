@@ -12,6 +12,7 @@ use wattroute_energy::model::EnergyModelParams;
 use wattroute_routing::prelude::*;
 
 fn main() {
+    wattroute_obs::Telemetry::enable_from_env();
     banner("Figure 19", "Per-cluster cost change vs the Akamai-like allocation, obeying 95/5");
     let scenario = scenario_long().with_energy(EnergyModelParams::optimistic_future());
     let baseline = scenario.baseline_report();

@@ -5,6 +5,7 @@ use wattroute_bench::{banner, fmt, print_table, reaction_delay_sweep, scenario_l
 use wattroute_energy::model::EnergyModelParams;
 
 fn main() {
+    wattroute_obs::Telemetry::enable_from_env();
     banner(
         "Figure 20",
         "Cost increase vs price-reaction delay, (65% idle, 1.3 PUE), 1500 km threshold",

@@ -7,6 +7,7 @@ use wattroute_energy::model::EnergyModelParams;
 use wattroute_routing::prelude::*;
 
 fn main() {
+    wattroute_obs::Telemetry::enable_from_env();
     banner("Headline claims", "The bulleted results of §1, measured on this reproduction");
 
     // Claim 1: >= 2% savings at Google-like elasticity with 95/5 constraints.

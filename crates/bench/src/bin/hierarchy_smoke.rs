@@ -56,6 +56,7 @@ fn summary_line(
 }
 
 fn main() -> ExitCode {
+    wattroute_obs::Telemetry::enable_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let sites: usize = flag_value(&args, "--sites").map_or(200, |v| v.parse().expect("--sites N"));
     let days: u64 = flag_value(&args, "--days").map_or(60, |v| v.parse().expect("--days D"));

@@ -15,6 +15,7 @@ use wattroute_bench::{banner, fmt, full_mode, print_table, HARNESS_SEED};
 use wattroute_market::time::SimHour;
 
 fn main() {
+    wattroute_obs::Telemetry::enable_from_env();
     banner("mc_savings", "Monte Carlo price paths: savings distributions and throughput");
 
     // One week fast / the 24-day window in full mode: long enough for the

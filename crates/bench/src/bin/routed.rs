@@ -3,12 +3,16 @@
 //! Two subcommands:
 //!
 //! * `routed serve --socket PATH [--hours N] [--seed N] [--step-ms M]
-//!   [--policy pc|baseline] [--linger] [--max-conns N]` — replay a
-//!   synthetic scenario in accelerated wall-clock time, serving `route?` /
-//!   `stats` / `snapshot` / `shutdown` queries over the Unix socket
+//!   [--policy pc|baseline] [--linger] [--max-conns N] [--telemetry]` —
+//!   replay a synthetic scenario in accelerated wall-clock time, serving
+//!   `route?` / `stats` / `metrics` / `snapshot` / `shutdown` queries over
+//!   the Unix socket
 //!   (newline-delimited JSON; see `docs/daemon.md`). At most `--max-conns`
 //!   query connections are served concurrently; one past the cap receives
-//!   a single `"ok": false` error reply and is closed. On shutdown, prints the final flushed
+//!   a single `"ok": false` error reply and is closed. `--telemetry` (or
+//!   `WATTROUTE_TELEMETRY=1`) turns on span timing, populating the
+//!   `metrics` exposition with engine-tick phase histograms; the report is
+//!   byte-identical either way. On shutdown, prints the final flushed
 //!   [`SimulationReport`] as one JSON
 //!   line on stdout — bit-identical to the batch run of the same scenario.
 //!
@@ -31,7 +35,7 @@ fn main() -> ExitCode {
         Some("serve") => run_serve(&args[1..]),
         Some("query") => run_query(&args[1..]),
         _ => {
-            eprintln!("usage: routed serve --socket PATH [--hours N] [--seed N] [--step-ms M] [--policy pc|baseline] [--linger] [--max-conns N]");
+            eprintln!("usage: routed serve --socket PATH [--hours N] [--seed N] [--step-ms M] [--policy pc|baseline] [--linger] [--max-conns N] [--telemetry]");
             eprintln!("       routed query --socket PATH <REQUEST_JSON>");
             ExitCode::from(2)
         }
@@ -57,6 +61,11 @@ fn run_serve(args: &[String]) -> ExitCode {
     if max_conns == 0 {
         eprintln!("routed serve: --max-conns must be at least 1");
         return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--telemetry") {
+        wattroute_obs::Telemetry::enable();
+    } else {
+        wattroute_obs::Telemetry::enable_from_env();
     }
 
     let start = SimHour::from_date(2008, 12, 19);

@@ -93,6 +93,7 @@ fn golden_path() -> std::path::PathBuf {
 }
 
 fn main() {
+    wattroute_obs::Telemetry::enable_from_env();
     let check = std::env::args().any(|a| a == "--check");
     let report = smoke_report();
 

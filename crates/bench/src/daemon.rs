@@ -18,20 +18,28 @@
 //! | request | reply |
 //! |---|---|
 //! | `{"cmd":"route?","state":"MA"}` | the current per-cluster allocation for that state |
-//! | `{"cmd":"stats"}` | the mid-run [`SimulationReport`] |
+//! | `{"cmd":"stats"}` | the mid-run [`SimulationReport`] plus daemon health (uptime, connection and per-verb request counters) |
+//! | `{"cmd":"metrics"}` | the process-wide [`wattroute_obs`] registry as a Prometheus-style text exposition |
 //! | `{"cmd":"snapshot"}` | a lossless [`EngineSnapshot`] of the router state |
 //! | `{"cmd":"shutdown"}` | acknowledges, then the daemon flushes its final report and exits |
 //!
 //! Every reply carries `"ok": true` or `"ok": false` plus an `"error"`
 //! string; a malformed request line gets an error reply rather than a
 //! dropped connection.
+//!
+//! Request handling is instrumented on the [`wattroute_obs`] registry:
+//! per-verb counters (`daemon.requests.*`), connection counters
+//! (`daemon.connections.total` / `.rejected`), and — with telemetry
+//! enabled — a `daemon.request` latency histogram. The `stats` reply
+//! mirrors the same numbers per daemon instance, so they survive even
+//! when telemetry stays off.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use wattroute::engine::{DemandSlice, PriceSlice, SimulationEngine};
 use wattroute::json::{self, JsonValue};
 use wattroute::prelude::*;
@@ -85,6 +93,76 @@ impl DaemonOptions {
     }
 }
 
+/// Per-daemon health counters surfaced in the `stats` reply. The same
+/// events are mirrored onto the process-wide [`wattroute_obs`] registry
+/// (`daemon.*` series); the instance copy keeps `stats` meaningful when
+/// several daemons share one process (tests do) or telemetry is off.
+#[derive(Debug, Default)]
+struct DaemonMetrics {
+    connections_total: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests_route: AtomicU64,
+    requests_stats: AtomicU64,
+    requests_metrics: AtomicU64,
+    requests_snapshot: AtomicU64,
+    requests_shutdown: AtomicU64,
+    requests_errors: AtomicU64,
+}
+
+impl DaemonMetrics {
+    fn record_connection(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+        wattroute_obs::counter!("daemon.connections.opened").inc();
+    }
+
+    fn record_rejected_connection(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+        wattroute_obs::counter!("daemon.connections.rejected").inc();
+    }
+
+    fn record_verb(&self, cmd: &str) {
+        match cmd {
+            "route?" => {
+                self.requests_route.fetch_add(1, Ordering::Relaxed);
+                wattroute_obs::counter!("daemon.requests.route").inc();
+            }
+            "stats" => {
+                self.requests_stats.fetch_add(1, Ordering::Relaxed);
+                wattroute_obs::counter!("daemon.requests.stats").inc();
+            }
+            "metrics" => {
+                self.requests_metrics.fetch_add(1, Ordering::Relaxed);
+                wattroute_obs::counter!("daemon.requests.metrics").inc();
+            }
+            "snapshot" => {
+                self.requests_snapshot.fetch_add(1, Ordering::Relaxed);
+                wattroute_obs::counter!("daemon.requests.snapshot").inc();
+            }
+            "shutdown" => {
+                self.requests_shutdown.fetch_add(1, Ordering::Relaxed);
+                wattroute_obs::counter!("daemon.requests.shutdown").inc();
+            }
+            _ => {}
+        }
+    }
+
+    fn record_error(&self) {
+        self.requests_errors.fetch_add(1, Ordering::Relaxed);
+        wattroute_obs::counter!("daemon.requests.errors").inc();
+    }
+
+    fn requests_by_verb(&self) -> JsonValue {
+        json::object([
+            ("route?", JsonValue::Number(self.requests_route.load(Ordering::Relaxed) as f64)),
+            ("stats", JsonValue::Number(self.requests_stats.load(Ordering::Relaxed) as f64)),
+            ("metrics", JsonValue::Number(self.requests_metrics.load(Ordering::Relaxed) as f64)),
+            ("snapshot", JsonValue::Number(self.requests_snapshot.load(Ordering::Relaxed) as f64)),
+            ("shutdown", JsonValue::Number(self.requests_shutdown.load(Ordering::Relaxed) as f64)),
+            ("errors", JsonValue::Number(self.requests_errors.load(Ordering::Relaxed) as f64)),
+        ])
+    }
+}
+
 /// Replay `scenario` through a tick engine, serving queries on a Unix
 /// socket, until the trace ends (and, with [`DaemonOptions::linger`], a
 /// `shutdown` command arrives). Returns the final flushed
@@ -115,9 +193,20 @@ pub fn serve(
         scenario.config.clone(),
     ));
     let shutdown = AtomicBool::new(false);
+    let metrics = DaemonMetrics::default();
+    let started = Instant::now();
+
+    // Pre-register the engine series the `metrics` verb promises, so the
+    // exposition carries them from the first scrape (at zero) instead of
+    // only after the engine happens to take each branch.
+    wattroute_obs::counter!("engine.alloc_cache.hits").get();
+    wattroute_obs::counter!("engine.alloc_cache.misses").get();
+    wattroute_obs::histogram!("engine.tick").count();
 
     std::thread::scope(|scope| {
-        scope.spawn(|| accept_loop(&listener, &engine, &shutdown, options.max_connections));
+        scope.spawn(|| {
+            accept_loop(&listener, &engine, &shutdown, options.max_connections, &metrics, started)
+        });
 
         let mut row = Vec::with_capacity(series.len());
         for (i, step) in scenario.trace.steps().iter().enumerate() {
@@ -172,6 +261,8 @@ fn accept_loop(
     engine: &Mutex<SimulationEngine<'_>>,
     shutdown: &AtomicBool,
     max_connections: usize,
+    metrics: &DaemonMetrics,
+    started: Instant,
 ) {
     let live = AtomicUsize::new(0);
     let live = &live;
@@ -182,15 +273,21 @@ fn accept_loop(
                 // gets its own thread, and bounded reads let every thread
                 // re-check the shutdown flag.
                 let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+                metrics.record_connection();
                 if live.fetch_add(1, Ordering::SeqCst) >= max_connections {
                     live.fetch_sub(1, Ordering::SeqCst);
+                    // Saturation must be visible, not silent: count the
+                    // rejection so `--max-conns` floods show up in stats
+                    // and the metrics exposition.
+                    metrics.record_rejected_connection();
+                    metrics.record_error();
                     let reply =
                         error_reply(&format!("connection limit reached ({max_connections})"));
                     let _ = stream.write_all(reply.to_string().as_bytes());
                     let _ = stream.write_all(b"\n");
                 } else {
                     scope.spawn(move || {
-                        let _ = handle_connection(stream, engine, shutdown);
+                        let _ = handle_connection(stream, engine, shutdown, metrics, started);
                         live.fetch_sub(1, Ordering::SeqCst);
                     });
                 }
@@ -215,6 +312,8 @@ fn handle_connection(
     stream: UnixStream,
     engine: &Mutex<SimulationEngine<'_>>,
     shutdown: &AtomicBool,
+    metrics: &DaemonMetrics,
+    started: Instant,
 ) -> io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
@@ -224,7 +323,7 @@ fn handle_connection(
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // EOF
             Ok(_) => {
-                let reply = handle_request(line.trim(), engine, shutdown);
+                let reply = handle_request(line.trim(), engine, shutdown, metrics, started);
                 writer.write_all(reply.to_string().as_bytes())?;
                 writer.write_all(b"\n")?;
                 writer.flush()?;
@@ -245,11 +344,30 @@ fn handle_connection(
 }
 
 /// Answer one request line. Always produces a reply object; never panics
-/// on malformed input.
+/// on malformed input. Wraps the dispatch in a `daemon.request` latency
+/// span and books the verb / error counters.
 fn handle_request(
     line: &str,
     engine: &Mutex<SimulationEngine<'_>>,
     shutdown: &AtomicBool,
+    metrics: &DaemonMetrics,
+    started: Instant,
+) -> JsonValue {
+    let _request_span = wattroute_obs::span!("daemon.request");
+    let reply = dispatch_request(line, engine, shutdown, metrics, started);
+    if reply.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        metrics.record_error();
+    }
+    reply
+}
+
+/// The verb dispatch behind [`handle_request`].
+fn dispatch_request(
+    line: &str,
+    engine: &Mutex<SimulationEngine<'_>>,
+    shutdown: &AtomicBool,
+    metrics: &DaemonMetrics,
+    started: Instant,
 ) -> JsonValue {
     if line.is_empty() {
         return error_reply("empty request line");
@@ -261,6 +379,7 @@ fn handle_request(
     let Some(cmd) = request.get("cmd").and_then(JsonValue::as_str) else {
         return error_reply("request has no string 'cmd' field");
     };
+    metrics.record_verb(cmd);
     match cmd {
         "route?" => {
             let Some(code) = request.get("state").and_then(JsonValue::as_str) else {
@@ -274,20 +393,42 @@ fn handle_request(
         }
         "stats" => {
             let engine = engine.lock().expect("engine lock");
+            let health = [
+                ("uptime_secs", JsonValue::Number(started.elapsed().as_secs_f64())),
+                (
+                    "connections_total",
+                    JsonValue::Number(metrics.connections_total.load(Ordering::Relaxed) as f64),
+                ),
+                ("requests_by_verb", metrics.requests_by_verb()),
+            ];
             match tier_load_reply(&engine) {
-                Some(tier_load) => json::object([
-                    ("ok", JsonValue::Bool(true)),
-                    ("steps", JsonValue::Number(engine.steps() as f64)),
-                    ("report", engine.report().to_json_value()),
-                    ("tier_load", tier_load),
-                ]),
-                None => json::object([
-                    ("ok", JsonValue::Bool(true)),
-                    ("steps", JsonValue::Number(engine.steps() as f64)),
-                    ("report", engine.report().to_json_value()),
-                ]),
+                Some(tier_load) => json::object_iter(
+                    [
+                        ("ok", JsonValue::Bool(true)),
+                        ("steps", JsonValue::Number(engine.steps() as f64)),
+                        ("report", engine.report().to_json_value()),
+                        ("tier_load", tier_load),
+                    ]
+                    .into_iter()
+                    .chain(health),
+                ),
+                None => json::object_iter(
+                    [
+                        ("ok", JsonValue::Bool(true)),
+                        ("steps", JsonValue::Number(engine.steps() as f64)),
+                        ("report", engine.report().to_json_value()),
+                    ]
+                    .into_iter()
+                    .chain(health),
+                ),
             }
         }
+        "metrics" => json::object([
+            ("ok", JsonValue::Bool(true)),
+            ("uptime_secs", JsonValue::Number(started.elapsed().as_secs_f64())),
+            ("telemetry_enabled", JsonValue::Bool(wattroute_obs::Telemetry::enabled())),
+            ("exposition", JsonValue::String(wattroute_obs::telemetry().prometheus())),
+        ]),
         "snapshot" => {
             let engine = engine.lock().expect("engine lock");
             json::object([

@@ -2,10 +2,10 @@
 //!
 //! The daemon replays a trace through the incremental tick engine while
 //! serving queries over a Unix socket; these tests pin (a) the wire
-//! protocol — `route?`, `stats`, `snapshot`, `shutdown`, and error replies —
-//! and (b) the headline guarantee that a free-running daemon's final
-//! report is bit-identical to the batch `Scenario::execute` run of the
-//! same scenario and policy.
+//! protocol — `route?`, `stats`, `metrics`, `snapshot`, `shutdown`, and
+//! error replies — and (b) the headline guarantee that a free-running
+//! daemon's final report is bit-identical to the batch `Scenario::execute`
+//! run of the same scenario and policy.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -74,6 +74,17 @@ fn wire_protocol_answers_all_commands_mid_run() {
         // stats: a mid-run report that parses as a SimulationReport.
         let stats = client.command("stats").expect("stats");
         assert_eq!(stats.get("ok").and_then(JsonValue::as_bool), Some(true));
+        // ... plus the daemon-health block.
+        assert!(stats.get("uptime_secs").and_then(JsonValue::as_f64).expect("uptime") >= 0.0);
+        assert!(
+            stats.get("connections_total").and_then(JsonValue::as_f64).expect("connections") >= 1.0,
+            "this very connection must be counted"
+        );
+        let verbs = stats.get("requests_by_verb").expect("requests_by_verb object");
+        assert!(
+            verbs.get("stats").and_then(JsonValue::as_f64).expect("stats verb counter") >= 1.0,
+            "this very request must be counted"
+        );
         let report = SimulationReport::from_json_value(stats.get("report").expect("report field"))
             .expect("mid-run report decodes");
         assert_eq!(report.policy, "price-conscious");
@@ -109,6 +120,22 @@ fn wire_protocol_answers_all_commands_mid_run() {
         let snapshot = EngineSnapshot::from_json_value(snap.get("snapshot").expect("snapshot"))
             .expect("snapshot decodes");
         assert_eq!(snapshot.policy_name(), Some("price-conscious"));
+
+        // metrics: a Prometheus-style exposition of the obs registry. The
+        // daemon's request counters are always-live, so the series are
+        // present even with telemetry off (span histograms need
+        // --telemetry / WATTROUTE_TELEMETRY=1).
+        let metrics = client.command("metrics").expect("metrics");
+        assert_eq!(metrics.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert!(metrics.get("uptime_secs").and_then(JsonValue::as_f64).expect("uptime") >= 0.0);
+        assert!(metrics.get("telemetry_enabled").and_then(JsonValue::as_bool).is_some());
+        let expo = metrics.get("exposition").and_then(JsonValue::as_str).expect("exposition text");
+        assert!(
+            expo.contains("# TYPE wattroute_daemon_requests_stats_total counter"),
+            "exposition must carry the per-verb request counters: {expo}"
+        );
+        assert!(expo.contains("wattroute_daemon_requests_metrics_total 1"), "{expo}");
+        assert!(expo.contains("wattroute_daemon_connections_opened_total"), "{expo}");
 
         // Errors are replies, not dropped connections.
         let bad = client.command("no-such-command").expect("error reply");
@@ -174,6 +201,19 @@ fn connections_beyond_the_cap_get_an_error_reply_and_are_closed() {
         assert!(error.contains("connection limit"), "unexpected error: {error}");
         line.clear();
         assert_eq!(reader.read_line(&mut line).expect("EOF"), 0, "rejected stream is closed");
+
+        // The rejection is visible in the daemon's health counters: the
+        // rejected connection was opened, and its error reply was counted.
+        let stats = first.command("stats").expect("stats after rejection");
+        assert!(
+            stats.get("connections_total").and_then(JsonValue::as_f64).expect("connections") >= 2.0,
+            "the rejected connection still counts as opened: {stats}"
+        );
+        let verbs = stats.get("requests_by_verb").expect("requests_by_verb");
+        assert!(
+            verbs.get("errors").and_then(JsonValue::as_f64).expect("errors counter") >= 1.0,
+            "--max-conns saturation must surface as a counted error: {stats}"
+        );
 
         // The admitted client still works, and freeing its slot admits a
         // successor.

@@ -462,6 +462,7 @@ impl<'a> SimulationEngine<'a> {
         prices: PriceSlice<'_>,
         demand: DemandSlice<'_>,
     ) -> &Allocation {
+        let _tick_span = wattroute_obs::span!("engine.tick");
         let n_clusters = self.clusters.len();
         assert_eq!(prices.delayed.len(), n_clusters, "delayed price length mismatch");
         assert_eq!(prices.billing.len(), n_clusters, "billing price length mismatch");
@@ -486,7 +487,18 @@ impl<'a> SimulationEngine<'a> {
         let reallocate = st.cached_allocation.is_none()
             || i % self.config.reallocate_every_steps == 0
             || hour != st.last_alloc_hour;
+        if wattroute_obs::Telemetry::enabled() {
+            // Allocation-reuse visibility: a "miss" runs the policy, a
+            // "hit" serves the step from the cached allocation. Gated so
+            // the disabled hot path stays at one relaxed load per tick.
+            if reallocate {
+                wattroute_obs::counter!("engine.alloc_cache.misses").inc();
+            } else {
+                wattroute_obs::counter!("engine.alloc_cache.hits").inc();
+            }
+        }
         if reallocate {
+            let _realloc_span = wattroute_obs::span!("engine.tick.realloc");
             let ctx = RoutingContext::new(
                 self.clusters,
                 self.states,
@@ -498,6 +510,7 @@ impl<'a> SimulationEngine<'a> {
             st.cached_allocation = Some(policy.allocate(&ctx));
             st.last_alloc_hour = hour;
         }
+        let _accumulate_span = wattroute_obs::span!("engine.tick.accumulate");
         let allocation = st.cached_allocation.as_ref().expect("just populated");
         let loads = allocation.cluster_loads();
         let samples = allocation.distance_samples(self.clusters, self.states);

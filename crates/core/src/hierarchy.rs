@@ -183,6 +183,7 @@ impl<'a> HierarchicalReplay<'a> {
         owners: &[usize],
         policy: &mut dyn RoutingPolicy,
     ) -> ShardResult {
+        let _shard_span = wattroute_obs::span!("hierarchy.shard");
         let topology = self.topology;
         let (s0, s1) = topology.region_sites(region);
         let n_sites = s1 - s0;
@@ -420,6 +421,7 @@ impl<'a> HierarchicalReplay<'a> {
 
     /// Fold shard results, in region index order, into one report.
     fn merge(&self, shards: Vec<ShardResult>) -> SimulationReport {
+        let _merge_span = wattroute_obs::span!("hierarchy.merge");
         let n_steps = self.trace.num_steps();
         let tariff = self.config.bandwidth_tariff.as_ref();
         let policy_name = shards.first().map(|s| s.policy_name.clone()).unwrap_or_default();

@@ -62,7 +62,7 @@ use crate::engine::{DemandSlice, EngineSnapshot, PriceSlice, SimulationEngine};
 use crate::json::{self, JsonValue};
 use crate::report::SimulationReport;
 use crate::simulation::{step_coverage, SimulationConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use wattroute_market::generator::{path_seed, PriceGenerator};
 use wattroute_market::model::MarketModel;
@@ -411,6 +411,12 @@ impl<'a> MonteCarlo<'a> {
 
         let mut slots: Vec<Option<(PathOutcome, Vec<f64>)>> = (0..n_paths).map(|_| None).collect();
         let next = AtomicUsize::new(0);
+        wattroute_obs::gauge!("montecarlo.workers").set(workers as f64);
+        // Worker-utilization accounting (telemetry only): total busy
+        // nanoseconds across workers vs. the pool's wall time.
+        let run_start = wattroute_obs::Telemetry::enabled().then(std::time::Instant::now);
+        let busy_ns = AtomicU64::new(0);
+        let busy_ns_ref = &busy_ns;
         let (tx, rx) = mpsc::sync_channel::<PathResult>(workers);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -441,6 +447,8 @@ impl<'a> MonteCarlo<'a> {
                         if slot >= n_paths {
                             break;
                         }
+                        let path_span = wattroute_obs::span!("montecarlo.path");
+                        let path_start = path_span.is_active().then(std::time::Instant::now);
                         let path = self.first_path + slot as u64;
                         let seed = path_seed(self.master_seed, path);
                         generator.reseed(seed);
@@ -488,6 +496,11 @@ impl<'a> MonteCarlo<'a> {
                         };
                         let cluster_costs =
                             optimized.clusters.iter().map(|c| c.cost_dollars).collect();
+                        if let Some(start) = path_start {
+                            busy_ns_ref
+                                .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                        drop(path_span);
                         if tx.send(PathResult { slot, outcome, cluster_costs }).is_err() {
                             break;
                         }
@@ -499,6 +512,14 @@ impl<'a> MonteCarlo<'a> {
                 slots[result.slot] = Some((result.outcome, result.cluster_costs));
             }
         });
+        if let Some(start) = run_start {
+            let wall_secs = start.elapsed().as_secs_f64();
+            if wall_secs > 0.0 {
+                let busy_secs = busy_ns.load(Ordering::Relaxed) as f64 / 1.0e9;
+                wattroute_obs::gauge!("montecarlo.worker_utilization")
+                    .set(busy_secs / (wall_secs * workers as f64));
+            }
+        }
 
         let mut per_path = Vec::with_capacity(n_paths);
         let mut cluster_costs: Vec<Vec<f64>> = vec![Vec::with_capacity(n_paths); n_hubs];

@@ -489,13 +489,17 @@ impl<'a> Simulation<'a> {
                 .with_clamped_lead_hours(self.table.clamped_lead_hours());
         for (i, step) in self.trace.steps().iter().enumerate() {
             let hour = self.trace.step_hour(i);
-            let prices = PriceSlice::new(
-                hour,
-                self.table.delayed_at(hour).expect("table covers the trace"),
-                // Spot prices used for billing are the *actual* prices of
-                // this hour (the delay only affects what the router saw).
-                self.table.billing_at(hour).expect("table covers the trace"),
-            );
+            let prices = {
+                let _price_span = wattroute_obs::span!("engine.price_view");
+                PriceSlice::new(
+                    hour,
+                    self.table.delayed_at(hour).expect("table covers the trace"),
+                    // Spot prices used for billing are the *actual* prices
+                    // of this hour (the delay only affects what the router
+                    // saw).
+                    self.table.billing_at(hour).expect("table covers the trace"),
+                )
+            };
             engine.tick(policy, prices, DemandSlice::new(&step.us_demand));
         }
         let report = engine.report();

@@ -208,10 +208,12 @@ impl CompiledArtifacts {
                     let slot = match self.billing.iter().position(|b| b.hubs() == hub_ids) {
                         Some(slot) => {
                             self.hub_list_hits += 1;
+                            wattroute_obs::counter!("sweep.artifact_cache.hits").inc();
                             slot
                         }
                         None => {
                             self.hub_list_misses += 1;
+                            wattroute_obs::counter!("sweep.artifact_cache.misses").inc();
                             self.billing
                                 .push(Arc::new(BillingMatrix::build(prices, &hub_ids, range)));
                             self.preferences.push(Arc::new(CompiledPreferences::build(
@@ -228,6 +230,9 @@ impl CompiledArtifacts {
             self.tables.entry((slot, delay_hours)).or_insert_with(|| {
                 PriceTable::delayed_view(self.billing[slot].clone(), prices, delay_hours)
             });
+        }
+        if let Some(rate) = self.hit_rate() {
+            wattroute_obs::gauge!("sweep.artifact_cache.hit_rate").set(rate);
         }
     }
 
@@ -589,7 +594,9 @@ impl<'a> ScenarioSweep<'a> {
                     );
                     let mut policy = (point.policy)();
                     policy.attach_preferences(artifacts_ref.preferences(point.deployment));
+                    let cell_span = wattroute_obs::span!("sweep.cell");
                     let report = sim.execute(policy.as_mut(), RunOptions::new());
+                    drop(cell_span);
                     let result = SweepResult {
                         index: i,
                         label: point.label.clone(),

@@ -1,0 +1,117 @@
+//! Property-based proof that telemetry is *transparent*: running the same
+//! simulation with telemetry fully on — spans recording, trace sink
+//! appending JSONL events to a temp file — produces a [`SimulationReport`]
+//! byte-identical (through the JSON encoding) to the telemetry-off run,
+//! across policies, constraint regimes, and both execution topologies
+//! (the flat batch driver and the sharded hierarchical replay).
+//!
+//! This is the contract that lets CI re-run every golden with
+//! `WATTROUTE_TELEMETRY=1` and diff against the same fixtures: telemetry
+//! observes the engine, it never steers it.
+//!
+//! Single-test binary: the enabled flag and the trace sink are process
+//! globals, so this test must not share a process with tests that assume
+//! telemetry is off (see the `[[test]]` entry in `Cargo.toml`).
+
+use proptest::prelude::*;
+use wattroute::hierarchy::HierarchicalReplay;
+use wattroute::prelude::*;
+use wattroute_market::time::{HourRange, SimHour};
+use wattroute_obs::Telemetry;
+use wattroute_routing::policy::RoutingPolicy;
+use wattroute_workload::hierarchy::single_region_of;
+
+fn window(days: u64) -> HourRange {
+    let start = SimHour::from_date(2008, 12, 19);
+    HourRange::new(start, start.plus_hours(days * 24))
+}
+
+fn policy_for(threshold: f64) -> Box<dyn RoutingPolicy> {
+    if threshold < 0.0 {
+        Box::new(AkamaiLikePolicy::default())
+    } else {
+        Box::new(PriceConsciousPolicy::with_distance_threshold(threshold))
+    }
+}
+
+/// Run `f` with telemetry fully on: spans enabled and a JSONL trace sink
+/// installed at a temp path. Restores the off state afterwards and
+/// removes the trace file, returning how many event lines it held.
+fn with_telemetry_on<T>(tag: &str, f: impl FnOnce() -> T) -> (T, usize) {
+    let path =
+        std::env::temp_dir().join(format!("wr_transparency_{tag}_{}.jsonl", std::process::id()));
+    Telemetry::enable();
+    Telemetry::trace_to(&path).expect("install trace sink");
+    let result = f();
+    Telemetry::trace_close();
+    Telemetry::disable();
+    let events = std::fs::read_to_string(&path).map_or(0, |text| text.lines().count());
+    let _ = std::fs::remove_file(&path);
+    (result, events)
+}
+
+proptest! {
+    // Full-on telemetry (spans + trace sink) must not change a single
+    // byte of the batch driver's report.
+    #[test]
+    fn batch_report_is_byte_identical_with_telemetry_on(
+        seed in 0u64..500,
+        days in 1u64..3,
+        delay in 0u64..12,
+        realloc in prop::sample::select(vec![1usize, 5, 12]),
+        constrained in prop::sample::select(vec![false, true]),
+        // -1 encodes the Akamai-like baseline policy.
+        threshold in prop::sample::select(vec![-1.0f64, 0.0, 1500.0, f64::INFINITY]),
+    ) {
+        let mut scenario = Scenario::custom_window(seed, window(days));
+        scenario.config = scenario
+            .config
+            .with_reaction_delay(delay)
+            .with_reallocation_interval(realloc);
+        if constrained {
+            let caps = scenario.bandwidth_caps_from_baseline();
+            scenario.config = scenario.config.with_bandwidth_caps(caps);
+        }
+
+        Telemetry::disable();
+        let off = scenario.execute(&mut *policy_for(threshold), RunOptions::new());
+
+        let (on, events) = with_telemetry_on("batch", || {
+            scenario.execute(&mut *policy_for(threshold), RunOptions::new())
+        });
+
+        prop_assert_eq!(&off, &on, "telemetry changed the report");
+        prop_assert_eq!(off.to_json_value().to_string(), on.to_json_value().to_string());
+        prop_assert!(events > 0, "a fully-on run must have traced span events");
+    }
+
+    // Same transparency through the sharded hierarchical topology.
+    #[test]
+    fn hierarchical_replay_is_byte_identical_with_telemetry_on(
+        seed in 0u64..300,
+        days in 1u64..3,
+        realloc in prop::sample::select(vec![1usize, 12]),
+        threshold in prop::sample::select(vec![-1.0f64, 1500.0]),
+    ) {
+        let mut scenario = Scenario::custom_window(seed, window(days));
+        scenario.config = scenario.config.with_reallocation_interval(realloc);
+        let topology = single_region_of(&scenario.clusters);
+
+        Telemetry::disable();
+        let replay = HierarchicalReplay::new(
+            &topology,
+            &scenario.trace,
+            &scenario.prices,
+            scenario.config.clone(),
+        );
+        let off = replay.run_sharded(&move || policy_for(threshold));
+
+        let (on, events) = with_telemetry_on("tree", || {
+            replay.run_sharded(&move || policy_for(threshold))
+        });
+
+        prop_assert_eq!(&off, &on, "telemetry changed the sharded replay report");
+        prop_assert_eq!(off.to_json_value().to_string(), on.to_json_value().to_string());
+        prop_assert!(events > 0, "sharded replay must have traced span events");
+    }
+}

@@ -20,18 +20,15 @@
 
 use crate::time::{HourRange, SimHour};
 use crate::types::{DollarsPerMwh, PriceSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use wattroute_geo::HubId;
 
-/// Number of [`BillingMatrix::build`] calls in this process — compile-count
-/// instrumentation used by tests to assert that sweeps share one billing
-/// matrix per (deployment, range) instead of recompiling per run.
-static BILLING_BUILDS: AtomicUsize = AtomicUsize::new(0);
-
-/// Number of delayed-view constructions ([`PriceTable::delayed_view`] or
-/// [`PriceTable::build`]) in this process; see [`PriceTable::view_count`].
-static DELAYED_VIEW_BUILDS: AtomicUsize = AtomicUsize::new(0);
+// Compile-count instrumentation lives on the `wattroute_obs` registry:
+// `market.billing_matrix.builds` counts [`BillingMatrix::build`] calls,
+// `market.price_table.views` counts delayed-view constructions. Tests use
+// [`BillingMatrix::build_count`] / [`PriceTable::view_count`] to assert
+// that sweeps share artifacts instead of recompiling per run; registry
+// counters are always live, so those pins hold without enabling telemetry.
 
 /// Dense `[hour × hub]` matrix of *actual* (billing) prices covering one
 /// trace range.
@@ -58,7 +55,7 @@ impl BillingMatrix {
     /// cover `range` — the same configuration errors `Simulation::new`
     /// rejects.
     pub fn build(prices: &PriceSet, hubs: &[HubId], range: HourRange) -> Self {
-        BILLING_BUILDS.fetch_add(1, Ordering::Relaxed);
+        wattroute_obs::counter!("market.billing_matrix.builds").inc();
         let n_hours = range.len_hours() as usize;
         let series = resolve_series(prices, hubs, range);
         let mut matrix = Vec::with_capacity(n_hours * hubs.len());
@@ -91,9 +88,11 @@ impl BillingMatrix {
     /// Instrumentation for tests asserting that a sweep compiles each
     /// billing matrix exactly once; meaningless as an absolute number when
     /// other code runs concurrently — measure deltas in a dedicated
-    /// process (an integration-test binary of its own).
+    /// process (an integration-test binary of its own). Reads the
+    /// `market.billing_matrix.builds` counter on the global
+    /// [`wattroute_obs`] registry.
     pub fn build_count() -> usize {
-        BILLING_BUILDS.load(Ordering::Relaxed)
+        wattroute_obs::counter!("market.billing_matrix.builds").get() as usize
     }
 }
 
@@ -185,7 +184,7 @@ impl PriceTable {
     /// its series does not cover the matrix's range, or the series' prices
     /// disagree with the matrix's first row.
     pub fn delayed_view(billing: Arc<BillingMatrix>, prices: &PriceSet, delay_hours: u64) -> Self {
-        DELAYED_VIEW_BUILDS.fetch_add(1, Ordering::Relaxed);
+        wattroute_obs::counter!("market.price_table.views").inc();
         let range = billing.range();
         let n_hours = billing.n_hours;
         let series = resolve_series(prices, &billing.hubs, range);
@@ -261,8 +260,10 @@ impl PriceTable {
     /// Total number of delayed-view constructions in this process (every
     /// [`Self::build`] or [`Self::delayed_view`] call). Instrumentation for
     /// compile-count tests; see [`BillingMatrix::build_count`] for caveats.
+    /// Reads the `market.price_table.views` counter on the global
+    /// [`wattroute_obs`] registry.
     pub fn view_count() -> usize {
-        DELAYED_VIEW_BUILDS.load(Ordering::Relaxed)
+        wattroute_obs::counter!("market.price_table.views").get() as usize
     }
 }
 

@@ -1,0 +1,385 @@
+//! The three metric primitives: monotonic counters, gauges, and
+//! fixed-boundary log-scale histograms.
+//!
+//! All three are lock-free: every mutation is a handful of relaxed atomic
+//! operations, so instrumented hot paths never contend on a lock and
+//! never allocate. Handles are `&'static` (the registry leaks one small
+//! allocation per distinct metric name for the life of the process), so
+//! call sites can cache them in a `OnceLock` — the [`counter!`](crate::counter),
+//! [`gauge!`](crate::gauge) and [`span!`](crate::span) macros do exactly
+//! that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use wattroute_stats::quantiles::quantile_sorted;
+
+/// A monotonic event counter.
+///
+/// Counters are *always live* — they count whether or not telemetry is
+/// enabled — because they are the substrate of the compile-count test
+/// pins (`BillingMatrix::build_count` and friends) and cost one relaxed
+/// `fetch_add` on a cold path. Hot-path instrumentation that must be
+/// free when telemetry is off belongs behind
+/// [`Telemetry::enabled`](crate::Telemetry::enabled) instead.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Self { value: AtomicU64::new(0) }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding one `f64` (stored as raw bits in an
+/// `AtomicU64`, so `set` is a single relaxed store).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// A fresh gauge at `0.0`.
+    pub const fn new() -> Self {
+        Self { bits: AtomicU64::new(0) }
+    }
+
+    /// Replace the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of log₂ buckets every registry histogram carries.
+pub const HISTOGRAM_BUCKETS: usize = 33;
+
+/// Lower edge of bucket 0 in seconds (1 µs). Bucket `i` covers
+/// `[LO·2^i, LO·2^(i+1))`, so 33 buckets span 1 µs … ~2.4 h — every
+/// duration this codebase produces, from a single engine tick to a
+/// 1000-site two-year replay.
+pub const HISTOGRAM_LO_SECONDS: f64 = 1.0e-6;
+
+/// A fixed-boundary log₂-scale histogram of durations in seconds.
+///
+/// Boundaries are fixed at construction (`lo · 2^i`), so recording is
+/// branch-light and lock-free: one `log2`, two relaxed `fetch_add`s, and
+/// a CAS loop for the running sum. Observations below `lo` land in an
+/// explicit underflow bucket and observations at or above the top edge
+/// (plus non-finite values) in an overflow bucket — nothing is silently
+/// dropped. Percentiles are extracted from a frozen
+/// [`HistogramSnapshot`], interpolating inside the covering bucket with
+/// the same R-7 rule `wattroute_stats` uses everywhere else.
+#[derive(Debug)]
+pub struct Histogram {
+    lo: f64,
+    buckets: Box<[AtomicU64]>,
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::duration()
+    }
+}
+
+impl Histogram {
+    /// The standard duration histogram: [`HISTOGRAM_BUCKETS`] log₂
+    /// buckets from [`HISTOGRAM_LO_SECONDS`].
+    pub fn duration() -> Self {
+        Self::log2(HISTOGRAM_LO_SECONDS, HISTOGRAM_BUCKETS)
+    }
+
+    /// A histogram with `buckets` log₂ buckets, the first covering
+    /// `[lo, 2·lo)`.
+    ///
+    /// # Panics
+    /// Panics if `lo` is not positive and finite or `buckets` is zero —
+    /// programming errors, not data conditions.
+    pub fn log2(lo: f64, buckets: usize) -> Self {
+        assert!(lo > 0.0 && lo.is_finite(), "histogram lower edge must be positive and finite");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Self {
+            lo,
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Lower edge of bucket 0.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Number of log₂ buckets (excluding under/overflow).
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Upper edge of bucket `i` (`lo · 2^(i+1)`).
+    pub fn bucket_hi(&self, i: usize) -> f64 {
+        self.lo * 2f64.powi(i as i32 + 1)
+    }
+
+    /// Record one observation (a duration in seconds).
+    pub fn record(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if !v.is_finite() {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Running sum of a f64 behind an AtomicU64: CAS loop. Contention
+        // is negligible (histograms are per-phase, writers are few), so
+        // the loop almost always succeeds first try.
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        if v < self.lo {
+            self.underflow.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let idx = (v / self.lo).log2().floor() as usize;
+            match self.buckets.get(idx) {
+                Some(bucket) => bucket.fetch_add(1, Ordering::Relaxed),
+                None => self.overflow.fetch_add(1, Ordering::Relaxed),
+            };
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all finite observations, in seconds.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Freeze the current state into a consistent-enough copy for
+    /// reporting. Concurrent recorders may land between the individual
+    /// loads (snapshots are diagnostics, not transactions); each loaded
+    /// value is itself exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            lo: self.lo,
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            underflow: self.underflow.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
+            count: self.count(),
+            sum: self.sum(),
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`], the unit percentile extraction and
+/// the exposition formats work from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Lower edge of bucket 0, seconds.
+    pub lo: f64,
+    /// Count per log₂ bucket.
+    pub counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at/above the top edge, plus non-finite ones.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of finite observations, seconds.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Upper edge of bucket `i`.
+    pub fn bucket_hi(&self, i: usize) -> f64 {
+        self.lo * 2f64.powi(i as i32 + 1)
+    }
+
+    /// Mean observation in seconds (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// The `p`-th percentile (0–100) in seconds, reconstructed from the
+    /// bucket counts: the covering bucket is found by cumulative count
+    /// and the value interpolated between its edges with the R-7 rule
+    /// ([`wattroute_stats::quantiles::quantile_sorted`]). Resolution is
+    /// therefore one log₂ bucket (a factor-of-two band) — ample for the
+    /// p50/p95/p99 trend lines this layer exists to expose. `None` when
+    /// empty or `p` is out of range.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if !(0.0..=100.0).contains(&p) || self.count == 0 {
+            return None;
+        }
+        let target = p / 100.0 * self.count as f64;
+        let mut cum = self.underflow as f64;
+        if self.underflow > 0 && target <= cum {
+            // Inside the underflow bucket: all we know is [0, lo).
+            return Some(quantile_sorted(&[0.0, self.lo], target / self.underflow as f64));
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = cum + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - cum) / c as f64;
+                let lo = self.lo * 2f64.powi(i as i32);
+                return Some(quantile_sorted(&[lo, self.bucket_hi(i)], frac));
+            }
+            cum = next;
+        }
+        // Overflow bucket: unbounded above; report its lower edge.
+        Some(self.lo * 2f64.powi(self.counts.len() as i32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+        g.set(-1.5);
+        assert_eq!(g.get(), -1.5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let h = Histogram::log2(1.0, 4); // buckets [1,2) [2,4) [4,8) [8,16)
+        for v in [1.0, 1.99, 2.0, 4.0, 15.9] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.underflow, 0);
+        assert_eq!(s.overflow, 0);
+        assert_eq!(s.count, 5);
+        assert!((s.sum - (1.0 + 1.99 + 2.0 + 4.0 + 15.9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_under_and_overflow() {
+        let h = Histogram::log2(1.0, 2); // covers [1, 4)
+        h.record(0.5);
+        h.record(4.0);
+        h.record(f64::NAN);
+        let s = h.snapshot();
+        assert_eq!(s.underflow, 1);
+        assert_eq!(s.overflow, 2);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn percentiles_land_in_the_right_bucket() {
+        let h = Histogram::log2(1.0, 10);
+        // 99 values in [1,2), one in [512, 1024).
+        for _ in 0..99 {
+            h.record(1.5);
+        }
+        h.record(600.0);
+        let s = h.snapshot();
+        let p50 = s.percentile(50.0).unwrap();
+        assert!((1.0..2.0).contains(&p50), "p50 = {p50}");
+        let p99 = s.percentile(99.0).unwrap();
+        assert!(p99 < 2.0 + 1e-9, "p99 covers the 99 small values, got {p99}");
+        let p100 = s.percentile(100.0).unwrap();
+        assert!((512.0..=1024.0).contains(&p100), "max lands in the top bucket, got {p100}");
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let h = Histogram::duration();
+        let s = h.snapshot();
+        assert_eq!(s.percentile(50.0), None, "empty histogram has no percentiles");
+        h.record(1e-9); // below lo: underflow
+        let s = h.snapshot();
+        let p = s.percentile(50.0).unwrap();
+        assert!((0.0..HISTOGRAM_LO_SECONDS).contains(&p), "underflow interpolates in [0, lo)");
+        assert_eq!(s.percentile(101.0), None);
+        assert_eq!(s.percentile(-1.0), None);
+    }
+
+    #[test]
+    fn duration_histogram_covers_the_workloads() {
+        let h = Histogram::duration();
+        assert!(h.bucket_hi(h.buckets() - 1) > 7200.0, "top edge must exceed two hours");
+        h.record(5e-6);
+        h.record(7.0);
+        let s = h.snapshot();
+        assert_eq!(s.underflow + s.overflow, 0);
+        assert_eq!(s.count, 2);
+        let mean = s.mean().unwrap();
+        assert!((mean - 3.5000025).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::duration();
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        h.record(1e-3);
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(c.get(), 4000);
+        assert!((h.sum() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! The optional structured trace sink: one JSON object per line.
+//!
+//! When a [`TraceWriter`] is installed, every span close appends an
+//! event line, giving a replayable phase-level timeline of a run:
+//!
+//! ```json
+//! {"seq":17,"t_us":83211,"kind":"span","name":"engine.tick.realloc","dur_ns":52100}
+//! ```
+//!
+//! `t_us` is microseconds since the writer was installed (monotonic
+//! clock — wall-clock timestamps would break run-to-run diffing), `seq`
+//! a process-wide event counter. The sink costs one acquire load per
+//! span when *not* installed; when installed, writes go through a
+//! buffered file behind a mutex, which is exactly as expensive as it
+//! sounds — tracing is a diagnostic mode, not a production default, and
+//! the telemetry-transparency property test pins that it still never
+//! changes simulated results.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Fast-path flag: is a writer installed? Checked before touching the
+/// mutex so the common no-sink case costs one load.
+static TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+static TRACE: Mutex<Option<TraceWriter>> = Mutex::new(None);
+
+/// A JSONL event sink over a buffered file.
+#[derive(Debug)]
+pub struct TraceWriter {
+    out: BufWriter<File>,
+    epoch: Instant,
+    seq: u64,
+}
+
+impl TraceWriter {
+    /// Create a writer truncating `path`.
+    ///
+    /// # Errors
+    /// Returns the underlying file-creation error.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(Self { out: BufWriter::new(File::create(path)?), epoch: Instant::now(), seq: 0 })
+    }
+
+    fn write_span(&mut self, name: &str, secs: f64) -> io::Result<()> {
+        self.seq += 1;
+        let t_us = self.epoch.elapsed().as_micros();
+        let dur_ns = (secs * 1.0e9).round() as u64;
+        writeln!(
+            self.out,
+            "{{\"seq\":{},\"t_us\":{},\"kind\":\"span\",\"name\":\"{}\",\"dur_ns\":{}}}",
+            self.seq,
+            t_us,
+            crate::expo::escape_json(name),
+            dur_ns
+        )
+    }
+}
+
+/// Install a trace sink writing to `path` (truncated). Replaces any
+/// previously installed writer, flushing it first.
+///
+/// # Errors
+/// Returns the file-creation error; on error no writer is installed.
+pub fn install(path: &Path) -> io::Result<()> {
+    let writer = TraceWriter::create(path)?;
+    let mut slot = TRACE.lock().expect("trace lock");
+    if let Some(mut old) = slot.take() {
+        let _ = old.out.flush();
+    }
+    *slot = Some(writer);
+    TRACE_ACTIVE.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Flush and remove the installed trace sink, if any.
+pub fn uninstall() {
+    TRACE_ACTIVE.store(false, Ordering::Release);
+    let mut slot = TRACE.lock().expect("trace lock");
+    if let Some(mut writer) = slot.take() {
+        let _ = writer.out.flush();
+    }
+}
+
+/// Append one span event, if a writer is installed. Write errors are
+/// swallowed after disabling the sink — telemetry must never turn a
+/// full disk into a routing failure.
+pub(crate) fn emit_span(name: &str, secs: f64) {
+    if !TRACE_ACTIVE.load(Ordering::Acquire) {
+        return;
+    }
+    let mut slot = TRACE.lock().expect("trace lock");
+    if let Some(writer) = slot.as_mut() {
+        if writer.write_span(name, secs).is_err() {
+            TRACE_ACTIVE.store(false, Ordering::Release);
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_append_jsonl_events() {
+        let path = std::env::temp_dir().join(format!("wr_obs_trace_{}.jsonl", std::process::id()));
+        install(&path).expect("install trace sink");
+        emit_span("unit.test.span", 0.001);
+        emit_span("unit.test.span", 0.002);
+        uninstall();
+        let text = std::fs::read_to_string(&path).expect("trace file exists");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"seq\":1"));
+        assert!(lines[0].contains("\"name\":\"unit.test.span\""));
+        assert!(lines[0].contains("\"dur_ns\":1000000"));
+        assert!(lines[1].contains("\"seq\":2"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn emit_without_writer_is_a_no_op() {
+        uninstall();
+        emit_span("nobody.listening", 1.0); // must not panic
+    }
+}

@@ -170,6 +170,8 @@ impl<'a> SweepEvaluator<'a> {
                 Some(result.report);
         });
         self.evaluations += candidates.len() * policies.len();
+        wattroute_obs::counter!("optimizer.evaluations")
+            .add((candidates.len() * policies.len()) as u64);
         slots
             .into_iter()
             .map(|row| row.into_iter().map(|slot| slot.expect("every cell ran")).collect())

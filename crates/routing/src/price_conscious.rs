@@ -16,7 +16,6 @@
 use crate::allocation::Allocation;
 use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use wattroute_geo::distance::RankedHub;
 use wattroute_geo::{distance, hubs, HubId, UsState};
@@ -54,12 +53,12 @@ struct StateCandidates {
     tail: Vec<usize>,
 }
 
-/// Number of [`CompiledPreferences::build`] calls in this process —
-/// compile-count instrumentation used by tests to assert that sweeps share
-/// one compiled geometry per (deployment, state list) instead of letting
-/// every run recompile its own. Only deltas measured in a dedicated
-/// process (a single-test integration binary) are meaningful.
-static PREFERENCE_BUILDS: AtomicUsize = AtomicUsize::new(0);
+// Compile-count instrumentation lives on the `wattroute_obs` registry: the
+// `routing.compiled_preferences.builds` counter tracks every
+// [`CompiledPreferences::build`] call so tests can assert that sweeps share
+// one compiled geometry per (deployment, state list) instead of letting
+// every run recompile its own. Registry counters are always live, so those
+// pins hold without enabling telemetry.
 
 /// The expensive, threshold-*independent* half of the price-conscious
 /// optimizer's geometry: for every client state, all clusters ranked by
@@ -84,7 +83,7 @@ impl CompiledPreferences {
     /// Compile the ranked-distance geometry for a deployment and client
     /// state list.
     pub fn build(clusters: &ClusterSet, states: &[UsState]) -> Self {
-        PREFERENCE_BUILDS.fetch_add(1, Ordering::Relaxed);
+        wattroute_obs::counter!("routing.compiled_preferences.builds").inc();
         let hub_ids = clusters.hub_ids();
         let hub_refs: Vec<&wattroute_geo::Hub> = hub_ids.iter().map(|id| hubs::hub(*id)).collect();
         let ranked = states
@@ -114,8 +113,10 @@ impl CompiledPreferences {
     /// process. Instrumentation for compile-count tests; only deltas
     /// measured in a dedicated process (a single-test integration binary)
     /// are meaningful, since any concurrently running code may compile too.
+    /// Reads the `routing.compiled_preferences.builds` counter on the
+    /// global [`wattroute_obs`] registry.
     pub fn build_count() -> usize {
-        PREFERENCE_BUILDS.load(Ordering::Relaxed)
+        wattroute_obs::counter!("routing.compiled_preferences.builds").get() as usize
     }
 
     /// Derive the per-threshold candidate/tail split from the ranked
