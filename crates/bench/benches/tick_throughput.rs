@@ -1,0 +1,33 @@
+//! Criterion benchmark: steady-state tick throughput, epoch-cached vs
+//! the legacy per-step-recompute loop.
+//!
+//! Both sides replay the same seeded two-week scenario at a
+//! reallocation interval of 12 steps (the steady-state regime the
+//! allocation-epoch cache targets; at the default interval of 1 every
+//! tick reallocates and the paths converge). The acceptance bar is a
+//! ≥2× speedup of `steady_state_epoch_cached` over
+//! `steady_state_legacy_per_step_recompute`; the `tick_report` binary
+//! measures the same pair and records the ratio in `BENCH_10.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wattroute_bench::tick::{cached_replay, legacy_replay, steady_policy, steady_scenario};
+
+fn bench_tick_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tick_throughput");
+    group.sample_size(10);
+
+    let scenario = steady_scenario(14);
+
+    group.bench_function("steady_state_legacy_per_step_recompute", |b| {
+        b.iter(|| legacy_replay(&scenario, &mut steady_policy()));
+    });
+
+    group.bench_function("steady_state_epoch_cached", |b| {
+        b.iter(|| cached_replay(&scenario, &mut steady_policy()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tick_throughput);
+criterion_main!(benches);

@@ -10,13 +10,16 @@
 //! Default mode runs a representative instrumented workload of each
 //! subsystem — a one-week batch replay, a sharded hierarchical replay, a
 //! scenario sweep, and a small Monte Carlo — with spans enabled, measures
-//! the off-vs-on overhead of the two replay hot paths (best-of-`--reps`
-//! wall clock), and writes one JSON document whose `registry` section is
+//! the off-vs-on overhead of the two replay hot paths (untimed warmups,
+//! then the median of `--reps` *interleaved* off/on timed pairs; the
+//! per-side minimum is recorded alongside), and writes one JSON document
+//! whose `registry` section is
 //! the live [`Telemetry::snapshot`] rendered by the crate's own JSON
 //! exposition: nothing in the file is hand-written.
 //!
 //! `--check-overhead` skips the document and exits non-zero when either
-//! replay's enabled overhead exceeds `--max-overhead-pct` (default 5) —
+//! replay's enabled overhead — the median of the per-pair on/off ratios,
+//! the noise-robust statistic — exceeds `--max-overhead-pct` (default 5):
 //! the CI gate backing the "zero-cost when off, cheap when on" claim.
 
 use std::process::ExitCode;
@@ -48,51 +51,104 @@ fn week_scenario() -> Scenario {
     Scenario::custom_window(HARNESS_SEED, HourRange::new(start, start.plus_hours(7 * 24)))
 }
 
-/// Best-of-`reps` wall-clock seconds of `f`.
-fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..reps.max(1) {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_secs_f64());
+/// Median of a sample set (mean of the middle pair for even counts).
+fn median(samples: &[f64]) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 0 {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
     }
-    best
 }
 
-/// One off/on overhead datapoint: best-of-`reps` with telemetry disabled,
-/// then enabled (spans only, no trace sink — tracing is a diagnostic
-/// mode, not the overhead claim).
+fn minimum(timings: &[f64]) -> f64 {
+    timings.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// One off/on overhead datapoint for telemetry disabled vs enabled
+/// (spans only, no trace sink — tracing is a diagnostic mode, not the
+/// overhead claim). Methodology, tuned for a noisy shared 1-vCPU box:
+///
+/// * one untimed warmup run per side, so cold caches, lazy statics, and
+///   the allocator's first growth never land in a timed repetition;
+/// * `reps` **interleaved** off/on pairs — measuring all-off then all-on
+///   turns any drift in background load into systematic bias, which is
+///   how BENCH_09 recorded a spurious −7.8% "overhead" (best-of-N over
+///   back-to-back blocks); alternating sides makes drift hit both series
+///   equally;
+/// * the gated statistic is the **median of the per-pair overhead
+///   ratios**: a background burst longer than one pair skews a
+///   ratio-of-medians, but it lands on both runs of the pairs it covers,
+///   so the per-pair ratio stays honest and its median shrugs off the
+///   pairs a burst straddles. Per-side medians and minimums are recorded
+///   alongside as references, never gated on (the minimum is too easily
+///   won by whichever side caught a quiet scheduler slice).
 struct Overhead {
-    off_secs: f64,
-    on_secs: f64,
+    off_secs: Vec<f64>,
+    on_secs: Vec<f64>,
 }
 
 impl Overhead {
     fn measure(reps: usize, mut workload: impl FnMut()) -> Self {
+        let timed = |f: &mut dyn FnMut()| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        };
+        // Warmup, untimed, one run per side.
         Telemetry::disable();
-        let off_secs = best_of(reps, &mut workload);
+        workload();
         Telemetry::enable();
-        let on_secs = best_of(reps, &mut workload);
+        workload();
+
+        let mut off_secs = Vec::with_capacity(reps);
+        let mut on_secs = Vec::with_capacity(reps);
+        for _ in 0..reps.max(1) {
+            Telemetry::disable();
+            off_secs.push(timed(&mut workload));
+            Telemetry::enable();
+            on_secs.push(timed(&mut workload));
+        }
         Telemetry::disable();
         Self { off_secs, on_secs }
     }
 
+    fn off_median(&self) -> f64 {
+        median(&self.off_secs)
+    }
+
+    fn on_median(&self) -> f64 {
+        median(&self.on_secs)
+    }
+
     fn overhead_pct(&self) -> f64 {
-        (self.on_secs / self.off_secs - 1.0) * 100.0
+        let ratios: Vec<f64> =
+            self.off_secs.iter().zip(&self.on_secs).map(|(off, on)| on / off).collect();
+        (median(&ratios) - 1.0) * 100.0
     }
 
     fn to_json(&self) -> JsonValue {
         json::object([
-            ("off_ms", JsonValue::Number(self.off_secs * 1.0e3)),
-            ("on_ms", JsonValue::Number(self.on_secs * 1.0e3)),
+            ("off_median_ms", JsonValue::Number(self.off_median() * 1.0e3)),
+            ("off_min_ms", JsonValue::Number(minimum(&self.off_secs) * 1.0e3)),
+            ("on_median_ms", JsonValue::Number(self.on_median() * 1.0e3)),
+            ("on_min_ms", JsonValue::Number(minimum(&self.on_secs) * 1.0e3)),
             ("overhead_pct", JsonValue::Number(self.overhead_pct())),
         ])
     }
 }
 
-/// The two replay hot paths the <5% acceptance gate covers.
+/// The two replay hot paths the <5% acceptance gate covers. The windows
+/// are twice the subsystem-exercise ones: with the epoch-cached tick a
+/// one-week batch replay finishes in ~15ms, small enough for scheduler
+/// jitter on a 1-vCPU box to swamp a few percent of signal even in a
+/// median; doubling the work halves the relative noise at trivial cost.
 fn measure_overheads(reps: usize) -> (Overhead, Overhead) {
-    let scenario = week_scenario();
+    let start = SimHour::from_date(2008, 12, 19);
+    let scenario =
+        Scenario::custom_window(HARNESS_SEED, HourRange::new(start, start.plus_hours(14 * 24)));
     let engine = Overhead::measure(reps, || {
         let mut policy = PriceConsciousPolicy::with_distance_threshold(1500.0);
         let _ = scenario.execute(&mut policy, RunOptions::new());
@@ -100,7 +156,7 @@ fn measure_overheads(reps: usize) -> (Overhead, Overhead) {
 
     let topology = Topology::synthetic(HARNESS_SEED, 120).with_tier_slack(1.1);
     let start = SimHour::from_date(2007, 1, 1);
-    let range = HourRange::new(start, start.plus_hours(14 * 24));
+    let range = HourRange::new(start, start.plus_hours(28 * 24));
     let trace =
         SyntheticWorkloadConfig { seed: HARNESS_SEED, ..Default::default() }.generate(range);
     let prices =
@@ -194,7 +250,7 @@ fn exercise_subsystems() {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let reps: usize = flag_value(&args, "--reps").map_or(3, |v| v.parse().expect("--reps N"));
+    let reps: usize = flag_value(&args, "--reps").map_or(5, |v| v.parse().expect("--reps N"));
 
     if args.iter().any(|a| a == "--check-overhead") {
         let max_pct: f64 = flag_value(&args, "--max-overhead-pct")
@@ -203,9 +259,9 @@ fn main() -> ExitCode {
         let mut failed = false;
         for (label, o) in [("simulation_engine", &engine), ("hierarchical_replay", &hierarchy)] {
             eprintln!(
-                "obs_report: {label}: off {:.1}ms on {:.1}ms -> {:+.2}% (max {max_pct}%)",
-                o.off_secs * 1.0e3,
-                o.on_secs * 1.0e3,
+                "obs_report: {label}: off median {:.1}ms on median {:.1}ms -> {:+.2}% (max {max_pct}%)",
+                o.off_median() * 1.0e3,
+                o.on_median() * 1.0e3,
                 o.overhead_pct(),
             );
             if o.overhead_pct() > max_pct {
@@ -248,7 +304,8 @@ fn main() -> ExitCode {
                 (
                     "note",
                     JsonValue::String(
-                        "Generated by obs_report: overheads are best-of-N wall clock for the \
+                        "Generated by obs_report: overheads are warmed-up medians over N \
+                         interleaved off/on wall-clock pairs (minimum also recorded) for the \
                          telemetry-off vs telemetry-on (spans, no trace sink) replays; the \
                          registry section is Telemetry::snapshot_json() after one instrumented \
                          run of each subsystem (batch replay, sweep, sharded hierarchy, Monte \

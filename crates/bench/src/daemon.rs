@@ -281,10 +281,11 @@ fn accept_loop(
                     // and the metrics exposition.
                     metrics.record_rejected_connection();
                     metrics.record_error();
-                    let reply =
-                        error_reply(&format!("connection limit reached ({max_connections})"));
-                    let _ = stream.write_all(reply.to_string().as_bytes());
-                    let _ = stream.write_all(b"\n");
+                    let mut reply =
+                        error_reply(&format!("connection limit reached ({max_connections})"))
+                            .to_string();
+                    reply.push('\n');
+                    let _ = stream.write_all(reply.as_bytes());
                 } else {
                     scope.spawn(move || {
                         let _ = handle_connection(stream, engine, shutdown, metrics, started);
@@ -317,15 +318,22 @@ fn handle_connection(
 ) -> io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
+    // One request-line buffer and one reply buffer per connection: at
+    // steady state a long-lived client (the poller behind `routed query
+    // --watch`) is served with zero per-request allocations on the framing
+    // path, however many lines it sends.
     let mut line = String::new();
+    let mut reply_buf = String::new();
     loop {
         line.clear();
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // EOF
             Ok(_) => {
                 let reply = handle_request(line.trim(), engine, shutdown, metrics, started);
-                writer.write_all(reply.to_string().as_bytes())?;
-                writer.write_all(b"\n")?;
+                reply_buf.clear();
+                reply.write_to(&mut reply_buf);
+                reply_buf.push('\n');
+                writer.write_all(reply_buf.as_bytes())?;
                 writer.flush()?;
                 if shutdown.load(Ordering::SeqCst) {
                     return Ok(());

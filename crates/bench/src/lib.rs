@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod daemon;
+pub mod tick;
 
 use wattroute::prelude::*;
 use wattroute::report::SimulationReport;

@@ -98,6 +98,16 @@ pub struct EngineSnapshot {
 /// initial `last_alloc_hour`).
 const NO_ALLOC_HOUR: SimHour = SimHour(u64::MAX);
 
+/// Per-tick duration spans (`engine.tick`, `engine.tick.realloc`,
+/// `engine.tick.accumulate`, and the driver's `engine.price_view`) record
+/// one step in this many. A steady-state tick is now a sub-microsecond
+/// add loop; timing every one would cost more than the phase being timed
+/// and break the enabled-telemetry overhead budget (`obs_report
+/// --check-overhead`). A deterministic 1-in-8 sample keeps hundreds of
+/// datapoints per simulated day, always includes step 0, and leaves every
+/// counter exact.
+pub(crate) const SPAN_SAMPLE_EVERY: usize = 8;
+
 impl EngineSnapshot {
     fn empty(n_clusters: usize) -> Self {
         Self {
@@ -359,6 +369,34 @@ fn allocation_from_json(v: &JsonValue, n_clusters: usize) -> Result<Allocation, 
     Ok(Allocation::from_matrix(matrix))
 }
 
+/// Step-invariant facts of the current allocation epoch, computed once per
+/// reallocation into engine-owned buffers and replayed by every step until
+/// the next reallocation. Between reallocations the cached [`Allocation`]
+/// does not change, so neither do per-cluster loads, saturated utilization,
+/// watts (hence Wh per step), the served/overflow/rejected split, the
+/// binding-cap flags, or the distance-sample set — only dollars vary, and
+/// only hourly through `prices.billing`. Caching these collapses the
+/// per-step accumulate phase to a tight add-scaled-constants loop with no
+/// heap allocation and no haversine walk.
+///
+/// The cache is *derived* state: it lives on the engine, not in
+/// [`EngineSnapshot`], and is rebuilt from the cached allocation whenever
+/// `valid` is false (after a reallocation or a [`SimulationEngine::restore`]).
+/// Because the rebuild depends only on the allocation and run constants, a
+/// mid-epoch rebuild reproduces the pre-snapshot values bit for bit.
+#[derive(Debug, Clone, Default)]
+struct EpochCache {
+    valid: bool,
+    loads: Vec<f64>,
+    util: Vec<f64>,
+    wh_step: Vec<f64>,
+    hits_step: Vec<f64>,
+    overflow_step: Vec<f64>,
+    rejected_step: Vec<f64>,
+    binding: Vec<bool>,
+    samples: Vec<(f64, f64)>,
+}
+
 /// The incremental routing/accounting core: feed it one [`PriceSlice`] and
 /// [`DemandSlice`] per 5-minute step and it maintains exactly the state the
 /// batch simulator accumulates over a whole trace.
@@ -376,6 +414,7 @@ pub struct SimulationEngine<'a> {
     power_models: Vec<ClusterPowerModel>,
     capacities: Vec<f64>,
     state: EngineSnapshot,
+    epoch: EpochCache,
 }
 
 impl<'a> SimulationEngine<'a> {
@@ -397,7 +436,15 @@ impl<'a> SimulationEngine<'a> {
             .collect();
         let capacities = clusters.clusters().iter().map(|c| c.capacity_hits_per_sec()).collect();
         let state = EngineSnapshot::empty(clusters.len());
-        Self { clusters, states, config, power_models, capacities, state }
+        Self {
+            clusters,
+            states,
+            config,
+            power_models,
+            capacities,
+            state,
+            epoch: EpochCache::default(),
+        }
     }
 
     /// Record how many leading hours of the price feed are delay-clamped
@@ -462,7 +509,19 @@ impl<'a> SimulationEngine<'a> {
         prices: PriceSlice<'_>,
         demand: DemandSlice<'_>,
     ) -> &Allocation {
-        let _tick_span = wattroute_obs::span!("engine.tick");
+        // The epoch cache made a steady-state tick cheap enough that
+        // opening duration spans on *every* step would alone blow the <5%
+        // enabled-telemetry budget, so the per-tick phase histograms
+        // (including `engine.tick.realloc`, which fires per tick at the
+        // default one-step reallocation interval) sample one step in
+        // [`SPAN_SAMPLE_EVERY`] — deterministically, so step 0, and hence
+        // any run, always records. Counters stay exact every tick.
+        let sampled = self.state.step % SPAN_SAMPLE_EVERY == 0;
+        let _tick_span = if sampled {
+            wattroute_obs::span!("engine.tick")
+        } else {
+            wattroute_obs::Span::disabled()
+        };
         let n_clusters = self.clusters.len();
         assert_eq!(prices.delayed.len(), n_clusters, "delayed price length mismatch");
         assert_eq!(prices.billing.len(), n_clusters, "billing price length mismatch");
@@ -498,7 +557,11 @@ impl<'a> SimulationEngine<'a> {
             }
         }
         if reallocate {
-            let _realloc_span = wattroute_obs::span!("engine.tick.realloc");
+            let _realloc_span = if sampled {
+                wattroute_obs::span!("engine.tick.realloc")
+            } else {
+                wattroute_obs::Span::disabled()
+            };
             let ctx = RoutingContext::new(
                 self.clusters,
                 self.states,
@@ -507,55 +570,97 @@ impl<'a> SimulationEngine<'a> {
                 hour,
             )
             .with_constraints(constraints);
-            st.cached_allocation = Some(policy.allocate(&ctx));
+            let allocation = st
+                .cached_allocation
+                .get_or_insert_with(|| Allocation::zeros(n_clusters, self.states.len()));
+            policy.allocate_into(allocation, &ctx);
             st.last_alloc_hour = hour;
+            self.epoch.valid = false;
         }
-        let _accumulate_span = wattroute_obs::span!("engine.tick.accumulate");
-        let allocation = st.cached_allocation.as_ref().expect("just populated");
-        let loads = allocation.cluster_loads();
-        let samples = allocation.distance_samples(self.clusters, self.states);
 
-        for c in 0..n_clusters {
-            let cluster = self.clusters.get(c).expect("index in range");
-            let raw_utilization = cluster.utilization(loads[c]);
-            let mut served = loads[c];
-            if raw_utilization > 1.0 {
-                // Demand beyond capacity. The energy model saturates in
-                // both modes; the accounting differs: billed as served
-                // at capacity (overflow), or turned away (rejected).
-                let over = loads[c] - self.capacities[c];
-                match constraints.overflow() {
-                    OverflowMode::BillAtCapacity => {
-                        st.overflow_hits[c] += over * STEP_SECONDS as f64;
-                    }
-                    OverflowMode::Reject => {
-                        st.rejected_hits[c] += over * STEP_SECONDS as f64;
-                        served = self.capacities[c];
+        if !self.epoch.valid {
+            // Refresh the epoch cache: everything below is constant until
+            // the next reallocation (see [`EpochCache`]).
+            let allocation = st.cached_allocation.as_ref().expect("just populated");
+            let epoch = &mut self.epoch;
+            allocation.cluster_loads_into(&mut epoch.loads);
+            allocation.distance_samples_into(self.clusters, self.states, &mut epoch.samples);
+            epoch.util.clear();
+            epoch.wh_step.clear();
+            epoch.hits_step.clear();
+            epoch.overflow_step.clear();
+            epoch.rejected_step.clear();
+            epoch.binding.clear();
+            for c in 0..n_clusters {
+                let cluster = self.clusters.get(c).expect("index in range");
+                let raw_utilization = cluster.utilization(epoch.loads[c]);
+                let mut served = epoch.loads[c];
+                let mut overflow = 0.0;
+                let mut rejected = 0.0;
+                if raw_utilization > 1.0 {
+                    // Demand beyond capacity. The energy model saturates in
+                    // both modes; the accounting differs: billed as served
+                    // at capacity (overflow), or turned away (rejected).
+                    let over = epoch.loads[c] - self.capacities[c];
+                    match constraints.overflow() {
+                        OverflowMode::BillAtCapacity => {
+                            overflow = over * STEP_SECONDS as f64;
+                        }
+                        OverflowMode::Reject => {
+                            rejected = over * STEP_SECONDS as f64;
+                            served = self.capacities[c];
+                        }
                     }
                 }
-            }
-            let utilization = raw_utilization.min(1.0);
-            let watts = self.power_models[c].power_watts(utilization);
-            let wh = watts * step_hours;
-            st.energy_wh[c] += wh;
-            st.cost[c] += energy_cost_dollars(wh, prices.billing[c]);
-            st.hits[c] += served * STEP_SECONDS as f64;
-            st.util_stats[c].push(utilization);
-            st.load_series[c].push(loads[c]);
-            if let Some(caps) = accounted_caps {
+                let utilization = raw_utilization.min(1.0);
+                let watts = self.power_models[c].power_watts(utilization);
+                epoch.util.push(utilization);
+                epoch.wh_step.push(watts * step_hours);
+                epoch.hits_step.push(served * STEP_SECONDS as f64);
+                epoch.overflow_step.push(overflow);
+                epoch.rejected_step.push(rejected);
                 // A step is "binding" when the allocation sits at (or,
                 // through spill, above) the cluster's 95/5 ceiling —
                 // hours where the constraint actually shaped routing. An
                 // idle cluster is never binding, even at a zero cap
                 // (calibrations against concentrating baselines leave
                 // unused clusters with p95 = 0).
-                if caps[c].is_finite() && loads[c] > 0.0 && loads[c] >= caps[c] * (1.0 - 1e-9) {
-                    st.binding_steps[c] += 1;
-                }
+                epoch.binding.push(accounted_caps.is_some_and(|caps| {
+                    caps[c].is_finite()
+                        && epoch.loads[c] > 0.0
+                        && epoch.loads[c] >= caps[c] * (1.0 - 1e-9)
+                }));
+            }
+            epoch.valid = true;
+        }
+
+        // The per-step accumulate phase: add the epoch's precomputed
+        // constants. Dollars are the one quantity that varies within an
+        // epoch — billing prices change hourly (and an epoch never straddles
+        // an hour, since an hour change forces a reallocation). Adding the
+        // zero overflow/rejected entries unconditionally is bitwise-exact:
+        // the accumulators are never negative, and `x + 0.0 == x` for every
+        // non-negative `x`.
+        let _accumulate_span = if sampled {
+            wattroute_obs::span!("engine.tick.accumulate")
+        } else {
+            wattroute_obs::Span::disabled()
+        };
+        let epoch = &self.epoch;
+        for c in 0..n_clusters {
+            st.energy_wh[c] += epoch.wh_step[c];
+            st.cost[c] += energy_cost_dollars(epoch.wh_step[c], prices.billing[c]);
+            st.hits[c] += epoch.hits_step[c];
+            st.overflow_hits[c] += epoch.overflow_step[c];
+            st.rejected_hits[c] += epoch.rejected_step[c];
+            st.util_stats[c].push(epoch.util[c]);
+            st.load_series[c].push(epoch.loads[c]);
+            if epoch.binding[c] {
+                st.binding_steps[c] += 1;
             }
         }
 
-        for (distance_km, weight) in samples {
+        for &(distance_km, weight) in &epoch.samples {
             st.distances.add(distance_km, weight * STEP_SECONDS as f64);
         }
 
@@ -644,6 +749,11 @@ impl<'a> SimulationEngine<'a> {
             );
         }
         self.state = snapshot.clone();
+        // The epoch cache describes the *previous* cached allocation; the
+        // next tick rebuilds it from the restored one. The rebuild depends
+        // only on the allocation and run constants, so a mid-epoch restore
+        // stays bit-identical to an uninterrupted run.
+        self.epoch.valid = false;
     }
 
     /// Consume the engine, yielding the raw per-cluster load series

@@ -266,6 +266,9 @@ impl<'a> HierarchicalReplay<'a> {
         let mut epoch_rejected_step = vec![0.0f64; n_sites];
         let mut epoch_binding = vec![false; n_sites];
         let mut epoch_samples: Vec<(f64, f64)> = Vec::new();
+        // One allocation recycled across every reallocation of the shard:
+        // the policy overwrites it in place via `allocate_into`.
+        let mut allocation = Allocation::zeros(n_sites, states.len());
 
         let step_hours = STEP_SECONDS as f64 / 3600.0;
         let steps = trace.steps();
@@ -297,7 +300,7 @@ impl<'a> HierarchicalReplay<'a> {
             let ctx =
                 RoutingContext::new(&region_clusters, states, &masked_demand, &delayed_row, hour)
                     .with_constraints(&region_constraints);
-            let allocation: Allocation = policy.allocate(&ctx);
+            policy.allocate_into(&mut allocation, &ctx);
 
             // Hoist everything the flat engine recomputes per step.
             allocation.cluster_loads_into(&mut epoch_loads);

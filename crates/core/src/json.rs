@@ -56,6 +56,18 @@ impl JsonValue {
         Ok(v)
     }
 
+    /// Append this value's compact JSON encoding to a caller-owned buffer.
+    ///
+    /// The buffer is *not* cleared: callers that recycle one `String`
+    /// across messages (`buf.clear()` then `write_to`) serialize with zero
+    /// per-message allocations once the buffer reaches steady-state
+    /// capacity — the daemon's per-connection reply loop does exactly
+    /// this. [`fmt::Display`] (`to_string()`) remains the convenient
+    /// one-shot form.
+    pub fn write_to(&self, out: &mut String) {
+        self.write(out);
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -384,6 +396,20 @@ mod tests {
             let v = JsonValue::parse(text).unwrap();
             assert_eq!(v.to_string(), text);
         }
+    }
+
+    #[test]
+    fn write_to_appends_and_matches_display() {
+        let v = object([
+            ("cmd", JsonValue::String("stats".into())),
+            ("weights", number_array(&[1.0, 2.5])),
+        ]);
+        let mut buf = String::from("reply: ");
+        v.write_to(&mut buf);
+        assert_eq!(buf, format!("reply: {v}"), "write_to appends without clearing");
+        buf.clear();
+        v.write_to(&mut buf);
+        assert_eq!(buf, v.to_string(), "recycled buffer serializes identically");
     }
 
     #[test]

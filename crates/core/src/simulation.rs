@@ -490,7 +490,13 @@ impl<'a> Simulation<'a> {
         for (i, step) in self.trace.steps().iter().enumerate() {
             let hour = self.trace.step_hour(i);
             let prices = {
-                let _price_span = wattroute_obs::span!("engine.price_view");
+                // Sampled on the engine's cadence: timing a sub-µs table
+                // lookup every step costs more than the lookup itself.
+                let _price_span = if i % crate::engine::SPAN_SAMPLE_EVERY == 0 {
+                    wattroute_obs::span!("engine.price_view")
+                } else {
+                    wattroute_obs::Span::disabled()
+                };
                 PriceSlice::new(
                     hour,
                     self.table.delayed_at(hour).expect("table covers the trace"),

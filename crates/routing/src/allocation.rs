@@ -14,7 +14,7 @@ use wattroute_workload::ClusterSet;
 /// row scans in [`Self::cluster_loads`] / [`Self::distance_samples`] stay
 /// on contiguous memory — this is the allocation-epoch hot path of both
 /// the batch engine and the hierarchical replay shards.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Allocation {
     num_clusters: usize,
     num_states: usize,
@@ -25,6 +25,19 @@ impl Allocation {
     /// An empty allocation for a given number of clusters and states.
     pub fn zeros(num_clusters: usize, num_states: usize) -> Self {
         Self { num_clusters, num_states, loads: vec![0.0; num_clusters * num_states] }
+    }
+
+    /// Reset this allocation in place to all-zeros with the given shape,
+    /// reusing the existing buffer when it is large enough. This is the
+    /// buffer-recycling entry point behind
+    /// [`RoutingPolicy::allocate_into`](crate::policy::RoutingPolicy::allocate_into):
+    /// an engine hands its one cached allocation back to the policy every
+    /// reallocation instead of allocating a fresh matrix.
+    pub fn reset(&mut self, num_clusters: usize, num_states: usize) {
+        self.num_clusters = num_clusters;
+        self.num_states = num_states;
+        self.loads.clear();
+        self.loads.resize(num_clusters * num_states, 0.0);
     }
 
     /// Build from an explicit matrix (`loads[cluster][state]`).
@@ -194,6 +207,17 @@ mod tests {
         assert_eq!(a.cluster_loads(), vec![150.0, 200.0]);
         assert_eq!(a.state_loads(), vec![100.0, 200.0, 50.0]);
         assert_eq!(a.total_load(), 350.0);
+    }
+
+    #[test]
+    fn reset_zeroes_in_place_and_reshapes() {
+        let mut a = Allocation::zeros(2, 3);
+        a.add(0, 1, 42.0);
+        a.reset(2, 3);
+        assert_eq!(a, Allocation::zeros(2, 3), "same shape resets to zeros");
+        a.add(1, 2, 7.0);
+        a.reset(3, 2);
+        assert_eq!(a, Allocation::zeros(3, 2), "reshape resets to the new zeros");
     }
 
     #[test]

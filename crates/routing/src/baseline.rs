@@ -13,35 +13,40 @@
 //! * [`StaticCheapestPolicy`] — "place all servers in the cheapest market"
 //!   (§6.3, Figure 18): every request is served from the hub with the lowest
 //!   long-run average price, subject to capacity.
+//!
+//! All three ride [`CompiledPreferences`] for their distance geometry: the
+//! per-state ascending-distance ranking is compiled once per (deployment,
+//! state list) — shared by a sweep or lazily self-compiled — instead of
+//! being recomputed and re-sorted on every reallocation. The ranking's
+//! stable sort from cluster-index order gives exactly the tie-break the old
+//! per-realloc sort used, so the migration is bit-identical.
 
 use crate::allocation::Allocation;
-use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
-use wattroute_geo::{hubs, state_to_hub_km, UsState};
+use crate::policy::{assign_by_preference_into, AssignWorkspace, RoutingContext, RoutingPolicy};
+use crate::price_conscious::{ensure_compiled, CompiledPreferences};
+use std::sync::Arc;
 
 /// Route every client state to its nearest cluster (ties broken by cluster
 /// order), overflowing to the next nearest when capacity or bandwidth caps
 /// bind.
 #[derive(Debug, Clone, Default)]
-pub struct NearestClusterPolicy;
+pub struct NearestClusterPolicy {
+    compiled: Option<Arc<CompiledPreferences>>,
+    own_geometry_builds: usize,
+    workspace: AssignWorkspace,
+}
 
 impl NearestClusterPolicy {
     /// Create the policy.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
-}
 
-/// Distance-sorted cluster indices for a state.
-fn clusters_by_distance(ctx: &RoutingContext<'_>, state: UsState) -> Vec<usize> {
-    let mut order: Vec<(usize, f64)> = ctx
-        .clusters
-        .hub_ids()
-        .iter()
-        .enumerate()
-        .map(|(i, hub)| (i, state_to_hub_km(state, hubs::hub(*hub))))
-        .collect();
-    order.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
-    order.into_iter().map(|(i, _)| i).collect()
+    /// How many times this instance compiled its own geometry (a run fed
+    /// shared preferences that match its contexts reports `0`).
+    pub fn own_geometry_builds(&self) -> usize {
+        self.own_geometry_builds
+    }
 }
 
 impl RoutingPolicy for NearestClusterPolicy {
@@ -50,8 +55,32 @@ impl RoutingPolicy for NearestClusterPolicy {
     }
 
     fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
-        assign_by_preference(ctx, |_, state| clusters_by_distance(ctx, state))
+        let mut out = Allocation::zeros(ctx.clusters.len(), ctx.states.len());
+        self.allocate_into(&mut out, ctx);
+        out
     }
+
+    fn allocate_into(&mut self, out: &mut Allocation, ctx: &RoutingContext<'_>) {
+        ensure_compiled(&mut self.compiled, &mut self.own_geometry_builds, ctx);
+        let compiled = self.compiled.as_ref().expect("compiled above");
+        assign_by_preference_into(ctx, &mut self.workspace, out, |state_idx, _, buf| {
+            buf.extend(compiled.ranked(state_idx).iter().map(|(i, _)| *i));
+        });
+    }
+
+    fn attach_preferences(&mut self, prefs: &Arc<CompiledPreferences>) {
+        self.compiled = Some(prefs.clone());
+    }
+}
+
+/// Reused buffers for the Akamai-like baseline's two-share pour: the split
+/// demand vectors and the two partial allocations merged into the output.
+#[derive(Debug, Clone, Default)]
+struct AkamaiScratch {
+    primary_demand: Vec<f64>,
+    secondary_demand: Vec<f64>,
+    primary: Allocation,
+    secondary: Allocation,
 }
 
 /// An Akamai-like baseline: most of a state's demand goes to the nearest
@@ -62,11 +91,15 @@ impl RoutingPolicy for NearestClusterPolicy {
 pub struct AkamaiLikePolicy {
     /// Fraction of each state's demand sent to the second-nearest cluster.
     pub secondary_fraction: f64,
+    compiled: Option<Arc<CompiledPreferences>>,
+    own_geometry_builds: usize,
+    workspace: AssignWorkspace,
+    scratch: AkamaiScratch,
 }
 
 impl Default for AkamaiLikePolicy {
     fn default() -> Self {
-        Self { secondary_fraction: 0.2 }
+        Self::new(0.2)
     }
 }
 
@@ -74,7 +107,19 @@ impl AkamaiLikePolicy {
     /// Create the baseline with a given secondary fraction (clamped to
     /// `[0, 0.5]`).
     pub fn new(secondary_fraction: f64) -> Self {
-        Self { secondary_fraction: secondary_fraction.clamp(0.0, 0.5) }
+        Self {
+            secondary_fraction: secondary_fraction.clamp(0.0, 0.5),
+            compiled: None,
+            own_geometry_builds: 0,
+            workspace: AssignWorkspace::new(),
+            scratch: AkamaiScratch::default(),
+        }
+    }
+
+    /// How many times this instance compiled its own geometry (a run fed
+    /// shared preferences that match its contexts reports `0`).
+    pub fn own_geometry_builds(&self) -> usize {
+        self.own_geometry_builds
     }
 }
 
@@ -84,41 +129,65 @@ impl RoutingPolicy for AkamaiLikePolicy {
     }
 
     fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
+        let mut out = Allocation::zeros(ctx.clusters.len(), ctx.states.len());
+        self.allocate_into(&mut out, ctx);
+        out
+    }
+
+    fn allocate_into(&mut self, out: &mut Allocation, ctx: &RoutingContext<'_>) {
         // Split each state's demand into a primary share (nearest) and a
         // secondary share (second nearest) and run the capacity-aware engine
         // on each share separately, then merge.
         let n_clusters = ctx.clusters.len();
         let n_states = ctx.states.len();
-        let mut merged = Allocation::zeros(n_clusters, n_states);
+        ensure_compiled(&mut self.compiled, &mut self.own_geometry_builds, ctx);
+        let compiled = self.compiled.as_ref().expect("compiled above");
+        let fraction = self.secondary_fraction;
+        let AkamaiScratch { primary_demand, secondary_demand, primary, secondary } =
+            &mut self.scratch;
 
-        let primary_demand: Vec<f64> =
-            ctx.demand.iter().map(|d| d * (1.0 - self.secondary_fraction)).collect();
-        let secondary_demand: Vec<f64> =
-            ctx.demand.iter().map(|d| d * self.secondary_fraction).collect();
+        primary_demand.clear();
+        primary_demand.extend(ctx.demand.iter().map(|d| d * (1.0 - fraction)));
+        secondary_demand.clear();
+        secondary_demand.extend(ctx.demand.iter().map(|d| d * fraction));
 
-        let primary_ctx = RoutingContext { demand: &primary_demand, ..ctx.clone() };
-        let primary =
-            assign_by_preference(&primary_ctx, |_, state| clusters_by_distance(ctx, state));
+        let primary_ctx = RoutingContext { demand: primary_demand, ..ctx.clone() };
+        assign_by_preference_into(
+            &primary_ctx,
+            &mut self.workspace,
+            primary,
+            |state_idx, _, buf| {
+                buf.extend(compiled.ranked(state_idx).iter().map(|(i, _)| *i));
+            },
+        );
 
-        let secondary_ctx = RoutingContext { demand: &secondary_demand, ..ctx.clone() };
-        let secondary = assign_by_preference(&secondary_ctx, |_, state| {
-            let mut order = clusters_by_distance(ctx, state);
-            if order.len() > 1 {
-                order.rotate_left(1); // prefer the second nearest first
-            }
-            order
-        });
+        let secondary_ctx = RoutingContext { demand: secondary_demand, ..ctx.clone() };
+        assign_by_preference_into(
+            &secondary_ctx,
+            &mut self.workspace,
+            secondary,
+            |state_idx, _, buf| {
+                buf.extend(compiled.ranked(state_idx).iter().map(|(i, _)| *i));
+                if buf.len() > 1 {
+                    buf.rotate_left(1); // prefer the second nearest first
+                }
+            },
+        );
 
+        out.reset(n_clusters, n_states);
         for c in 0..n_clusters {
             let (primary_row, secondary_row) = (primary.row(c), secondary.row(c));
             for s in 0..n_states {
                 let total = primary_row[s] + secondary_row[s];
                 if total > 0.0 {
-                    merged.add(c, s, total);
+                    out.add(c, s, total);
                 }
             }
         }
-        merged
+    }
+
+    fn attach_preferences(&mut self, prefs: &Arc<CompiledPreferences>) {
+        self.compiled = Some(prefs.clone());
     }
 }
 
@@ -129,22 +198,25 @@ pub struct StaticCheapestPolicy {
     /// Long-run mean price per cluster (aligned with cluster order), used to
     /// fix the preference order once.
     mean_prices: Vec<f64>,
+    workspace: AssignWorkspace,
+    order: Vec<usize>,
 }
 
 impl StaticCheapestPolicy {
     /// Create the policy from long-run mean prices per cluster.
     pub fn new(mean_prices: Vec<f64>) -> Self {
         assert!(!mean_prices.is_empty(), "need at least one cluster");
-        Self { mean_prices }
+        Self { mean_prices, workspace: AssignWorkspace::new(), order: Vec::new() }
     }
 
-    /// Preference order: ascending mean price.
-    fn order(&self) -> Vec<usize> {
-        let mut idx: Vec<usize> = (0..self.mean_prices.len()).collect();
-        idx.sort_by(|&a, &b| {
-            self.mean_prices[a].partial_cmp(&self.mean_prices[b]).expect("finite prices")
-        });
-        idx
+    /// Recompute the preference order (ascending mean price) into the
+    /// reused `order` buffer.
+    fn refresh_order(&mut self) {
+        self.order.clear();
+        self.order.extend(0..self.mean_prices.len());
+        let mean_prices = &self.mean_prices;
+        self.order
+            .sort_by(|&a, &b| mean_prices[a].partial_cmp(&mean_prices[b]).expect("finite prices"));
     }
 }
 
@@ -154,13 +226,22 @@ impl RoutingPolicy for StaticCheapestPolicy {
     }
 
     fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
+        let mut out = Allocation::zeros(ctx.clusters.len(), ctx.states.len());
+        self.allocate_into(&mut out, ctx);
+        out
+    }
+
+    fn allocate_into(&mut self, out: &mut Allocation, ctx: &RoutingContext<'_>) {
         assert_eq!(
             self.mean_prices.len(),
             ctx.clusters.len(),
             "mean prices must align with the deployment"
         );
-        let order = self.order();
-        assign_by_preference(ctx, |_, _| order.clone())
+        self.refresh_order();
+        let order = &self.order;
+        assign_by_preference_into(ctx, &mut self.workspace, out, |_, _, buf| {
+            buf.extend_from_slice(order);
+        });
     }
 }
 
@@ -234,6 +315,30 @@ mod tests {
         let d_near = near.mean_distance_km(&clusters, &states).unwrap();
         let d_akamai = akamai.mean_distance_km(&clusters, &states).unwrap();
         assert!(d_akamai > d_near, "{d_akamai} vs {d_near}");
+    }
+
+    #[test]
+    fn baselines_reuse_shared_geometry_without_recompiling() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states: Vec<UsState> = UsState::all().collect();
+        let demand: Vec<f64> = (0..states.len()).map(|i| 50.0 + 13.0 * i as f64).collect();
+        let prices = vec![50.0; 9];
+        let shared = Arc::new(CompiledPreferences::build(&clusters, &states));
+        let c = ctx(&clusters, &states, &demand, &prices);
+
+        let mut own_near = NearestClusterPolicy::new();
+        let mut shared_near = NearestClusterPolicy::new();
+        shared_near.attach_preferences(&shared);
+        assert_eq!(own_near.allocate(&c).matrix(), shared_near.allocate(&c).matrix());
+        assert_eq!(own_near.own_geometry_builds(), 1);
+        assert_eq!(shared_near.own_geometry_builds(), 0, "shared geometry must be reused");
+
+        let mut own_akamai = AkamaiLikePolicy::default();
+        let mut shared_akamai = AkamaiLikePolicy::default();
+        shared_akamai.attach_preferences(&shared);
+        assert_eq!(own_akamai.allocate(&c).matrix(), shared_akamai.allocate(&c).matrix());
+        assert_eq!(own_akamai.own_geometry_builds(), 1);
+        assert_eq!(shared_akamai.own_geometry_builds(), 0, "shared geometry must be reused");
     }
 
     #[test]

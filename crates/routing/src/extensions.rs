@@ -12,8 +12,11 @@
 //!   simplest form of that joint optimisation.
 
 use crate::allocation::Allocation;
-use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
-use serde::{Deserialize, Serialize};
+use crate::policy::{
+    assign_by_preference, assign_by_preference_into, AssignWorkspace, RoutingContext, RoutingPolicy,
+};
+use crate::price_conscious::{ensure_compiled, CompiledPreferences};
+use std::sync::Arc;
 use wattroute_geo::distance::RankedHub;
 use wattroute_geo::{distance, hubs, UsState};
 
@@ -64,21 +67,44 @@ impl RoutingPolicy for CarbonAwarePolicy {
     }
 }
 
+/// Reused scoring buffers for [`JointCostPolicy`]: per-state distances
+/// scattered back to cluster-index order, and the scored list the per-state
+/// ranking sorts in place.
+#[derive(Debug, Clone, Default)]
+struct JointScratch {
+    dist_by_cluster: Vec<f64>,
+    scored: Vec<RankedHub>,
+}
+
 /// Minimise `price + distance_weight · distance_km`, i.e. fold the network
 /// proximity objective and the electricity price into one scalar cost.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct JointCostPolicy {
     /// Dollars-per-MWh-equivalent penalty applied per km of client-server
     /// distance. `0.0` reduces to pure price optimisation; large values
     /// reduce to nearest-cluster routing.
     pub distance_weight: f64,
+    /// Compiled ranked-distance geometry (shared by a sweep or lazily
+    /// self-compiled) — the source of per-state distances, replacing the
+    /// per-state `hub_refs` rebuild + haversine walk of the original
+    /// implementation.
+    compiled: Option<Arc<CompiledPreferences>>,
+    own_geometry_builds: usize,
+    workspace: AssignWorkspace,
+    scratch: JointScratch,
 }
 
 impl JointCostPolicy {
     /// Create a joint policy with the given distance weight.
     pub fn new(distance_weight: f64) -> Self {
         assert!(distance_weight >= 0.0, "distance weight must be non-negative");
-        Self { distance_weight }
+        Self { distance_weight, ..Default::default() }
+    }
+
+    /// How many times this instance compiled its own geometry (a run fed
+    /// shared preferences that match its contexts reports `0`).
+    pub fn own_geometry_builds(&self) -> usize {
+        self.own_geometry_builds
     }
 }
 
@@ -88,18 +114,38 @@ impl RoutingPolicy for JointCostPolicy {
     }
 
     fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
-        let w = self.distance_weight;
-        assign_by_preference(ctx, |_, state| {
-            let hub_refs: Vec<&wattroute_geo::Hub> =
-                ctx.clusters.hub_ids().iter().map(|id| hubs::hub(*id)).collect();
-            let mut scored: Vec<(usize, f64)> = hub_refs
-                .iter()
-                .enumerate()
-                .map(|(i, hub)| (i, ctx.prices[i] + w * distance::state_to_hub_km(state, hub)))
-                .collect();
+        let mut out = Allocation::zeros(ctx.clusters.len(), ctx.states.len());
+        self.allocate_into(&mut out, ctx);
+        out
+    }
+
+    fn allocate_into(&mut self, out: &mut Allocation, ctx: &RoutingContext<'_>) {
+        ensure_compiled(&mut self.compiled, &mut self.own_geometry_builds, ctx);
+        let Self { distance_weight, compiled, workspace, scratch, .. } = self;
+        let compiled = compiled.as_ref().expect("compiled above");
+        let w = *distance_weight;
+        let n_clusters = ctx.clusters.len();
+        assign_by_preference_into(ctx, workspace, out, |state_idx, _, buf| {
+            // Scatter the compiled (distance-sorted) ranking back to
+            // cluster-index order before scoring, so equal scores keep the
+            // cluster-order tie-break the allocating path's stable sort had.
+            let JointScratch { dist_by_cluster, scored } = scratch;
+            dist_by_cluster.clear();
+            dist_by_cluster.resize(n_clusters, 0.0);
+            for &(i, d) in compiled.ranked(state_idx) {
+                dist_by_cluster[i] = d;
+            }
+            scored.clear();
+            scored.extend(
+                dist_by_cluster.iter().enumerate().map(|(i, &d)| (i, ctx.prices[i] + w * d)),
+            );
             scored.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
-            scored.into_iter().map(|(i, _)| i).collect()
-        })
+            buf.extend(scored.iter().map(|(i, _)| *i));
+        });
+    }
+
+    fn attach_preferences(&mut self, prefs: &Arc<CompiledPreferences>) {
+        self.compiled = Some(prefs.clone());
     }
 }
 
@@ -258,5 +304,26 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_distance_weight_rejected() {
         let _ = JointCostPolicy::new(-1.0);
+    }
+
+    #[test]
+    fn joint_shared_preferences_allocate_identically_without_recompiling() {
+        let clusters = ClusterSet::akamai_like_nine();
+        let states: Vec<UsState> = UsState::all().collect();
+        let demand: Vec<f64> = (0..states.len()).map(|i| 100.0 + 29.0 * i as f64).collect();
+        let prices: Vec<f64> = (0..9).map(|i| 25.0 + 9.0 * i as f64).collect();
+        let shared = Arc::new(CompiledPreferences::build(&clusters, &states));
+
+        for weight in [0.0, 0.01, 0.05, 10.0] {
+            let c = ctx(&clusters, &states, &demand, &prices);
+            let mut own = JointCostPolicy::new(weight);
+            let mut borrowed = JointCostPolicy::new(weight);
+            borrowed.attach_preferences(&shared);
+            let a = own.allocate(&c);
+            let b = borrowed.allocate(&c);
+            assert_eq!(a.matrix(), b.matrix(), "weight {weight}");
+            assert_eq!(own.own_geometry_builds(), 1);
+            assert_eq!(borrowed.own_geometry_builds(), 0, "shared geometry must be reused");
+        }
     }
 }

@@ -101,6 +101,25 @@ pub trait RoutingPolicy {
     /// Allocate one step's demand to clusters.
     fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation;
 
+    /// Allocate one step's demand into a caller-owned [`Allocation`].
+    ///
+    /// This is the buffer-recycling twin of [`Self::allocate`]: a
+    /// long-running engine hands the same allocation back every
+    /// reallocation, so steady-state routing performs no heap allocation.
+    /// `out` may hold stale loads from a previous call (even with a
+    /// different shape) — implementations must fully overwrite it, which
+    /// [`Allocation::reset`] does in place.
+    ///
+    /// The default implementation delegates to [`Self::allocate`], so the
+    /// two paths are *definitionally* result-identical for policies that
+    /// do not override it; policies that do must keep them bit-identical
+    /// (pinned for the built-in policies by
+    /// `crates/routing/tests/proptest_policies.rs` and the engine-level
+    /// epoch-equivalence property test).
+    fn allocate_into(&mut self, out: &mut Allocation, ctx: &RoutingContext<'_>) {
+        *out = self.allocate(ctx);
+    }
+
     /// Offer the policy shared, pre-compiled ranked-distance geometry for
     /// the deployment and state list it is about to route (see
     /// [`CompiledPreferences`]). Policies that do not use the geometry
@@ -135,36 +154,84 @@ pub fn assign_by_preference<F>(ctx: &RoutingContext<'_>, mut preferences: F) -> 
 where
     F: FnMut(usize, UsState) -> Vec<usize>,
 {
+    let mut workspace = AssignWorkspace::new();
+    let mut allocation = Allocation::zeros(ctx.clusters.len(), ctx.states.len());
+    assign_by_preference_into(ctx, &mut workspace, &mut allocation, |state_idx, state, buf| {
+        let candidates = preferences(state_idx, state);
+        buf.clear();
+        buf.extend_from_slice(&candidates);
+    });
+    allocation
+}
+
+/// Reusable scratch for [`assign_by_preference_into`]: the per-call vectors
+/// the pour engine needs (remaining tier headroom, the demand-sorted state
+/// order, and the candidate list the preference callback writes into). A
+/// policy owns one workspace and hands it back every reallocation, so the
+/// steady-state assignment performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct AssignWorkspace {
+    remaining_cap: Vec<f64>,
+    order: Vec<usize>,
+    candidates: Vec<usize>,
+    metro_rem: Vec<f64>,
+    region_rem: Vec<f64>,
+}
+
+impl AssignWorkspace {
+    /// An empty workspace; buffers grow on first use and are reused after.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The buffer-recycling twin of [`assign_by_preference`]: identical pour
+/// logic, but the allocation, the engine's scratch vectors, and the
+/// per-state candidate list all live in caller-owned storage. The
+/// `preferences` callback writes each state's ordered candidate cluster
+/// indices into the buffer it is handed (cleared by the caller first).
+pub fn assign_by_preference_into<F>(
+    ctx: &RoutingContext<'_>,
+    workspace: &mut AssignWorkspace,
+    out: &mut Allocation,
+    mut preferences: F,
+) where
+    F: FnMut(usize, UsState, &mut Vec<usize>),
+{
     if ctx.constraints.tier_caps().is_some() {
-        return assign_by_preference_tiered(ctx, preferences);
+        return assign_by_preference_tiered_into(ctx, workspace, out, preferences);
     }
     let n_clusters = ctx.clusters.len();
     let n_states = ctx.states.len();
-    let mut allocation = Allocation::zeros(n_clusters, n_states);
-    let mut remaining_cap: Vec<f64> = (0..n_clusters).map(|c| ctx.effective_cap(c)).collect();
+    out.reset(n_clusters, n_states);
+    let AssignWorkspace { remaining_cap, order, candidates, .. } = workspace;
+    remaining_cap.clear();
+    remaining_cap.extend((0..n_clusters).map(|c| ctx.effective_cap(c)));
 
     // Process states in descending demand.
-    let mut order: Vec<usize> = (0..n_states).collect();
+    order.clear();
+    order.extend(0..n_states);
     order.sort_by(|&a, &b| ctx.demand[b].partial_cmp(&ctx.demand[a]).expect("finite demand"));
 
-    for state_idx in order {
+    for &state_idx in order.iter() {
         let mut unserved = ctx.demand[state_idx];
         if unserved <= 0.0 {
             continue;
         }
-        let candidates = preferences(state_idx, ctx.states[state_idx]);
+        candidates.clear();
+        preferences(state_idx, ctx.states[state_idx], candidates);
         debug_assert!(
             candidates.iter().all(|&c| c < n_clusters),
             "preference list contains an out-of-range cluster index"
         );
 
-        for &cluster in &candidates {
+        for &cluster in candidates.iter() {
             if unserved <= 0.0 {
                 break;
             }
             let take = unserved.min(remaining_cap[cluster].max(0.0));
             if take > 0.0 {
-                allocation.add(cluster, state_idx, take);
+                out.add(cluster, state_idx, take);
                 remaining_cap[cluster] -= take;
                 unserved -= take;
             }
@@ -180,13 +247,12 @@ where
                 .filter(|&c| remaining_cap[c] > 0.0)
                 .or_else(|| candidates.first().copied())
                 .unwrap_or(0);
-            allocation.add(spill_target, state_idx, unserved);
+            out.add(spill_target, state_idx, unserved);
             remaining_cap[spill_target] -= unserved;
         }
     }
 
-    debug_assert!(allocation.serves_demand(ctx.demand, 1e-6));
-    allocation
+    debug_assert!(out.serves_demand(ctx.demand, 1e-6));
 }
 
 /// The tier-aware variant of [`assign_by_preference`]: identical pour
@@ -194,17 +260,25 @@ where
 /// region headroom simultaneously, all three tiers are drawn down in SoA
 /// vectors as demand lands, and spill targets maximise the min-of-three
 /// headroom.
-fn assign_by_preference_tiered<F>(ctx: &RoutingContext<'_>, mut preferences: F) -> Allocation
-where
-    F: FnMut(usize, UsState) -> Vec<usize>,
+fn assign_by_preference_tiered_into<F>(
+    ctx: &RoutingContext<'_>,
+    workspace: &mut AssignWorkspace,
+    out: &mut Allocation,
+    mut preferences: F,
+) where
+    F: FnMut(usize, UsState, &mut Vec<usize>),
 {
     let tiers = ctx.constraints.tier_caps().expect("caller checked tier caps");
     let n_clusters = ctx.clusters.len();
     let n_states = ctx.states.len();
-    let mut allocation = Allocation::zeros(n_clusters, n_states);
-    let mut remaining_cap: Vec<f64> = (0..n_clusters).map(|c| ctx.effective_cap(c)).collect();
-    let mut metro_rem: Vec<f64> = tiers.metro_caps().to_vec();
-    let mut region_rem: Vec<f64> = tiers.region_caps().to_vec();
+    out.reset(n_clusters, n_states);
+    let AssignWorkspace { remaining_cap, order, candidates, metro_rem, region_rem } = workspace;
+    remaining_cap.clear();
+    remaining_cap.extend((0..n_clusters).map(|c| ctx.effective_cap(c)));
+    metro_rem.clear();
+    metro_rem.extend_from_slice(tiers.metro_caps());
+    region_rem.clear();
+    region_rem.extend_from_slice(tiers.region_caps());
     let site_metro = tiers.site_metros();
     let site_region = tiers.site_regions();
 
@@ -214,28 +288,30 @@ where
         cap[c].min(metro[site_metro[c]]).min(region[site_region[c]])
     };
 
-    let mut order: Vec<usize> = (0..n_states).collect();
+    order.clear();
+    order.extend(0..n_states);
     order.sort_by(|&a, &b| ctx.demand[b].partial_cmp(&ctx.demand[a]).expect("finite demand"));
 
-    for state_idx in order {
+    for &state_idx in order.iter() {
         let mut unserved = ctx.demand[state_idx];
         if unserved <= 0.0 {
             continue;
         }
-        let candidates = preferences(state_idx, ctx.states[state_idx]);
+        candidates.clear();
+        preferences(state_idx, ctx.states[state_idx], candidates);
         debug_assert!(
             candidates.iter().all(|&c| c < n_clusters),
             "preference list contains an out-of-range cluster index"
         );
 
-        for &cluster in &candidates {
+        for &cluster in candidates.iter() {
             if unserved <= 0.0 {
                 break;
             }
             let take =
-                unserved.min(headroom(&remaining_cap, &metro_rem, &region_rem, cluster).max(0.0));
+                unserved.min(headroom(remaining_cap, metro_rem, region_rem, cluster).max(0.0));
             if take > 0.0 {
-                allocation.add(cluster, state_idx, take);
+                out.add(cluster, state_idx, take);
                 remaining_cap[cluster] -= take;
                 metro_rem[site_metro[cluster]] -= take;
                 region_rem[site_region[cluster]] -= take;
@@ -249,22 +325,21 @@ where
             // (demand must be served somewhere).
             let spill_target = (0..n_clusters)
                 .max_by(|&a, &b| {
-                    headroom(&remaining_cap, &metro_rem, &region_rem, a)
-                        .partial_cmp(&headroom(&remaining_cap, &metro_rem, &region_rem, b))
+                    headroom(remaining_cap, metro_rem, region_rem, a)
+                        .partial_cmp(&headroom(remaining_cap, metro_rem, region_rem, b))
                         .expect("finite caps")
                 })
-                .filter(|&c| headroom(&remaining_cap, &metro_rem, &region_rem, c) > 0.0)
+                .filter(|&c| headroom(remaining_cap, metro_rem, region_rem, c) > 0.0)
                 .or_else(|| candidates.first().copied())
                 .unwrap_or(0);
-            allocation.add(spill_target, state_idx, unserved);
+            out.add(spill_target, state_idx, unserved);
             remaining_cap[spill_target] -= unserved;
             metro_rem[site_metro[spill_target]] -= unserved;
             region_rem[site_region[spill_target]] -= unserved;
         }
     }
 
-    debug_assert!(allocation.serves_demand(ctx.demand, 1e-6));
-    allocation
+    debug_assert!(out.serves_demand(ctx.demand, 1e-6));
 }
 
 #[cfg(test)]
@@ -417,6 +492,43 @@ mod tests {
             .with_constraints(&constraints);
         let tiered = assign_by_preference(&tiered_ctx, |i, _| vec![i % 9, (i + 3) % 9]);
         assert_eq!(flat.matrix(), tiered.matrix(), "infinite tier caps change nothing");
+    }
+
+    #[test]
+    fn into_variant_with_reused_buffers_matches_allocating_path() {
+        use crate::constraints::{ConstraintSet, TierCaps};
+        let clusters = ClusterSet::akamai_like_nine().scaled(0.01);
+        let states = [UsState::MA, UsState::CA, UsState::TX];
+        let prices = vec![50.0; 9];
+        let tiers = TierCaps::new(
+            (0..9).map(|c| c / 3).collect(),
+            vec![0; 9],
+            vec![40_000.0, f64::INFINITY, 25_000.0],
+            vec![f64::INFINITY],
+        );
+        let constraints = ConstraintSet::unconstrained().with_tier_caps(tiers);
+
+        // One workspace and one output allocation survive every call —
+        // across demands AND across the flat/tiered engine switch — and
+        // must keep matching the allocating path exactly.
+        let mut ws = AssignWorkspace::new();
+        let mut out = Allocation::zeros(1, 1); // wrong shape on purpose
+        for demand in [[9_000.0, 2.0e6, 3.0e5], [0.0, 1.0e5, 777.0]] {
+            let flat_ctx = RoutingContext::new(&clusters, &states, &demand, &prices, SimHour(0));
+            let expected = assign_by_preference(&flat_ctx, |i, _| vec![i % 9, (i + 3) % 9]);
+            assign_by_preference_into(&flat_ctx, &mut ws, &mut out, |i, _, buf| {
+                buf.extend([i % 9, (i + 3) % 9])
+            });
+            assert_eq!(out, expected, "flat pour must be identical");
+
+            let tiered_ctx = RoutingContext::new(&clusters, &states, &demand, &prices, SimHour(0))
+                .with_constraints(&constraints);
+            let expected = assign_by_preference(&tiered_ctx, |i, _| vec![i % 9, (i + 3) % 9]);
+            assign_by_preference_into(&tiered_ctx, &mut ws, &mut out, |i, _, buf| {
+                buf.extend([i % 9, (i + 3) % 9])
+            });
+            assert_eq!(out, expected, "tiered pour must be identical");
+        }
     }
 
     #[test]

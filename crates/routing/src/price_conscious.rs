@@ -14,7 +14,7 @@
 //! than $5/MWh are ignored, so ties go to the nearer cluster).
 
 use crate::allocation::Allocation;
-use crate::policy::{assign_by_preference, RoutingContext, RoutingPolicy};
+use crate::policy::{assign_by_preference_into, AssignWorkspace, RoutingContext, RoutingPolicy};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use wattroute_geo::distance::RankedHub;
@@ -119,6 +119,15 @@ impl CompiledPreferences {
         wattroute_obs::counter!("routing.compiled_preferences.builds").get() as usize
     }
 
+    /// Ranked `(cluster index, distance)` pairs for one client state,
+    /// ascending by distance. Stable-sorted from cluster-index order, so
+    /// equidistant clusters keep their deployment order — the same
+    /// tie-break every in-crate distance sort uses, which is what lets the
+    /// baselines and extension policies ride this geometry bit-identically.
+    pub(crate) fn ranked(&self, state_idx: usize) -> &[RankedHub] {
+        &self.ranked[state_idx]
+    }
+
     /// Derive the per-threshold candidate/tail split from the ranked
     /// geometry: candidates are the clusters within `threshold_km` (with
     /// the paper's nearest + 50 km fallback when none are), the tail is
@@ -147,12 +156,39 @@ impl CompiledPreferences {
     }
 }
 
+/// Make sure `slot` holds compiled geometry matching `ctx`, lazily
+/// self-compiling (and counting an own-build) when it does not. The shared
+/// entry point for every policy that rides [`CompiledPreferences`]; returns
+/// `true` when a recompile happened so callers can invalidate anything they
+/// derived from the previous geometry.
+pub(crate) fn ensure_compiled(
+    slot: &mut Option<Arc<CompiledPreferences>>,
+    own_builds: &mut usize,
+    ctx: &RoutingContext<'_>,
+) -> bool {
+    if slot.as_ref().is_some_and(|c| c.matches(ctx)) {
+        return false;
+    }
+    *slot = Some(Arc::new(CompiledPreferences::build(ctx.clusters, ctx.states)));
+    *own_builds += 1;
+    true
+}
+
 /// A [`CompiledPreferences`] specialised to one distance threshold — the
 /// cheap, per-policy half of the compilation.
 #[derive(Debug, Clone)]
 struct ThresholdSplit {
     distance_threshold_km: f64,
     per_state: Vec<StateCandidates>,
+}
+
+/// Reusable re-ranking scratch: the cheap-set/rest partition buffers the
+/// per-state price ranking is built in. Owned by the policy so steady-state
+/// reallocation allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct RankScratch {
+    cheap: Vec<RankedHub>,
+    rest: Vec<RankedHub>,
 }
 
 /// The distance-constrained electricity price optimizer.
@@ -171,12 +207,16 @@ pub struct PriceConsciousPolicy {
     /// shared geometry does not count). Instrumentation for tests proving
     /// that shared preferences eliminate per-run recompiles.
     own_geometry_builds: usize,
+    /// Pour-engine scratch reused across reallocations.
+    workspace: AssignWorkspace,
+    /// Price re-ranking scratch reused across states and reallocations.
+    scratch: RankScratch,
 }
 
 impl PriceConsciousPolicy {
     /// Create a policy with an explicit configuration.
     pub fn new(config: PriceConsciousConfig) -> Self {
-        Self { config, compiled: None, split: None, own_geometry_builds: 0 }
+        Self { config, ..Default::default() }
     }
 
     /// Create a policy with the given distance threshold and the default
@@ -211,44 +251,52 @@ impl PriceConsciousPolicy {
     pub fn own_geometry_builds(&self) -> usize {
         self.own_geometry_builds
     }
+}
 
-    /// Preference order for one client state: candidate clusters within the
-    /// distance threshold (with the paper's nearest + 50 km fallback),
-    /// sorted by price with sub-threshold differences broken by distance,
-    /// followed by the remaining clusters by distance (so capacity overflow
-    /// degrades gracefully rather than arbitrarily). The distance-dependent
-    /// parts come precomputed in `entry`; only the price-dependent ranking
-    /// happens per reallocation.
-    fn preference_order(&self, prices: &[f64], entry: &StateCandidates) -> Vec<usize> {
-        // Split candidates into those whose price is within the price
-        // threshold of the cheapest candidate ("as good as the cheapest";
-        // among these the nearest wins, because sub-threshold differentials
-        // are ignored) and the remainder, ordered by price then distance.
-        // Doing it in two stages, rather than with a price-or-distance
-        // comparator, keeps the ordering a total order.
-        let cheapest =
-            entry.candidates.iter().map(|(i, _)| prices[*i]).fold(f64::INFINITY, f64::min);
-        let (cheap_set, mut rest): (Vec<RankedHub>, Vec<RankedHub>) = entry
-            .candidates
-            .iter()
-            .copied()
-            .partition(|(i, _)| prices[*i] <= cheapest + self.config.price_threshold);
-        // `candidates` is pre-sorted by distance, so `cheap_set` (a
-        // stable partition of it) already is too.
-        rest.sort_by(|(ia, da), (ib, db)| {
-            prices[*ia]
-                .partial_cmp(&prices[*ib])
-                .expect("finite prices")
-                .then(da.partial_cmp(db).expect("finite distances"))
-        });
-
-        let mut order: Vec<usize> = Vec::with_capacity(entry.candidates.len() + entry.tail.len());
-        order.extend(cheap_set.iter().chain(rest.iter()).map(|(i, _)| *i));
-        // The out-of-threshold clusters, by distance, as a last resort for
-        // overflow.
-        order.extend_from_slice(&entry.tail);
-        order
+/// Preference order for one client state, written into `out`: candidate
+/// clusters within the distance threshold (with the paper's nearest + 50 km
+/// fallback), sorted by price with sub-threshold differences broken by
+/// distance, followed by the remaining clusters by distance (so capacity
+/// overflow degrades gracefully rather than arbitrarily). The
+/// distance-dependent parts come precomputed in `entry`; only the
+/// price-dependent ranking happens per reallocation, entirely in the
+/// caller's reused `scratch`/`out` buffers.
+fn preference_order_into(
+    config: &PriceConsciousConfig,
+    prices: &[f64],
+    entry: &StateCandidates,
+    scratch: &mut RankScratch,
+    out: &mut Vec<usize>,
+) {
+    // Split candidates into those whose price is within the price
+    // threshold of the cheapest candidate ("as good as the cheapest";
+    // among these the nearest wins, because sub-threshold differentials
+    // are ignored) and the remainder, ordered by price then distance.
+    // Doing it in two stages, rather than with a price-or-distance
+    // comparator, keeps the ordering a total order.
+    let cheapest = entry.candidates.iter().map(|(i, _)| prices[*i]).fold(f64::INFINITY, f64::min);
+    scratch.cheap.clear();
+    scratch.rest.clear();
+    for &(i, d) in &entry.candidates {
+        if prices[i] <= cheapest + config.price_threshold {
+            scratch.cheap.push((i, d));
+        } else {
+            scratch.rest.push((i, d));
+        }
     }
+    // `candidates` is pre-sorted by distance, so `cheap` (a stable
+    // partition of it) already is too.
+    scratch.rest.sort_by(|(ia, da), (ib, db)| {
+        prices[*ia]
+            .partial_cmp(&prices[*ib])
+            .expect("finite prices")
+            .then(da.partial_cmp(db).expect("finite distances"))
+    });
+
+    out.extend(scratch.cheap.iter().chain(scratch.rest.iter()).map(|(i, _)| *i));
+    // The out-of-threshold clusters, by distance, as a last resort for
+    // overflow.
+    out.extend_from_slice(&entry.tail);
 }
 
 impl RoutingPolicy for PriceConsciousPolicy {
@@ -257,6 +305,12 @@ impl RoutingPolicy for PriceConsciousPolicy {
     }
 
     fn allocate(&mut self, ctx: &RoutingContext<'_>) -> Allocation {
+        let mut out = Allocation::zeros(ctx.clusters.len(), ctx.states.len());
+        self.allocate_into(&mut out, ctx);
+        out
+    }
+
+    fn allocate_into(&mut self, out: &mut Allocation, ctx: &RoutingContext<'_>) {
         if !self.compiled.as_ref().is_some_and(|c| c.matches(ctx)) {
             self.compiled = Some(Arc::new(CompiledPreferences::build(ctx.clusters, ctx.states)));
             self.split = None;
@@ -270,10 +324,11 @@ impl RoutingPolicy for PriceConsciousPolicy {
                 per_state: compiled.threshold_split(threshold),
             });
         }
-        let split = self.split.as_ref().expect("derived above");
-        assign_by_preference(ctx, |state_idx, _| {
-            self.preference_order(ctx.prices, &split.per_state[state_idx])
-        })
+        let Self { config, split, workspace, scratch, .. } = self;
+        let split = split.as_ref().expect("derived above");
+        assign_by_preference_into(ctx, workspace, out, |state_idx, _, buf| {
+            preference_order_into(config, ctx.prices, &split.per_state[state_idx], scratch, buf);
+        });
     }
 
     fn attach_preferences(&mut self, prefs: &Arc<CompiledPreferences>) {
